@@ -1,0 +1,70 @@
+// Appendix case study (Fig. 13): explanation views on ENZYMES for three
+// classes. The check: different classes yield structurally different
+// pattern sets over the secondary-structure element types.
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "gvex/mining/canonical.h"
+
+using namespace gvex;
+using namespace gvex::bench;
+
+namespace {
+
+const char* SseName(NodeType t) {
+  switch (t) {
+    case 0:
+      return "helix";
+    case 1:
+      return "sheet";
+    case 2:
+      return "turn";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  Workbench wb = PrepareWorkbench("ENZ", scale);
+  std::printf("Fig. 13 — ENZYMES explanation views (test acc %.2f)\n",
+              wb.test_accuracy);
+
+  Configuration config = DefaultConfig(12);
+  ApproxGvex solver(&wb.model, config);
+  std::vector<std::set<std::string>> class_codes;
+  for (ClassLabel l : {0, 1, 2}) {
+    auto view = solver.ExplainLabel(wb.db, wb.assigned, l);
+    std::printf("\nclass %d:\n", l);
+    std::set<std::string> codes;
+    if (view.ok()) {
+      std::printf("  %zu subgraphs, %zu patterns\n", view->subgraphs.size(),
+                  view->patterns.size());
+      for (size_t p = 0; p < view->patterns.size(); ++p) {
+        const Graph& pat = view->patterns[p];
+        codes.insert(CanonicalCode(pat));
+        std::printf("    P%zu (%zu nodes, %zu edges):", p, pat.num_nodes(),
+                    pat.num_edges());
+        for (NodeId v = 0; v < pat.num_nodes(); ++v) {
+          std::printf(" %s", SseName(pat.node_type(v)));
+        }
+        std::printf("\n");
+      }
+    }
+    class_codes.push_back(std::move(codes));
+  }
+
+  // Headline: pattern sets differ across classes.
+  size_t distinct_pairs = 0;
+  for (size_t a = 0; a < class_codes.size(); ++a) {
+    for (size_t b = a + 1; b < class_codes.size(); ++b) {
+      if (class_codes[a] != class_codes[b]) ++distinct_pairs;
+    }
+  }
+  std::printf("\nheadline: %zu/3 class pairs have distinct pattern sets\n",
+              distinct_pairs);
+  return 0;
+}

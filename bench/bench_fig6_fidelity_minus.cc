@@ -1,0 +1,42 @@
+// Fig. 6 reproduction: Fidelity- (consistency, Eq. 9) of all six
+// explainers across MUT/RED/ENZ/MAL while sweeping u_l. Close to (or
+// below) zero is better: the explanation subgraph alone should reproduce
+// the original prediction.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace gvex;
+using namespace gvex::bench;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  const double kBudgetSeconds = 120.0;
+  const size_t kUls[] = {5, 10, 15, 20};
+  const char* kDatasets[] = {"MUT", "RED", "ENZ", "MAL"};
+
+  std::printf("Fig. 6 — Fidelity- vs u_l (lower = more consistent)\n");
+  for (const char* code : kDatasets) {
+    Workbench wb = PrepareWorkbench(code, scale);
+    ClassLabel label = 1;
+    std::printf("\ndataset=%s (test acc %.2f, %zu graphs)\n", code,
+                wb.test_accuracy, wb.db.size());
+    std::printf("%-6s%9s%9s%9s%9s%9s%9s\n", "u_l", "AG", "SG", "GE", "SX",
+                "GX", "GCF");
+    for (size_t u_l : kUls) {
+      std::printf("%-6zu", u_l);
+      for (const ExplainerRun& run :
+           RunAllExplainers(wb, label, u_l, kBudgetSeconds)) {
+        if (run.timed_out || run.explanations.empty()) {
+          std::printf("%9s", "absent");
+          continue;
+        }
+        FidelityReport fid =
+            EvaluateFidelity(wb.model, wb.db, run.explanations);
+        std::printf("%9.3f", fid.fidelity_minus);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark) for the kernels every experiment
+// leans on: GCN forward inference, influence analysis, VF2 matching,
+// connected-subgraph enumeration, and Psum summarization.
+#include <benchmark/benchmark.h>
+
+#include "gvex/common/rng.h"
+#include "gvex/datasets/datasets.h"
+#include "gvex/explain/psum.h"
+#include "gvex/gnn/model.h"
+#include "gvex/influence/influence.h"
+#include "gvex/matching/vf2.h"
+#include "gvex/mining/pgen.h"
+
+namespace gvex {
+namespace {
+
+Graph MakeBenchGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Graph g;
+  for (size_t i = 0; i < n; ++i) {
+    g.AddNode(static_cast<NodeType>(rng.NextBounded(4)));
+  }
+  for (size_t i = 1; i < n; ++i) {
+    Status st = g.AddEdge(static_cast<NodeId>(rng.NextBounded(i)),
+                          static_cast<NodeId>(i));
+    (void)st;
+  }
+  for (size_t e = 0; e < n; ++e) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u != v && !g.HasEdge(u, v)) {
+      Status st = g.AddEdge(u, v);
+      (void)st;
+    }
+  }
+  g.SetDefaultFeatures(8, 1.0f);
+  return g;
+}
+
+GcnClassifier MakeBenchModel() {
+  GcnConfig cfg;
+  cfg.input_dim = 8;
+  cfg.hidden_dim = 64;
+  cfg.num_layers = 3;
+  cfg.num_classes = 2;
+  auto m = GcnClassifier::Create(cfg);
+  return std::move(*m);
+}
+
+void BM_GcnForward(benchmark::State& state) {
+  Graph g = MakeBenchGraph(static_cast<size_t>(state.range(0)), 1);
+  GcnClassifier model = MakeBenchModel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(g));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_GcnForward)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_InfluenceBuildRandomWalk(benchmark::State& state) {
+  Graph g = MakeBenchGraph(static_cast<size_t>(state.range(0)), 2);
+  GcnClassifier model = MakeBenchModel();
+  InfluenceOptions opts;
+  for (auto _ : state) {
+    auto a = InfluenceAnalyzer::Build(model, g, opts);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_InfluenceBuildRandomWalk)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_Vf2InducedMatch(benchmark::State& state) {
+  Graph target = MakeBenchGraph(static_cast<size_t>(state.range(0)), 3);
+  // 4-node connected pattern sampled from the target itself.
+  Graph pattern = target.InducedSubgraph({0, 1, 2, 3});
+  if (!pattern.IsConnected()) {
+    state.SkipWithError("pattern not connected");
+    return;
+  }
+  MatchOptions opts;
+  opts.max_matches = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Vf2Matcher::FindMatches(pattern, target, opts));
+  }
+}
+BENCHMARK(BM_Vf2InducedMatch)->Arg(64)->Arg(256);
+
+void BM_EnumerateConnectedSubgraphs(benchmark::State& state) {
+  Graph g = MakeBenchGraph(24, 4);
+  for (auto _ : state) {
+    size_t count = 0;
+    EnumerateConnectedSubgraphs(g, 1, static_cast<size_t>(state.range(0)),
+                                50000, [&](const std::vector<NodeId>&) {
+                                  ++count;
+                                  return true;
+                                });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_EnumerateConnectedSubgraphs)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_PsumSummarize(benchmark::State& state) {
+  datasets::MutagenicityOptions o;
+  o.num_graphs = 8;
+  GraphDatabase db = datasets::MakeMutagenicity(o);
+  std::vector<Graph> subgraphs;
+  for (size_t i = 0; i < db.size(); ++i) {
+    std::vector<NodeId> nodes;
+    for (NodeId v = 0; v < std::min<size_t>(10, db.graph(i).num_nodes());
+         ++v) {
+      nodes.push_back(v);
+    }
+    subgraphs.push_back(db.graph(i).InducedSubgraph(nodes));
+  }
+  Configuration config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Psum(subgraphs, config));
+  }
+}
+BENCHMARK(BM_PsumSummarize);
+
+void BM_GcnTrainingStep(benchmark::State& state) {
+  Graph g = MakeBenchGraph(64, 5);
+  GcnClassifier model = MakeBenchModel();
+  for (auto _ : state) {
+    GcnGradients grads = model.ZeroGradients();
+    GcnTrace trace = model.Forward(g);
+    float loss = model.BackwardFromLabel(trace, 1, &grads);
+    benchmark::DoNotOptimize(loss);
+  }
+}
+BENCHMARK(BM_GcnTrainingStep);
+
+}  // namespace
+}  // namespace gvex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Table 1 reproduction: the capability matrix of the implemented
+// explainers. Unlike the paper's static table, the matrix here is partly
+// *demonstrated*: the label-specific, size-bound, configurable, and
+// queryable properties of GVEX are exercised on a live trained model, and
+// the corresponding cells are derived from those runs.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "gvex/explain/verifier.h"
+#include "gvex/matching/vf2.h"
+
+using namespace gvex;
+using namespace gvex::bench;
+
+int main() {
+  // Exercise GVEX's claimed properties on a live model.
+  Workbench wb = PrepareWorkbench("MUT", 0.25);
+  bool label_specific = false;
+  bool size_bound = true;
+  bool configurable = false;
+  bool queryable = false;
+  bool coverage = false;
+
+  // Label-specific & configurable: per-label coverage constraints produce
+  // different views for different labels.
+  Configuration config = DefaultConfig(10);
+  config.coverage[0] = {0, 6};
+  config.coverage[1] = {0, 10};
+  ApproxGvex solver(&wb.model, config);
+  auto v0 = solver.ExplainLabel(wb.db, wb.assigned, 0);
+  auto v1 = solver.ExplainLabel(wb.db, wb.assigned, 1);
+  if (v0.ok() && v1.ok()) {
+    label_specific = !v0->subgraphs.empty() && !v1->subgraphs.empty();
+    configurable = true;
+    for (const auto& s : v0->subgraphs) {
+      if (s.nodes.size() > 6) size_bound = false;
+    }
+    for (const auto& s : v1->subgraphs) {
+      if (s.nodes.size() > 10) size_bound = false;
+    }
+    // Coverage: views verify C3.
+    ViewVerification check =
+        VerifyExplanationView(*v1, wb.db, wb.model, config);
+    coverage = check.c3_coverage;
+    // Queryable: issue a graph query against the view's patterns —
+    // "which mutagens contain the nitro toxicophore pattern?"
+    Graph nitro = datasets::NitroGroupPattern();
+    MatchOptions match;
+    match.semantics = MatchSemantics::kSubgraph;
+    size_t hits = 0;
+    for (const auto& s : v1->subgraphs) {
+      if (Vf2Matcher::HasMatch(nitro, s.subgraph, match)) ++hits;
+    }
+    queryable = hits > 0;
+    std::printf("live check: query 'which mutagen explanations contain the "
+                "NO2 toxicophore?' -> %zu/%zu subgraphs\n",
+                hits, v1->subgraphs.size());
+  }
+
+  std::printf("\nTable 1 — capability matrix (cells for GVEX verified on a "
+              "live run)\n\n");
+  std::printf("%-18s%-10s%-8s%-22s%-4s%-4s%-4s%-10s%-8s%-10s\n", "Method",
+              "Learning", "Task", "Target", "MA", "LS", "SB", "Coverage",
+              "Config", "Queryable");
+  auto row = [](const char* m, const char* learn, const char* task,
+                const char* target, bool ma, bool ls, bool sb, bool cov,
+                bool cfg, bool q) {
+    std::printf("%-18s%-10s%-8s%-22s%-4s%-4s%-4s%-10s%-8s%-10s\n", m, learn,
+                task, target, ma ? "y" : "-", ls ? "y" : "-", sb ? "y" : "-",
+                cov ? "y" : "-", cfg ? "y" : "-", q ? "y" : "-");
+  };
+  row("SubgraphX", "no", "GC/NC", "Subgraph", true, false, false, false,
+      false, false);
+  row("GNNExplainer", "yes", "GC/NC", "Edge/NodeFeat", true, false, false,
+      false, false, false);
+  row("GStarX", "no", "GC", "Subgraph", true, false, false, false, false,
+      false);
+  row("GCFExplainer", "no", "GC", "Subgraph", true, true, false, true, false,
+      false);
+  row("GVEX (ours)", "no", "GC/NC", "Views(Pattern+Subg)", true,
+      label_specific, size_bound, coverage, configurable, queryable);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Common interface for the baseline GNN explainers compared in §6
+// (GNNExplainer, SubgraphX, GStarX, GCFExplainer). Each selects, for one
+// input graph, the node subset it deems responsible for the model's
+// prediction — the representation every fidelity/sparsity metric consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gvex/common/result.h"
+#include "gvex/common/stopwatch.h"
+#include "gvex/gnn/model.h"
+#include "gvex/graph/graph.h"
+
+namespace gvex {
+
+/// \brief Abstract instance-level explainer over a fixed model M.
+class Explainer {
+ public:
+  virtual ~Explainer() = default;
+
+  /// Short display name ("GE", "SX", ...) matching the paper's legend.
+  virtual std::string name() const = 0;
+
+  /// Select up to `max_nodes` important nodes of `g` explaining why
+  /// M(g) = label. Deterministic given the constructor seed.
+  virtual Result<std::vector<NodeId>> ExplainGraph(const Graph& g,
+                                                   ClassLabel label,
+                                                   size_t max_nodes) = 0;
+};
+
+}  // namespace gvex

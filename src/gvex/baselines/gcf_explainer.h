@@ -1,0 +1,51 @@
+// GCFExplainer (Huang et al., WSDM 2023): global counterfactual
+// explanations. Per input graph, a greedy node-deletion walk finds a
+// minimal counterfactual (the smallest deleted set flipping the label);
+// globally, a greedy coverage pass selects a small set of representative
+// counterfactual graphs that "explain" the whole label group.
+#pragma once
+
+#include "gvex/baselines/explainer.h"
+#include "gvex/common/rng.h"
+#include "gvex/graph/graph_db.h"
+
+namespace gvex {
+
+struct GcfOptions {
+  /// Candidate deletions evaluated per greedy step.
+  size_t candidates_per_step = 12;
+  /// Representative counterfactual budget for the global summary.
+  size_t summary_size = 5;
+  uint64_t seed = 19;
+};
+
+class GcfExplainer : public Explainer {
+ public:
+  GcfExplainer(const GcnClassifier* model, GcfOptions options = {})
+      : model_(model), options_(options) {}
+
+  std::string name() const override { return "GCF"; }
+
+  /// Instance-level adapter: the explanation node set is the minimal
+  /// deleted set whose removal flips the prediction away from `label`.
+  Result<std::vector<NodeId>> ExplainGraph(const Graph& g, ClassLabel label,
+                                           size_t max_nodes) override;
+
+  /// Global mode: representative counterfactual graphs for the label
+  /// group, greedily chosen to cover the inputs by structural proximity.
+  struct GlobalSummary {
+    std::vector<Graph> counterfactuals;
+    /// For each input graph in the group, the index of the counterfactual
+    /// that covers it (or -1).
+    std::vector<int> assignment;
+  };
+  Result<GlobalSummary> ExplainLabelGroup(const GraphDatabase& db,
+                                          const std::vector<size_t>& group,
+                                          ClassLabel label, size_t max_nodes);
+
+ private:
+  const GcnClassifier* model_;
+  GcfOptions options_;
+};
+
+}  // namespace gvex

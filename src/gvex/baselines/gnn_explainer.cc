@@ -1,0 +1,128 @@
+#include "gvex/baselines/gnn_explainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "gvex/common/rng.h"
+#include "gvex/gnn/optimizer.h"
+#include "gvex/matching/vf2.h"
+
+namespace gvex {
+namespace {
+
+float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+Result<std::vector<float>> GnnExplainer::LearnEdgeMask(const Graph& g,
+                                                       ClassLabel label) {
+  if (g.num_nodes() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  if (label < 0) return Status::InvalidArgument("graph has no label");
+  CsrMatrix s = g.NormalizedPropagation();
+  auto edges = EdgeList(g);
+  if (edges.empty()) return std::vector<float>{};
+
+  // Map propagation entries to undirected edge ids (-1 for the diagonal,
+  // which stays unmasked so every node keeps its self-information).
+  std::map<std::pair<NodeId, NodeId>, size_t> edge_id;
+  for (size_t e = 0; e < edges.size(); ++e) edge_id[edges[e]] = e;
+  std::vector<ptrdiff_t> entry_edge(s.nnz(), -1);
+  {
+    const auto& row_ptr = s.row_ptr();
+    const auto& col_idx = s.col_idx();
+    for (size_t r = 0; r < s.n(); ++r) {
+      for (size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        NodeId u = static_cast<NodeId>(r);
+        NodeId v = static_cast<NodeId>(col_idx[k]);
+        if (u == v) continue;
+        if (!g.directed() && u > v) std::swap(u, v);
+        auto it = edge_id.find({u, v});
+        if (it != edge_id.end()) {
+          entry_edge[k] = static_cast<ptrdiff_t>(it->second);
+        }
+      }
+    }
+  }
+
+  // Mask logits, initialized mildly positive (edges start mostly "on") with
+  // a touch of noise for symmetry breaking.
+  Rng rng(options_.seed);
+  Matrix mask(1, edges.size(), 1.0f);
+  for (size_t e = 0; e < edges.size(); ++e) {
+    mask.At(0, e) += 0.1f * static_cast<float>(rng.NextGaussian());
+  }
+  Matrix grad(1, edges.size());
+  AdamConfig adam_cfg;
+  adam_cfg.learning_rate = options_.learning_rate;
+  AdamOptimizer adam(adam_cfg);
+
+  const std::vector<float> base_values = s.values();
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Apply the mask to the propagation operator.
+    CsrMatrix masked = s;
+    auto& vals = masked.mutable_values();
+    for (size_t k = 0; k < vals.size(); ++k) {
+      if (entry_edge[k] >= 0) {
+        vals[k] = base_values[k] *
+                  Sigmoid(mask.At(0, static_cast<size_t>(entry_edge[k])));
+      }
+    }
+    GcnTrace trace = model_->ForwardWithPropagation(g.features(), masked);
+    std::vector<float> ds;
+    model_->BackwardToPropagation(trace, label, &ds);
+
+    grad.Fill(0.0f);
+    for (size_t k = 0; k < ds.size(); ++k) {
+      if (entry_edge[k] < 0) continue;
+      size_t e = static_cast<size_t>(entry_edge[k]);
+      float p = Sigmoid(mask.At(0, e));
+      grad.At(0, e) += ds[k] * base_values[k] * p * (1.0f - p);
+    }
+    // Regularizers: size (alpha * sum p) and entropy (beta * H(p)).
+    for (size_t e = 0; e < edges.size(); ++e) {
+      float p = Sigmoid(mask.At(0, e));
+      float dp = p * (1.0f - p);
+      grad.At(0, e) += options_.size_weight * dp;
+      float logit = std::log(std::max(p, 1e-6f) / std::max(1.0f - p, 1e-6f));
+      grad.At(0, e) += options_.entropy_weight * (-logit) * dp;
+    }
+    std::vector<Matrix*> params{&mask};
+    std::vector<Matrix*> grads{&grad};
+    adam.Step(params, grads);
+  }
+
+  std::vector<float> probs(edges.size());
+  for (size_t e = 0; e < edges.size(); ++e) {
+    probs[e] = Sigmoid(mask.At(0, e));
+  }
+  return probs;
+}
+
+Result<std::vector<NodeId>> GnnExplainer::ExplainGraph(const Graph& g,
+                                                       ClassLabel label,
+                                                       size_t max_nodes) {
+  GVEX_ASSIGN_OR_RETURN(std::vector<float> mask, LearnEdgeMask(g, label));
+  auto edges = EdgeList(g);
+
+  // Node importance: max incident edge mask.
+  std::vector<float> node_score(g.num_nodes(), 0.0f);
+  for (size_t e = 0; e < edges.size(); ++e) {
+    node_score[edges[e].first] = std::max(node_score[edges[e].first], mask[e]);
+    node_score[edges[e].second] =
+        std::max(node_score[edges[e].second], mask[e]);
+  }
+  std::vector<NodeId> order(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (node_score[a] != node_score[b]) return node_score[a] > node_score[b];
+    return a < b;
+  });
+  if (order.size() > max_nodes) order.resize(max_nodes);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace gvex

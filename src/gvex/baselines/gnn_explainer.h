@@ -1,0 +1,39 @@
+// GNNExplainer (Ying et al., NeurIPS 2019): learn soft edge masks that
+// maximize the mutual information between the masked prediction and the
+// original one — implemented as gradient descent on per-edge mask logits
+// applied multiplicatively to the propagation operator, with size and
+// entropy regularizers. The learned mask induces the important nodes.
+#pragma once
+
+#include "gvex/baselines/explainer.h"
+
+namespace gvex {
+
+struct GnnExplainerOptions {
+  size_t epochs = 100;
+  float learning_rate = 0.05f;
+  float size_weight = 0.005f;     ///< alpha * sum(sigmoid(mask))
+  float entropy_weight = 0.1f;    ///< beta * mask entropy
+  uint64_t seed = 11;
+};
+
+class GnnExplainer : public Explainer {
+ public:
+  GnnExplainer(const GcnClassifier* model, GnnExplainerOptions options = {})
+      : model_(model), options_(options) {}
+
+  std::string name() const override { return "GE"; }
+
+  Result<std::vector<NodeId>> ExplainGraph(const Graph& g, ClassLabel label,
+                                           size_t max_nodes) override;
+
+  /// The learned per-edge importance (sigmoid of the mask logits), aligned
+  /// with EdgeList(g); exposed for tests and case studies.
+  Result<std::vector<float>> LearnEdgeMask(const Graph& g, ClassLabel label);
+
+ private:
+  const GcnClassifier* model_;
+  GnnExplainerOptions options_;
+};
+
+}  // namespace gvex

@@ -1,0 +1,37 @@
+// GStarX (Zhang et al., NeurIPS 2022): structure-aware node importance
+// from cooperative game theory. Nodes are scored by their average marginal
+// contribution over sampled *connected* coalitions containing them (the
+// structure-aware restriction that distinguishes the HN value from plain
+// Shapley), and the top scorers form the explanation subgraph.
+#pragma once
+
+#include "gvex/baselines/explainer.h"
+#include "gvex/common/rng.h"
+
+namespace gvex {
+
+struct GStarXOptions {
+  size_t coalition_samples = 24;  ///< sampled connected coalitions per node
+  size_t max_coalition_size = 10;
+  uint64_t seed = 17;
+};
+
+class GStarX : public Explainer {
+ public:
+  GStarX(const GcnClassifier* model, GStarXOptions options = {})
+      : model_(model), options_(options) {}
+
+  std::string name() const override { return "GX"; }
+
+  Result<std::vector<NodeId>> ExplainGraph(const Graph& g, ClassLabel label,
+                                           size_t max_nodes) override;
+
+  /// Per-node structure-aware scores (exposed for tests/case studies).
+  Result<std::vector<float>> NodeScores(const Graph& g, ClassLabel label);
+
+ private:
+  const GcnClassifier* model_;
+  GStarXOptions options_;
+};
+
+}  // namespace gvex

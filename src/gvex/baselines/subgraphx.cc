@@ -1,0 +1,134 @@
+#include "gvex/baselines/subgraphx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+namespace gvex {
+namespace {
+
+// One MCTS node: a subgraph identified by its (sorted) node set.
+struct MctsNode {
+  std::vector<NodeId> nodes;
+  float total_reward = 0.0f;
+  size_t visits = 0;
+  std::vector<std::unique_ptr<MctsNode>> children;
+  bool expanded = false;
+};
+
+}  // namespace
+
+float SubgraphX::SampledShapley(const Graph& g,
+                                const std::vector<NodeId>& nodes,
+                                ClassLabel label, Rng* rng) const {
+  if (nodes.empty() || label < 0) return 0.0f;
+  std::vector<bool> in_set(g.num_nodes(), false);
+  for (NodeId v : nodes) in_set[v] = true;
+  std::vector<NodeId> others;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!in_set[v]) others.push_back(v);
+  }
+  float total = 0.0f;
+  for (size_t s = 0; s < options_.shapley_samples; ++s) {
+    // Random coalition R of the other nodes.
+    std::vector<NodeId> coalition;
+    for (NodeId v : others) {
+      if (rng->NextBool(0.5)) coalition.push_back(v);
+    }
+    std::vector<NodeId> with = nodes;
+    with.insert(with.end(), coalition.begin(), coalition.end());
+    std::sort(with.begin(), with.end());
+    float p_with = model_->ProbabilityOf(g.InducedSubgraph(with), label);
+    float p_without =
+        coalition.empty()
+            ? 0.0f
+            : model_->ProbabilityOf(g.InducedSubgraph(coalition), label);
+    total += p_with - p_without;
+  }
+  return total / static_cast<float>(options_.shapley_samples);
+}
+
+Result<std::vector<NodeId>> SubgraphX::ExplainGraph(const Graph& g,
+                                                    ClassLabel label,
+                                                    size_t max_nodes) {
+  if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+  if (label < 0) return Status::InvalidArgument("graph has no label");
+  Rng rng(options_.seed);
+
+  auto root = std::make_unique<MctsNode>();
+  root->nodes.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) root->nodes[v] = v;
+
+  // Best leaf-sized subgraph seen anywhere in the search.
+  std::vector<NodeId> best = root->nodes;
+  float best_score = -1e18f;
+
+  auto expand = [&](MctsNode* node) {
+    if (node->expanded || node->nodes.size() <= std::max<size_t>(1, max_nodes)) {
+      return;
+    }
+    // Children: prune one node each (cap branching for wide graphs).
+    std::vector<NodeId> prune_order = node->nodes;
+    rng.Shuffle(&prune_order);
+    size_t branching = std::min<size_t>(prune_order.size(), 8);
+    for (size_t i = 0; i < branching; ++i) {
+      auto child = std::make_unique<MctsNode>();
+      for (NodeId v : node->nodes) {
+        if (v != prune_order[i]) child->nodes.push_back(v);
+      }
+      node->children.push_back(std::move(child));
+    }
+    node->expanded = true;
+  };
+
+  for (size_t iter = 0; iter < options_.mcts_iterations; ++iter) {
+    // Selection: descend by UCT until an unexpanded or terminal node.
+    std::vector<MctsNode*> path{root.get()};
+    MctsNode* cur = root.get();
+    while (cur->expanded && !cur->children.empty()) {
+      MctsNode* chosen = nullptr;
+      float best_uct = -1e18f;
+      for (auto& child : cur->children) {
+        float exploit = child->visits == 0
+                            ? 0.0f
+                            : child->total_reward /
+                                  static_cast<float>(child->visits);
+        float explore =
+            options_.exploration *
+            std::sqrt(std::log(static_cast<float>(cur->visits + 1)) /
+                      static_cast<float>(child->visits + 1));
+        float uct = exploit + explore;
+        if (uct > best_uct) {
+          best_uct = uct;
+          chosen = child.get();
+        }
+      }
+      cur = chosen;
+      path.push_back(cur);
+    }
+    expand(cur);
+
+    // Rollout: random pruning down to the target size, then score.
+    std::vector<NodeId> rollout = cur->nodes;
+    while (rollout.size() > std::max<size_t>(1, max_nodes)) {
+      size_t idx = rng.NextBounded(rollout.size());
+      rollout.erase(rollout.begin() + static_cast<ptrdiff_t>(idx));
+    }
+    float reward = SampledShapley(g, rollout, label, &rng);
+    if (reward > best_score) {
+      best_score = reward;
+      best = rollout;
+    }
+    for (MctsNode* n : path) {
+      n->total_reward += reward;
+      n->visits += 1;
+    }
+  }
+
+  std::sort(best.begin(), best.end());
+  if (best.size() > max_nodes) best.resize(max_nodes);
+  return best;
+}
+
+}  // namespace gvex

@@ -1,0 +1,40 @@
+// SubgraphX (Yuan et al., ICML 2021): Monte-Carlo tree search over
+// node-pruned subgraphs, scored by sampled Shapley values — the marginal
+// contribution of the candidate subgraph against random coalitions of the
+// remaining nodes.
+#pragma once
+
+#include "gvex/baselines/explainer.h"
+#include "gvex/common/rng.h"
+
+namespace gvex {
+
+struct SubgraphXOptions {
+  size_t mcts_iterations = 40;
+  size_t shapley_samples = 8;
+  float exploration = 5.0f;  ///< UCT exploration constant
+  uint64_t seed = 13;
+};
+
+class SubgraphX : public Explainer {
+ public:
+  SubgraphX(const GcnClassifier* model, SubgraphXOptions options = {})
+      : model_(model), options_(options) {}
+
+  std::string name() const override { return "SX"; }
+
+  Result<std::vector<NodeId>> ExplainGraph(const Graph& g, ClassLabel label,
+                                           size_t max_nodes) override;
+
+  /// Sampled Shapley value of the coalition `nodes` for class `label`:
+  /// E_R [ P(l | nodes ∪ R) - P(l | R) ] over random coalitions R of the
+  /// other nodes. Exposed for tests.
+  float SampledShapley(const Graph& g, const std::vector<NodeId>& nodes,
+                       ClassLabel label, Rng* rng) const;
+
+ private:
+  const GcnClassifier* model_;
+  SubgraphXOptions options_;
+};
+
+}  // namespace gvex

@@ -1,0 +1,298 @@
+#include "gvex/cli/cli.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+
+#include "gvex/common/string_util.h"
+#include "gvex/datasets/datasets.h"
+#include "gvex/explain/approx_gvex.h"
+#include "gvex/explain/query.h"
+#include "gvex/explain/stream_gvex.h"
+#include "gvex/explain/verifier.h"
+#include "gvex/explain/view_io.h"
+#include "gvex/gnn/serialize.h"
+#include "gvex/gnn/trainer.h"
+#include "gvex/graph/graph_io.h"
+#include "gvex/metrics/metrics.h"
+
+namespace gvex {
+namespace cli {
+namespace {
+
+// ---- flag parsing -------------------------------------------------------------
+
+class Flags {
+ public:
+  static Result<Flags> Parse(const std::vector<std::string>& args) {
+    Flags flags;
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (!StartsWith(args[i], "--")) {
+        return Status::InvalidArgument("unexpected argument: " + args[i]);
+      }
+      std::string key = args[i].substr(2);
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument("flag --" + key + " needs a value");
+      }
+      flags.values_[key] = args[++i];
+    }
+    return flags;
+  }
+
+  std::optional<std::string> Get(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  Result<std::string> Require(const std::string& key) const {
+    auto v = Get(key);
+    if (!v) return Status::InvalidArgument("missing required flag --" + key);
+    return *v;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto v = Get(key);
+    return v ? std::atof(v->c_str()) : fallback;
+  }
+
+  long GetInt(const std::string& key, long fallback) const {
+    auto v = Get(key);
+    return v ? std::atol(v->c_str()) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: gvex_tool <gen|stats|train|explain|verify|fidelity|"
+               "query> [--flags]\n"
+               "see src/gvex/cli/cli.h for the full synopsis\n");
+}
+
+// ---- shared loaders -----------------------------------------------------------
+
+Result<GraphDatabase> LoadDb(const Flags& flags) {
+  GVEX_ASSIGN_OR_RETURN(std::string path, flags.Require("db"));
+  return LoadDatabase(path);
+}
+
+Result<GcnClassifier> LoadModel(const Flags& flags) {
+  GVEX_ASSIGN_OR_RETURN(std::string path, flags.Require("model"));
+  return GcnSerializer::Load(path);
+}
+
+Configuration ConfigFromFlags(const Flags& flags) {
+  Configuration config;
+  config.theta = static_cast<float>(flags.GetDouble("theta", 0.08));
+  config.radius = static_cast<float>(flags.GetDouble("radius", 0.25));
+  config.gamma = static_cast<float>(flags.GetDouble("gamma", 0.5));
+  config.default_coverage.lower =
+      static_cast<size_t>(flags.GetInt("bl", 0));
+  config.default_coverage.upper =
+      static_cast<size_t>(flags.GetInt("ul", 15));
+  return config;
+}
+
+Result<std::vector<ClassLabel>> ParseLabels(const std::string& spec) {
+  std::vector<ClassLabel> labels;
+  for (const std::string& part : SplitString(spec, ',')) {
+    labels.push_back(static_cast<ClassLabel>(std::atoi(part.c_str())));
+  }
+  if (labels.empty()) return Status::InvalidArgument("no labels in " + spec);
+  return labels;
+}
+
+// ---- subcommands --------------------------------------------------------------
+
+Status CmdGen(const Flags& flags) {
+  GVEX_ASSIGN_OR_RETURN(std::string dataset, flags.Require("dataset"));
+  GVEX_ASSIGN_OR_RETURN(std::string out, flags.Require("out"));
+  double scale = flags.GetDouble("scale", 1.0);
+  GVEX_ASSIGN_OR_RETURN(GraphDatabase db,
+                        datasets::MakeByName(dataset, scale));
+  GVEX_RETURN_NOT_OK(SaveDatabase(db, out));
+  std::printf("wrote %zu graphs to %s\n", db.size(), out.c_str());
+  return Status::OK();
+}
+
+Status CmdStats(const Flags& flags) {
+  GVEX_ASSIGN_OR_RETURN(GraphDatabase db, LoadDb(flags));
+  auto s = db.ComputeStats();
+  std::printf("graphs %zu, classes %zu, avg nodes %.1f, avg edges %.1f, "
+              "features/node %zu\n",
+              s.num_graphs, s.num_classes, s.avg_nodes, s.avg_edges,
+              s.feature_dim);
+  return Status::OK();
+}
+
+Status CmdTrain(const Flags& flags) {
+  GVEX_ASSIGN_OR_RETURN(GraphDatabase db, LoadDb(flags));
+  GVEX_ASSIGN_OR_RETURN(std::string out, flags.Require("out"));
+  GcnConfig mc;
+  mc.input_dim = db.feature_dim();
+  mc.hidden_dim = static_cast<size_t>(flags.GetInt("hidden", 32));
+  mc.num_layers = static_cast<size_t>(flags.GetInt("layers", 3));
+  mc.num_classes = db.num_classes();
+  std::string agg = flags.Get("aggregator").value_or("gcn");
+  if (agg == "mean") {
+    mc.propagation = Graph::PropagationKind::kMeanNeighbor;
+  } else if (agg == "sum") {
+    mc.propagation = Graph::PropagationKind::kSumNeighbor;
+  } else if (agg != "gcn") {
+    return Status::InvalidArgument("unknown aggregator: " + agg);
+  }
+  GVEX_ASSIGN_OR_RETURN(GcnClassifier model, GcnClassifier::Create(mc));
+  DataSplit split = SplitDatabase(db, 0.8, 0.1,
+                                  static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  TrainerConfig tc;
+  tc.epochs = static_cast<size_t>(flags.GetInt("epochs", 150));
+  tc.patience = tc.epochs / 2;
+  tc.adam.learning_rate =
+      static_cast<float>(flags.GetDouble("lr", 5e-3));
+  TrainReport report = Trainer(tc).Fit(&model, db, split);
+  GVEX_RETURN_NOT_OK(GcnSerializer::Save(model, out));
+  std::printf("trained %zu epochs, val acc %.3f, test acc %.3f; model -> %s\n",
+              report.epochs_run, report.best_validation_accuracy,
+              report.test_accuracy, out.c_str());
+  return Status::OK();
+}
+
+Status CmdExplain(const Flags& flags) {
+  GVEX_ASSIGN_OR_RETURN(GraphDatabase db, LoadDb(flags));
+  GVEX_ASSIGN_OR_RETURN(GcnClassifier model, LoadModel(flags));
+  GVEX_ASSIGN_OR_RETURN(std::string out, flags.Require("out"));
+  GVEX_ASSIGN_OR_RETURN(std::string label_spec, flags.Require("labels"));
+  GVEX_ASSIGN_OR_RETURN(std::vector<ClassLabel> labels,
+                        ParseLabels(label_spec));
+  Configuration config = ConfigFromFlags(flags);
+  std::vector<ClassLabel> assigned = AssignLabels(model, db);
+
+  std::string algorithm = flags.Get("algorithm").value_or("approx");
+  ExplanationViewSet set;
+  if (algorithm == "approx") {
+    ApproxGvex solver(&model, config);
+    GVEX_ASSIGN_OR_RETURN(set, solver.Explain(db, assigned, labels));
+  } else if (algorithm == "stream") {
+    StreamGvex solver(&model, config);
+    GVEX_ASSIGN_OR_RETURN(set, solver.Explain(db, assigned, labels));
+  } else {
+    return Status::InvalidArgument("unknown algorithm: " + algorithm);
+  }
+  GVEX_RETURN_NOT_OK(SaveViewSet(set, out));
+  for (const auto& view : set.views) {
+    std::printf("%s\n", view.Summary().c_str());
+  }
+  std::printf("views -> %s\n", out.c_str());
+  return Status::OK();
+}
+
+Status CmdVerify(const Flags& flags) {
+  GVEX_ASSIGN_OR_RETURN(GraphDatabase db, LoadDb(flags));
+  GVEX_ASSIGN_OR_RETURN(GcnClassifier model, LoadModel(flags));
+  GVEX_ASSIGN_OR_RETURN(std::string views_path, flags.Require("views"));
+  GVEX_ASSIGN_OR_RETURN(ExplanationViewSet set, LoadViewSet(views_path));
+  Configuration config = ConfigFromFlags(flags);
+  bool all_ok = true;
+  for (const auto& view : set.views) {
+    ViewVerification check =
+        VerifyExplanationView(view, db, model, config);
+    std::printf("label %d: C1=%d C2=%d C3=%d %s\n", view.label,
+                check.c1_graph_view ? 1 : 0, check.c2_explanation ? 1 : 0,
+                check.c3_coverage ? 1 : 0, check.detail.c_str());
+    all_ok = all_ok && check.ok();
+  }
+  return all_ok ? Status::OK()
+                : Status::FailedPrecondition("verification failed");
+}
+
+Status CmdFidelity(const Flags& flags) {
+  GVEX_ASSIGN_OR_RETURN(GraphDatabase db, LoadDb(flags));
+  GVEX_ASSIGN_OR_RETURN(GcnClassifier model, LoadModel(flags));
+  GVEX_ASSIGN_OR_RETURN(std::string views_path, flags.Require("views"));
+  GVEX_ASSIGN_OR_RETURN(ExplanationViewSet set, LoadViewSet(views_path));
+  for (const auto& view : set.views) {
+    FidelityReport fid =
+        EvaluateFidelity(model, db, ToGraphExplanations(view));
+    std::printf("label %d: fidelity+ %.3f, fidelity- %.3f, sparsity %.3f, "
+                "compression %.3f (%zu graphs)\n",
+                view.label, fid.fidelity_plus, fid.fidelity_minus,
+                fid.sparsity, view.Compression(), fid.num_graphs);
+  }
+  return Status::OK();
+}
+
+Status CmdQuery(const Flags& flags) {
+  GVEX_ASSIGN_OR_RETURN(std::string views_path, flags.Require("views"));
+  GVEX_ASSIGN_OR_RETURN(ExplanationViewSet set, LoadViewSet(views_path));
+  GVEX_ASSIGN_OR_RETURN(std::string pattern_path, flags.Require("pattern"));
+  std::ifstream pattern_in(pattern_path);
+  if (!pattern_in.is_open()) {
+    return Status::IoError("cannot open " + pattern_path);
+  }
+  GVEX_ASSIGN_OR_RETURN(Graph pattern, ReadGraph(&pattern_in));
+  ClassLabel label = static_cast<ClassLabel>(flags.GetInt("label", -1));
+
+  MatchOptions loose;
+  loose.semantics = MatchSemantics::kSubgraph;
+  ViewQuery query(loose);
+  for (const auto& view : set.views) {
+    if (label >= 0 && view.label != label) continue;
+    auto hits = query.FindHits(view, pattern);
+    std::printf("label %d: pattern matches %zu/%zu explanation subgraphs\n",
+                view.label, hits.size(), view.subgraphs.size());
+    for (const auto& hit : hits) {
+      std::printf("  graph %zu: %zu embeddings\n", hit.graph_index,
+                  hit.embeddings);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int Run(const std::vector<std::string>& argv) {
+  if (argv.empty()) {
+    Usage();
+    return 2;
+  }
+  const std::string& command = argv[0];
+  auto flags_result =
+      Flags::Parse(std::vector<std::string>(argv.begin() + 1, argv.end()));
+  if (!flags_result.ok()) {
+    std::fprintf(stderr, "%s\n", flags_result.status().ToString().c_str());
+    return 2;
+  }
+  const Flags& flags = *flags_result;
+
+  Status st;
+  if (command == "gen") {
+    st = CmdGen(flags);
+  } else if (command == "stats") {
+    st = CmdStats(flags);
+  } else if (command == "train") {
+    st = CmdTrain(flags);
+  } else if (command == "explain") {
+    st = CmdExplain(flags);
+  } else if (command == "verify") {
+    st = CmdVerify(flags);
+  } else if (command == "fidelity") {
+    st = CmdFidelity(flags);
+  } else if (command == "query") {
+    st = CmdQuery(flags);
+  } else {
+    Usage();
+    return 2;
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace cli
+}  // namespace gvex

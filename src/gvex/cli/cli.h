@@ -1,0 +1,27 @@
+// Command-line front end: generate datasets, train classifiers, produce
+// explanation views, verify, query, and evaluate — the full pipeline as
+// shippable artifacts (dataset / model / view files).
+//
+//   gvex_tool gen     --dataset MUT --scale 0.5 --out db.txt
+//   gvex_tool stats   --db db.txt
+//   gvex_tool train   --db db.txt --out model.txt [--hidden 32 --layers 3
+//                     --epochs 150 --aggregator gcn|mean|sum]
+//   gvex_tool explain --db db.txt --model model.txt --labels 0,1
+//                     [--algorithm approx|stream --ul 15 --bl 0] --out views.txt
+//   gvex_tool verify  --db db.txt --model model.txt --views views.txt
+//   gvex_tool fidelity --db db.txt --model model.txt --views views.txt
+//   gvex_tool query   --views views.txt --label 1 --pattern pattern.txt
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gvex {
+namespace cli {
+
+/// Run the tool; argv excludes the program name. Output goes to stdout,
+/// diagnostics to stderr. Returns a process exit code.
+int Run(const std::vector<std::string>& argv);
+
+}  // namespace cli
+}  // namespace gvex

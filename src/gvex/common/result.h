@@ -1,0 +1,54 @@
+// Result<T>: value-or-Status, the return type of fallible constructors and
+// queries throughout the library (Arrow idiom).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "gvex/common/status.h"
+
+namespace gvex {
+
+/// \brief Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value. Asserts in debug builds that the result is OK.
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Value if OK, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace gvex

@@ -1,0 +1,59 @@
+// Wall-clock timing for benches and time-budget enforcement.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gvex {
+
+/// \brief Monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Soft deadline: algorithms poll Expired() at safe points and bail
+/// out gracefully (returning partial results) rather than being killed.
+class Deadline {
+ public:
+  /// A non-positive budget means "no deadline".
+  explicit Deadline(double budget_seconds = 0.0)
+      : budget_seconds_(budget_seconds) {}
+
+  bool Expired() const {
+    return budget_seconds_ > 0.0 && watch_.ElapsedSeconds() >= budget_seconds_;
+  }
+
+  double RemainingSeconds() const {
+    if (budget_seconds_ <= 0.0) return 1e18;
+    return budget_seconds_ - watch_.ElapsedSeconds();
+  }
+
+ private:
+  double budget_seconds_;
+  Stopwatch watch_;
+};
+
+}  // namespace gvex

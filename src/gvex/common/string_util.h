@@ -1,0 +1,25 @@
+// Small string helpers shared by the text I/O layer and the bench printers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gvex {
+
+/// Split `s` on `delim`, dropping empty fields.
+std::vector<std::string> SplitString(const std::string& s, char delim);
+
+/// Join the elements of `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Trim ASCII whitespace from both ends.
+std::string StripWhitespace(const std::string& s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace gvex

@@ -1,0 +1,49 @@
+// Fixed-size thread pool used for the per-graph parallel scheme of GVEX
+// (appendix A.7): each graph's explanation is independent, so graphs are
+// distributed across workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gvex {
+
+/// \brief A minimal work-stealing-free task pool.
+///
+/// Tasks are arbitrary `void()` callables; Submit returns a future. The
+/// destructor drains outstanding tasks before joining.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+  /// With a single-thread pool this degrades to a serial loop (no
+  /// thread-hop overhead), which keeps benches honest on 1-core boxes.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace gvex

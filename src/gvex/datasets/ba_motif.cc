@@ -1,0 +1,30 @@
+#include "gvex/datasets/datasets.h"
+#include "gvex/datasets/generator_util.h"
+
+namespace gvex {
+namespace datasets {
+
+GraphDatabase MakeBaMotif(const BaMotifOptions& options) {
+  GraphDatabase db;
+  Rng rng(options.seed);
+  constexpr NodeType kBaseType = 0;
+  constexpr NodeType kMotifType = 1;
+  for (size_t i = 0; i < options.num_graphs; ++i) {
+    Rng graph_rng = rng.Fork();
+    Graph g = BarabasiAlbert(options.base_nodes, options.ba_attachment,
+                             kBaseType, &graph_rng);
+    const bool cycle_class = (i % 2 == 1);
+    for (size_t m = 0; m < options.motifs_per_graph; ++m) {
+      Graph motif = cycle_class ? CycleMotif(6, kMotifType)
+                                : HouseMotif(kMotifType);
+      PlantMotif(&g, motif, 1, &graph_rng);
+    }
+    AssignConstantFeatures(&g, options.feature_dim);
+    db.Add(std::move(g), cycle_class ? 1 : 0,
+           (cycle_class ? "cycle_" : "house_") + std::to_string(i));
+  }
+  return db;
+}
+
+}  // namespace datasets
+}  // namespace gvex

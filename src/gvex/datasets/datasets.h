@@ -1,0 +1,162 @@
+// Synthetic stand-ins for the seven evaluation datasets of Table 3.
+//
+// Each generator plants class-determining substructures so that (1) a GCN
+// can learn the classification to high accuracy, and (2) the ground-truth
+// discriminative motif is known, which is what the paper's case studies
+// rely on (the NO2 toxicophore of Fig. 10, the star/biclique patterns of
+// Fig. 11, the per-class ENZ structures of Fig. 13). Scales default to
+// laptop-size while preserving each dataset's qualitative regime (small
+// molecules vs large sparse graphs vs many instances). See DESIGN.md §1
+// for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gvex/common/result.h"
+#include "gvex/graph/graph_db.h"
+
+namespace gvex {
+namespace datasets {
+
+// ---- MUTAGENICITY (MUT) -----------------------------------------------------
+
+/// Atom vocabulary for the molecule generators.
+enum AtomType : NodeType {
+  kCarbon = 0,
+  kNitrogen = 1,
+  kOxygen = 2,
+  kHydrogen = 3,
+  kChlorine = 4,
+  kSulfur = 5,
+};
+inline constexpr size_t kNumAtomTypes = 6;
+
+/// Bond types (edge types).
+enum BondType : EdgeType {
+  kSingleBond = 0,
+  kDoubleBond = 1,
+  kTripleBond = 2,
+};
+
+struct MutagenicityOptions {
+  size_t num_graphs = 200;
+  uint64_t seed = 101;
+  float feature_noise = 0.02f;
+};
+
+/// Molecules: carbon-ring scaffolds; mutagens (label 1) carry a planted
+/// toxicophore (nitro group NO2 or aromatic amine), nonmutagens (label 0)
+/// carry benign substituents (hydroxyl, methyl).
+GraphDatabase MakeMutagenicity(const MutagenicityOptions& options = {});
+
+/// The ground-truth NO2 toxicophore pattern (for case-study checks).
+Graph NitroGroupPattern();
+
+// ---- REDDIT-BINARY (RED) ----------------------------------------------------
+
+struct RedditOptions {
+  size_t num_graphs = 120;
+  /// Wide size range: small threads keep explanation-sized subgraphs
+  /// in-distribution for the classifier (consistency checks run M on
+  /// 5-20 node subgraphs).
+  size_t min_users = 12;
+  size_t max_users = 90;
+  uint64_t seed = 202;
+  size_t feature_dim = 4;
+};
+
+/// Discussion threads: label 0 = online-discussion (star-burst hubs),
+/// label 1 = question-answer (expert-asker bicliques). Featureless:
+/// constant default features.
+GraphDatabase MakeRedditBinary(const RedditOptions& options = {});
+
+// ---- ENZYMES (ENZ) ----------------------------------------------------------
+
+struct EnzymesOptions {
+  size_t num_graphs = 180;  // 30 per class
+  uint64_t seed = 303;
+  float feature_noise = 0.02f;
+};
+
+/// Six enzyme classes distinguished by planted secondary-structure motif
+/// mixes over 3 node types (helix / sheet / turn).
+GraphDatabase MakeEnzymes(const EnzymesOptions& options = {});
+
+// ---- MALNET-TINY (MAL) ------------------------------------------------------
+
+struct MalnetOptions {
+  size_t num_graphs = 150;
+  /// Large graphs are the point of MAL (baseline-timeout regime), but a
+  /// size spread down to small call graphs keeps subgraph inference
+  /// in-distribution.
+  size_t min_functions = 30;
+  size_t max_functions = 240;
+  uint64_t seed = 404;
+};
+
+/// Directed function-call graphs, 5 malware families distinguished by
+/// calling-structure motifs (recursion cycles, fan-out hubs, deep chains,
+/// diamonds, mutual-call pairs). Large individual graphs: the regime where
+/// the paper's baselines time out (Fig. 9(c)).
+GraphDatabase MakeMalnet(const MalnetOptions& options = {});
+
+// ---- PCQM4Mv2 (PCQ) ---------------------------------------------------------
+
+struct PcqmOptions {
+  size_t num_graphs = 600;  // sweep this for Fig. 9(d)
+  uint64_t seed = 505;
+  float feature_noise = 0.02f;
+};
+
+/// Small molecules (~15 atoms), many instances, 3 classes keyed to planted
+/// functional groups (carboxyl / nitrile / plain hydrocarbon). 9-dim
+/// features: one-hot atom type + 3 auxiliary dims.
+GraphDatabase MakePcqm(const PcqmOptions& options = {});
+
+// ---- PRODUCTS (PRO) ---------------------------------------------------------
+
+struct ProductsOptions {
+  size_t base_nodes = 3000;
+  size_t num_communities = 8;
+  size_t num_subgraphs = 120;
+  size_t ego_radius = 2;
+  size_t max_subgraph_nodes = 120;
+  uint64_t seed = 606;
+  size_t feature_dim = 16;
+};
+
+/// One large power-law co-purchase graph with planted category
+/// communities, transformed into graph classification by ego-subgraph
+/// sampling (the paper's own §6.2 transformation: subgraph label = center
+/// node's category).
+GraphDatabase MakeProducts(const ProductsOptions& options = {});
+
+// ---- SYNTHETIC (SYN) --------------------------------------------------------
+
+struct BaMotifOptions {
+  size_t num_graphs = 100;
+  size_t base_nodes = 60;
+  size_t ba_attachment = 2;
+  size_t motifs_per_graph = 2;
+  uint64_t seed = 707;
+  size_t feature_dim = 4;
+};
+
+/// Barabási–Albert base + HouseMotif (class 0) or CycleMotif (class 1),
+/// the PyG construction the paper uses for SYN.
+GraphDatabase MakeBaMotif(const BaMotifOptions& options = {});
+
+// ---- registry -----------------------------------------------------------------
+
+/// Dataset short codes used throughout the paper: MUT, RED, ENZ, MAL, PCQ,
+/// PRO, SYN. `scale` in (0, 1] shrinks instance counts proportionally.
+Result<GraphDatabase> MakeByName(const std::string& code, double scale = 1.0,
+                                 uint64_t seed_offset = 0);
+
+/// All dataset codes in Table 3 order.
+std::vector<std::string> AllDatasetCodes();
+
+}  // namespace datasets
+}  // namespace gvex

@@ -1,0 +1,162 @@
+#include "gvex/datasets/generator_util.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gvex {
+
+void MustAddEdge(Graph* g, NodeId u, NodeId v, EdgeType type) {
+  Status st = g->AddEdge(u, v, type);
+  if (!st.ok()) {
+    std::abort();  // generator bug: invalid edge insertion
+  }
+}
+
+void AssignOneHotFeatures(Graph* g, size_t num_types, float noise, Rng* rng) {
+  Matrix f(g->num_nodes(), num_types);
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    size_t t = static_cast<size_t>(g->node_type(v));
+    assert(t < num_types);
+    f.At(v, t) = 1.0f;
+    if (noise > 0.0f) {
+      for (size_t c = 0; c < num_types; ++c) {
+        f.At(v, c) += noise * static_cast<float>(rng->NextGaussian());
+      }
+    }
+  }
+  Status st = g->SetFeatures(std::move(f));
+  assert(st.ok());
+  (void)st;
+}
+
+void AssignConstantFeatures(Graph* g, size_t dim, float value) {
+  g->SetDefaultFeatures(dim, value);
+}
+
+Graph BarabasiAlbert(size_t n, size_t m, NodeType node_type, Rng* rng) {
+  assert(n >= m + 1 && m >= 1);
+  Graph g;
+  // Seed clique of m+1 nodes.
+  for (size_t i = 0; i <= m; ++i) g.AddNode(node_type);
+  std::vector<NodeId> endpoint_pool;  // node repeated per degree
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) {
+      Status st = g.AddEdge(u, v);
+      assert(st.ok());
+      (void)st;
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  for (size_t i = m + 1; i < n; ++i) {
+    NodeId v = g.AddNode(node_type);
+    size_t attached = 0;
+    size_t guard = 0;
+    while (attached < m && guard < 50 * m) {
+      ++guard;
+      NodeId target =
+          endpoint_pool[rng->NextBounded(endpoint_pool.size())];
+      if (target == v || g.HasEdge(v, target)) continue;
+      Status st = g.AddEdge(v, target);
+      assert(st.ok());
+      (void)st;
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(target);
+      ++attached;
+    }
+  }
+  return g;
+}
+
+std::vector<NodeId> PlantMotif(Graph* g, const Graph& motif,
+                               size_t bridge_edges, Rng* rng) {
+  std::vector<NodeId> ids;
+  ids.reserve(motif.num_nodes());
+  for (NodeId v = 0; v < motif.num_nodes(); ++v) {
+    ids.push_back(g->AddNode(motif.node_type(v)));
+  }
+  for (NodeId u = 0; u < motif.num_nodes(); ++u) {
+    for (const auto& nb : motif.neighbors(u)) {
+      if (!motif.directed() && nb.node < u) continue;
+      Status st = g->AddEdge(ids[u], ids[nb.node], nb.edge_type);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  size_t base_nodes = g->num_nodes() - motif.num_nodes();
+  if (base_nodes > 0) {
+    size_t added = 0;
+    size_t guard = 0;
+    while (added < std::max<size_t>(1, bridge_edges) && guard < 100) {
+      ++guard;
+      NodeId inside = ids[rng->NextBounded(ids.size())];
+      NodeId outside = static_cast<NodeId>(rng->NextBounded(base_nodes));
+      if (g->HasEdge(inside, outside)) continue;
+      Status st = g->AddEdge(inside, outside);
+      assert(st.ok());
+      (void)st;
+      ++added;
+    }
+  }
+  return ids;
+}
+
+Graph HouseMotif(NodeType node_type) {
+  // The PyG house: a 4-cycle "body" with a roof apex over one edge.
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.AddNode(node_type);
+  const std::pair<NodeId, NodeId> edges[] = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 0},  // body
+      {0, 4}, {1, 4},                  // roof
+  };
+  for (auto [u, v] : edges) {
+    Status st = g.AddEdge(u, v);
+    assert(st.ok());
+    (void)st;
+  }
+  return g;
+}
+
+Graph CycleMotif(size_t length, NodeType node_type) {
+  return RingGraph(length, node_type);
+}
+
+Graph RingGraph(size_t n, NodeType node_type) {
+  assert(n >= 3);
+  Graph g;
+  for (size_t i = 0; i < n; ++i) g.AddNode(node_type);
+  for (size_t i = 0; i < n; ++i) {
+    Status st = g.AddEdge(static_cast<NodeId>(i),
+                          static_cast<NodeId>((i + 1) % n));
+    assert(st.ok());
+    (void)st;
+  }
+  return g;
+}
+
+Graph RandomConnectedGraph(size_t n, size_t extra_edges, NodeType node_type,
+                           Rng* rng) {
+  Graph g;
+  for (size_t i = 0; i < n; ++i) g.AddNode(node_type);
+  for (size_t i = 1; i < n; ++i) {
+    Status st = g.AddEdge(static_cast<NodeId>(rng->NextBounded(i)),
+                          static_cast<NodeId>(i));
+    assert(st.ok());
+    (void)st;
+  }
+  size_t added = 0;
+  size_t guard = 0;
+  while (added < extra_edges && guard < 20 * extra_edges + 100) {
+    ++guard;
+    NodeId u = static_cast<NodeId>(rng->NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng->NextBounded(n));
+    if (u == v || g.HasEdge(u, v)) continue;
+    Status st = g.AddEdge(u, v);
+    assert(st.ok());
+    (void)st;
+    ++added;
+  }
+  return g;
+}
+
+}  // namespace gvex

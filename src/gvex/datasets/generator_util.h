@@ -1,0 +1,49 @@
+// Shared machinery for the synthetic dataset generators: one-hot feature
+// assignment, Barabási–Albert base graphs, and motif planting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gvex/common/rng.h"
+#include "gvex/graph/graph.h"
+
+namespace gvex {
+
+/// AddEdge that aborts on failure — for generators whose edge insertions
+/// are correct by construction. Never compiled out (unlike assert).
+void MustAddEdge(Graph* g, NodeId u, NodeId v,
+                 EdgeType type = kDefaultEdgeType);
+
+/// Assign each node the one-hot encoding of its type (dimension
+/// `num_types`), optionally perturbed by N(0, noise) — mirroring the
+/// one-hot atom/protein features of MUT/ENZ/PCQ.
+void AssignOneHotFeatures(Graph* g, size_t num_types, float noise, Rng* rng);
+
+/// Assign every node the same constant feature vector (the paper's
+/// treatment of featureless datasets, §6.1).
+void AssignConstantFeatures(Graph* g, size_t dim, float value = 1.0f);
+
+/// Barabási–Albert preferential-attachment graph: `n` nodes, each new node
+/// attaching `m` edges. All nodes get type `node_type`.
+Graph BarabasiAlbert(size_t n, size_t m, NodeType node_type, Rng* rng);
+
+/// Plant (disjointly add) `motif` into `g`, connecting it with
+/// `bridge_edges` random edges to existing nodes. Returns the ids the motif
+/// nodes received in `g`.
+std::vector<NodeId> PlantMotif(Graph* g, const Graph& motif,
+                               size_t bridge_edges, Rng* rng);
+
+/// Classic motifs used by the SYN dataset of the paper (PyG generators).
+Graph HouseMotif(NodeType node_type);
+Graph CycleMotif(size_t length, NodeType node_type);
+
+/// A ring of `n` nodes of `node_type` (chemistry: carbon ring for n=6).
+Graph RingGraph(size_t n, NodeType node_type);
+
+/// Uniformly random connected graph: a random spanning tree plus
+/// `extra_edges` random non-duplicate edges. All nodes typed `node_type`.
+Graph RandomConnectedGraph(size_t n, size_t extra_edges, NodeType node_type,
+                           Rng* rng);
+
+}  // namespace gvex

@@ -1,0 +1,136 @@
+#include "gvex/datasets/datasets.h"
+#include "gvex/datasets/generator_util.h"
+
+namespace gvex {
+namespace datasets {
+namespace {
+
+// Function categories (node types) in the synthetic call graphs. The two
+// "suspicious API" categories appear only inside family motifs — families
+// sharing a category differ in calling *structure*, so the classifier
+// needs both signals (a GCN cannot count cycles from uniform features;
+// 1-WL needs the type anchors).
+constexpr NodeType kEntry = 0;
+constexpr NodeType kLib = 1;
+constexpr NodeType kUserFn = 2;
+constexpr NodeType kNetApi = 3;    // families 0 (rings) and 1 (dispatcher)
+constexpr NodeType kCryptoApi = 4; // families 2 (chains) and 3 (diamonds)
+constexpr size_t kNumFnTypes = 5;
+
+// Base: a random call tree (directed parent -> child) plus cross calls.
+Graph BaseCallGraph(size_t n, Rng* rng) {
+  Graph g(/*directed=*/true);
+  g.AddNode(kEntry);
+  for (size_t i = 1; i < n; ++i) {
+    NodeType t = rng->NextBool(0.3) ? kLib : kUserFn;
+    NodeId v = g.AddNode(t);
+    NodeId parent = static_cast<NodeId>(rng->NextBounded(i));
+    MustAddEdge(&g, parent, v);
+  }
+  // Cross calls.
+  size_t extra = n / 4;
+  size_t guard = 0;
+  while (extra > 0 && guard < 20 * n) {
+    ++guard;
+    NodeId u = static_cast<NodeId>(rng->NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng->NextBounded(n));
+    if (u == v || g.HasEdge(u, v)) continue;
+    MustAddEdge(&g, u, v);
+    --extra;
+  }
+  return g;
+}
+
+// Family-specific calling motifs planted into the call graph.
+void PlantFamilyMotif(Graph* g, int family, Rng* rng) {
+  const size_t n = g->num_nodes();
+  auto pick = [&] { return static_cast<NodeId>(rng->NextBounded(n)); };
+  switch (family) {
+    case 0: {  // beaconing rings: directed 3-cycles through a net API
+      for (int rep = 0; rep < 3; ++rep) {
+        NodeId a = g->AddNode(kUserFn);
+        NodeId b = g->AddNode(kNetApi);
+        NodeId c = g->AddNode(kUserFn);
+        MustAddEdge(g, a, b);
+        MustAddEdge(g, b, c);
+        MustAddEdge(g, c, a);
+        MustAddEdge(g, pick(), a);
+      }
+      break;
+    }
+    case 1: {  // net dispatcher: one hub fanning out to many net APIs
+      NodeId hub = g->AddNode(kUserFn);
+      MustAddEdge(g, pick(), hub);
+      for (int i = 0; i < 10; ++i) {
+        NodeId api = g->AddNode(kNetApi);
+        MustAddEdge(g, hub, api);
+      }
+      break;
+    }
+    case 2: {  // staged payload: deep chains through crypto APIs
+      for (int rep = 0; rep < 1; ++rep) {
+        NodeId prev = pick();
+        for (int i = 0; i < 10; ++i) {
+          NodeId next = g->AddNode(i % 2 == 0 ? kCryptoApi : kUserFn);
+          MustAddEdge(g, prev, next);
+          prev = next;
+        }
+      }
+      break;
+    }
+    case 3: {  // crypto diamonds: a calls two crypto APIs converging on d
+      for (int rep = 0; rep < 3; ++rep) {
+        NodeId a = g->AddNode(kUserFn);
+        NodeId b = g->AddNode(kCryptoApi);
+        NodeId c = g->AddNode(kCryptoApi);
+        NodeId d = g->AddNode(kUserFn);
+        MustAddEdge(g, a, b);
+        MustAddEdge(g, a, c);
+        MustAddEdge(g, b, d);
+        MustAddEdge(g, c, d);
+        MustAddEdge(g, pick(), a);
+      }
+      break;
+    }
+    default: {  // family 4: mutual-call pairs (directed 2-cycles), benign
+      for (int rep = 0; rep < 5; ++rep) {
+        NodeId a = g->AddNode(kUserFn);
+        NodeId b = g->AddNode(kUserFn);
+        MustAddEdge(g, a, b);
+        MustAddEdge(g, b, a);
+        MustAddEdge(g, pick(), a);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+GraphDatabase MakeMalnet(const MalnetOptions& options) {
+  GraphDatabase db;
+  Rng rng(options.seed);
+  constexpr size_t kFamilies = 5;
+  for (size_t i = 0; i < options.num_graphs; ++i) {
+    Rng graph_rng = rng.Fork();
+    const int family = static_cast<int>(i % kFamilies);
+    size_t n = options.min_functions +
+               graph_rng.NextBounded(options.max_functions -
+                                     options.min_functions + 1);
+    Graph g = BaseCallGraph(n, &graph_rng);
+    // One compact plant per graph: the max-pool readout detects presence
+    // regardless of graph size, and a single motif keeps node-removal
+    // counterfactuals feasible within the coverage budgets the
+    // experiments sweep (redundant plants would defeat them).
+    PlantFamilyMotif(&g, family, &graph_rng);
+    // One-hot function-category features; the suspicious-API categories
+    // stand in for import-table information real FCG pipelines attach.
+    AssignOneHotFeatures(&g, kNumFnTypes, 0.0f, &graph_rng);
+    db.Add(std::move(g), family,
+           "malware_f" + std::to_string(family) + "_" + std::to_string(i));
+  }
+  return db;
+}
+
+}  // namespace datasets
+}  // namespace gvex

@@ -1,0 +1,126 @@
+#include <cassert>
+
+#include "gvex/datasets/datasets.h"
+#include "gvex/datasets/generator_util.h"
+
+namespace gvex {
+namespace datasets {
+namespace {
+
+// Attach a nitro group (N with two double-bonded O) to `anchor`.
+void AttachNitro(Graph* g, NodeId anchor, Rng* rng) {
+  (void)rng;
+  NodeId n = g->AddNode(kNitrogen);
+  NodeId o1 = g->AddNode(kOxygen);
+  NodeId o2 = g->AddNode(kOxygen);
+  MustAddEdge(g, anchor, n, kSingleBond);
+  MustAddEdge(g, n, o1, kDoubleBond);
+  MustAddEdge(g, n, o2, kDoubleBond);
+}
+
+// Aromatic amine: N with two H, bonded to the ring.
+void AttachAmine(Graph* g, NodeId anchor, Rng* rng) {
+  (void)rng;
+  NodeId n = g->AddNode(kNitrogen);
+  NodeId h1 = g->AddNode(kHydrogen);
+  NodeId h2 = g->AddNode(kHydrogen);
+  MustAddEdge(g, anchor, n, kSingleBond);
+  MustAddEdge(g, n, h1, kSingleBond);
+  MustAddEdge(g, n, h2, kSingleBond);
+}
+
+// Benign substituents for nonmutagens.
+void AttachHydroxyl(Graph* g, NodeId anchor, Rng* rng) {
+  (void)rng;
+  NodeId o = g->AddNode(kOxygen);
+  NodeId h = g->AddNode(kHydrogen);
+  MustAddEdge(g, anchor, o, kSingleBond);
+  MustAddEdge(g, o, h, kSingleBond);
+}
+
+void AttachMethyl(Graph* g, NodeId anchor, Rng* rng) {
+  (void)rng;
+  NodeId c = g->AddNode(kCarbon);
+  MustAddEdge(g, anchor, c, kSingleBond);
+  for (int i = 0; i < 3; ++i) {
+    NodeId h = g->AddNode(kHydrogen);
+    MustAddEdge(g, c, h, kSingleBond);
+  }
+}
+
+// Scaffold: 1-2 fused/bridged benzene-like rings with a few hydrogens.
+// Returns candidate anchor carbons for substituents.
+std::vector<NodeId> BuildScaffold(Graph* g, Rng* rng) {
+  const size_t rings = 1 + rng->NextBounded(2);
+  std::vector<NodeId> anchors;
+  NodeId prev_ring_start = kInvalidNode;
+  for (size_t r = 0; r < rings; ++r) {
+    NodeId start = static_cast<NodeId>(g->num_nodes());
+    for (int i = 0; i < 6; ++i) g->AddNode(kCarbon);
+    for (int i = 0; i < 6; ++i) {
+      MustAddEdge(g, start + i, start + (i + 1) % 6,
+                  (i % 2 == 0) ? kDoubleBond : kSingleBond);
+    }
+    if (prev_ring_start != kInvalidNode) {
+      // Bridge the rings with a single bond.
+      MustAddEdge(g, prev_ring_start + 3, start, kSingleBond);
+    }
+    prev_ring_start = start;
+    anchors.push_back(start + 1);
+    anchors.push_back(start + 4);
+  }
+  // Sprinkle hydrogens on non-anchor carbons.
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    if (g->node_type(v) == kCarbon && g->degree(v) == 2 && rng->NextBool(0.5)) {
+      NodeId h = g->AddNode(kHydrogen);
+      MustAddEdge(g, v, h, kSingleBond);
+    }
+  }
+  return anchors;
+}
+
+}  // namespace
+
+GraphDatabase MakeMutagenicity(const MutagenicityOptions& options) {
+  GraphDatabase db;
+  Rng rng(options.seed);
+  for (size_t i = 0; i < options.num_graphs; ++i) {
+    Rng graph_rng = rng.Fork();
+    Graph g;
+    std::vector<NodeId> anchors = BuildScaffold(&g, &graph_rng);
+    const bool mutagen = (i % 2 == 0);
+    if (mutagen) {
+      // Primary toxicophore: NO2; occasionally an amine as well.
+      AttachNitro(&g, anchors[graph_rng.NextBounded(anchors.size())],
+                  &graph_rng);
+      if (graph_rng.NextBool(0.3) && anchors.size() > 1) {
+        AttachAmine(&g, anchors[1], &graph_rng);
+      }
+    } else {
+      AttachHydroxyl(&g, anchors[graph_rng.NextBounded(anchors.size())],
+                     &graph_rng);
+      if (graph_rng.NextBool(0.5) && anchors.size() > 1) {
+        AttachMethyl(&g, anchors[1], &graph_rng);
+      }
+    }
+    AssignOneHotFeatures(&g, kNumAtomTypes, options.feature_noise, &graph_rng);
+    db.Add(std::move(g), mutagen ? 1 : 0,
+           (mutagen ? "mutagen_" : "nonmutagen_") + std::to_string(i));
+  }
+  return db;
+}
+
+Graph NitroGroupPattern() {
+  Graph p;
+  NodeId c = p.AddNode(kCarbon);
+  NodeId n = p.AddNode(kNitrogen);
+  NodeId o1 = p.AddNode(kOxygen);
+  NodeId o2 = p.AddNode(kOxygen);
+  MustAddEdge(&p, c, n, kSingleBond);
+  MustAddEdge(&p, n, o1, kDoubleBond);
+  MustAddEdge(&p, n, o2, kDoubleBond);
+  return p;
+}
+
+}  // namespace datasets
+}  // namespace gvex

@@ -1,0 +1,87 @@
+#include "gvex/datasets/datasets.h"
+#include "gvex/datasets/generator_util.h"
+
+namespace gvex {
+namespace datasets {
+namespace {
+
+// Small-molecule skeleton: carbon chain/branch of 8-14 atoms.
+std::vector<NodeId> BuildSkeleton(Graph* g, Rng* rng) {
+  size_t atoms = 8 + rng->NextBounded(7);
+  std::vector<NodeId> carbons;
+  carbons.push_back(g->AddNode(kCarbon));
+  for (size_t i = 1; i < atoms; ++i) {
+    NodeId c = g->AddNode(kCarbon);
+    NodeId attach = carbons[rng->NextBounded(carbons.size())];
+    // Grow mostly as a chain (attach to the last carbon), sometimes branch.
+    if (!rng->NextBool(0.3)) attach = carbons.back();
+    MustAddEdge(g, attach, c, kSingleBond);
+    carbons.push_back(c);
+  }
+  return carbons;
+}
+
+void AttachCarboxyl(Graph* g, NodeId anchor) {
+  // -C(=O)OH
+  NodeId c = g->AddNode(kCarbon);
+  NodeId o1 = g->AddNode(kOxygen);
+  NodeId o2 = g->AddNode(kOxygen);
+  NodeId h = g->AddNode(kHydrogen);
+  MustAddEdge(g, anchor, c, kSingleBond);
+  MustAddEdge(g, c, o1, kDoubleBond);
+  MustAddEdge(g, c, o2, kSingleBond);
+  MustAddEdge(g, o2, h, kSingleBond);
+}
+
+void AttachNitrile(Graph* g, NodeId anchor) {
+  // -C≡N
+  NodeId c = g->AddNode(kCarbon);
+  NodeId n = g->AddNode(kNitrogen);
+  MustAddEdge(g, anchor, c, kSingleBond);
+  MustAddEdge(g, c, n, kTripleBond);
+}
+
+}  // namespace
+
+GraphDatabase MakePcqm(const PcqmOptions& options) {
+  GraphDatabase db;
+  Rng rng(options.seed);
+  constexpr size_t kClasses = 3;
+  for (size_t i = 0; i < options.num_graphs; ++i) {
+    Rng graph_rng = rng.Fork();
+    const int cls = static_cast<int>(i % kClasses);
+    Graph g;
+    std::vector<NodeId> carbons = BuildSkeleton(&g, &graph_rng);
+    NodeId anchor = carbons[graph_rng.NextBounded(carbons.size())];
+    if (cls == 0) {
+      AttachCarboxyl(&g, anchor);
+    } else if (cls == 1) {
+      AttachNitrile(&g, anchor);
+    }  // class 2: plain hydrocarbon
+    // A couple of hydrogens for variety.
+    for (int h = 0; h < 2; ++h) {
+      NodeId c = carbons[graph_rng.NextBounded(carbons.size())];
+      NodeId hh = g.AddNode(kHydrogen);
+      MustAddEdge(&g, c, hh, kSingleBond);
+    }
+    // 9-dim features: one-hot atom type (6) padded with 3 auxiliary dims.
+    AssignOneHotFeatures(&g, kNumAtomTypes, options.feature_noise, &graph_rng);
+    Matrix padded(g.num_nodes(), 9);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (size_t c = 0; c < kNumAtomTypes; ++c) {
+        padded.At(v, c) = g.features().At(v, c);
+      }
+      padded.At(v, 6) = static_cast<float>(g.degree(v)) / 4.0f;
+      padded.At(v, 7) = options.feature_noise *
+                        static_cast<float>(graph_rng.NextGaussian());
+      padded.At(v, 8) = 1.0f;
+    }
+    Status st = g.SetFeatures(std::move(padded));
+    (void)st;
+    db.Add(std::move(g), cls, "molecule_" + std::to_string(i));
+  }
+  return db;
+}
+
+}  // namespace datasets
+}  // namespace gvex

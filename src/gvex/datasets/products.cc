@@ -1,0 +1,95 @@
+#include <algorithm>
+#include <queue>
+
+#include "gvex/datasets/datasets.h"
+#include "gvex/datasets/generator_util.h"
+
+namespace gvex {
+namespace datasets {
+namespace {
+
+// Planted-partition power-law-ish co-purchase network. Returns the base
+// graph and the community (= category) of each node.
+Graph BuildCoPurchaseNetwork(size_t n, size_t communities,
+                             std::vector<int>* community_of, Rng* rng) {
+  Graph g;
+  community_of->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*community_of)[i] = static_cast<int>(rng->NextBounded(communities));
+    g.AddNode(static_cast<NodeType>((*community_of)[i]));
+  }
+  // Preferential attachment within community, occasional cross links.
+  std::vector<std::vector<NodeId>> members(communities);
+  for (size_t i = 0; i < n; ++i) {
+    members[static_cast<size_t>((*community_of)[i])].push_back(
+        static_cast<NodeId>(i));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    NodeId v = static_cast<NodeId>(i);
+    size_t cm = static_cast<size_t>((*community_of)[i]);
+    size_t links = 2 + rng->NextBounded(3);
+    size_t guard = 0;
+    while (links > 0 && guard < 60) {
+      ++guard;
+      NodeId u;
+      if (rng->NextBool(0.85) && members[cm].size() > 1) {
+        u = members[cm][rng->NextBounded(members[cm].size())];
+      } else {
+        u = static_cast<NodeId>(rng->NextBounded(n));
+      }
+      if (u == v || g.HasEdge(u, v)) continue;
+      MustAddEdge(&g, u, v);
+      --links;
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+GraphDatabase MakeProducts(const ProductsOptions& options) {
+  GraphDatabase db;
+  Rng rng(options.seed);
+  std::vector<int> community_of;
+  Graph base = BuildCoPurchaseNetwork(options.base_nodes,
+                                      options.num_communities,
+                                      &community_of, &rng);
+
+  // Ego-subgraph sampling (§6.2 of the paper): the center node's category
+  // labels the subgraph.
+  for (size_t s = 0; s < options.num_subgraphs; ++s) {
+    NodeId center = static_cast<NodeId>(rng.NextBounded(base.num_nodes()));
+    std::vector<NodeId> hood =
+        base.KHopNeighborhood(center, static_cast<unsigned>(options.ego_radius));
+    if (hood.size() > options.max_subgraph_nodes) {
+      // Keep the center plus a random sample of its neighborhood.
+      Rng sample_rng = rng.Fork();
+      sample_rng.Shuffle(&hood);
+      hood.resize(options.max_subgraph_nodes);
+      if (std::find(hood.begin(), hood.end(), center) == hood.end()) {
+        hood[0] = center;
+      }
+      std::sort(hood.begin(), hood.end());
+      hood.erase(std::unique(hood.begin(), hood.end()), hood.end());
+    }
+    Graph ego = base.InducedSubgraph(hood);
+    // Features: noisy one-hot of the node's category, padded to
+    // feature_dim (standing in for the 100-dim PRODUCTS features).
+    Matrix f(ego.num_nodes(), options.feature_dim);
+    for (NodeId v = 0; v < ego.num_nodes(); ++v) {
+      size_t cat = static_cast<size_t>(ego.node_type(v));
+      f.At(v, cat % options.feature_dim) = 1.0f;
+      for (size_t c = 0; c < options.feature_dim; ++c) {
+        f.At(v, c) += 0.05f * static_cast<float>(rng.NextGaussian());
+      }
+    }
+    Status st = ego.SetFeatures(std::move(f));
+    (void)st;
+    db.Add(std::move(ego), community_of[center],
+           "ego_" + std::to_string(s));
+  }
+  return db;
+}
+
+}  // namespace datasets
+}  // namespace gvex

@@ -1,0 +1,101 @@
+#include "gvex/datasets/datasets.h"
+#include "gvex/datasets/generator_util.h"
+
+namespace gvex {
+namespace datasets {
+namespace {
+
+constexpr NodeType kUser = 0;
+
+// A star: one hub poster drawing `leaves` one-off repliers (the P61
+// pattern of Fig. 11). Returns the hub id.
+NodeId AddStar(Graph* g, size_t leaves) {
+  NodeId hub = g->AddNode(kUser);
+  for (size_t i = 0; i < leaves; ++i) {
+    NodeId leaf = g->AddNode(kUser);
+    MustAddEdge(g, hub, leaf);
+  }
+  return hub;
+}
+
+// A biclique: `experts` users each answering most of `askers` distinct
+// question posters (the P81 pattern of Fig. 11). Returns one expert id.
+NodeId AddBiclique(Graph* g, size_t experts, size_t askers, Rng* rng) {
+  std::vector<NodeId> expert_ids;
+  for (size_t e = 0; e < experts; ++e) expert_ids.push_back(g->AddNode(kUser));
+  (void)rng;
+  for (size_t a = 0; a < askers; ++a) {
+    // Proper biclique: every asker is answered by every expert, the
+    // defining K_{e,m} structure of Q&A threads (Fig. 11's P81).
+    NodeId asker = g->AddNode(kUser);
+    for (NodeId expert : expert_ids) MustAddEdge(g, expert, asker);
+  }
+  return expert_ids[0];
+}
+
+// Bridge two components with one edge so threads stay connected.
+void Bridge(Graph* g, NodeId a, NodeId b) {
+  if (!g->HasEdge(a, b)) MustAddEdge(g, a, b);
+}
+
+// Each thread carries a *strong* instance of its class motif and a *weak*
+// instance of the other (real threads mix interaction styles; the class is
+// the dominant one). This keeps node-removal counterfactuals meaningful
+// for BOTH classes: strip the dominant structure and the weak opposite
+// structure is what remains for the classifier to see.
+Graph MakeThread(size_t users, bool qa, Rng* rng) {
+  Graph g;
+  NodeId strong_anchor;
+  NodeId weak_anchor;
+  if (qa) {
+    size_t experts = 2 + rng->NextBounded(2);
+    size_t askers = users * 2 / 3;
+    strong_anchor = AddBiclique(&g, experts, askers, rng);
+    weak_anchor = AddStar(&g, 3 + rng->NextBounded(3));
+  } else {
+    size_t star_leaves = users * 2 / 3;
+    strong_anchor = AddStar(&g, star_leaves);
+    // Weak Q&A flavor: a *near*-biclique (K_{2,2} minus one reply). It
+    // gives the counterfactual remainder a Q&A-leaning signal without
+    // planting the true K_{2,2} core — which must stay unique to Q&A
+    // threads (it is the discriminative pattern of Fig. 11).
+    NodeId e1 = g.AddNode(kUser);
+    NodeId e2 = g.AddNode(kUser);
+    NodeId a1 = g.AddNode(kUser);
+    NodeId a2 = g.AddNode(kUser);
+    MustAddEdge(&g, e1, a1);
+    MustAddEdge(&g, e1, a2);
+    MustAddEdge(&g, e2, a1);  // e2-a2 missing: no 4-cycle
+    weak_anchor = e1;
+  }
+  Bridge(&g, strong_anchor, weak_anchor);
+  // Background chatter: a few extra repliers attached anywhere.
+  while (g.num_nodes() < users) {
+    NodeId u = g.AddNode(kUser);
+    NodeId other = static_cast<NodeId>(rng->NextBounded(u));
+    MustAddEdge(&g, other, u);
+  }
+  return g;
+}
+
+}  // namespace
+
+GraphDatabase MakeRedditBinary(const RedditOptions& options) {
+  GraphDatabase db;
+  Rng rng(options.seed);
+  for (size_t i = 0; i < options.num_graphs; ++i) {
+    Rng graph_rng = rng.Fork();
+    size_t users = options.min_users +
+                   graph_rng.NextBounded(options.max_users -
+                                         options.min_users + 1);
+    const bool qa = (i % 2 == 1);
+    Graph g = MakeThread(users, qa, &graph_rng);
+    AssignConstantFeatures(&g, options.feature_dim);
+    db.Add(std::move(g), qa ? 1 : 0,
+           (qa ? "qa_" : "discussion_") + std::to_string(i));
+  }
+  return db;
+}
+
+}  // namespace datasets
+}  // namespace gvex

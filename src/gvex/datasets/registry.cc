@@ -1,0 +1,72 @@
+#include <algorithm>
+#include <cmath>
+
+#include "gvex/datasets/datasets.h"
+
+namespace gvex {
+namespace datasets {
+namespace {
+
+size_t Scaled(size_t base, double scale) {
+  return std::max<size_t>(2, static_cast<size_t>(std::lround(
+                                 static_cast<double>(base) * scale)));
+}
+
+}  // namespace
+
+Result<GraphDatabase> MakeByName(const std::string& code, double scale,
+                                 uint64_t seed_offset) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  if (code == "MUT") {
+    MutagenicityOptions o;
+    o.num_graphs = Scaled(o.num_graphs, scale);
+    o.seed += seed_offset;
+    return MakeMutagenicity(o);
+  }
+  if (code == "RED") {
+    RedditOptions o;
+    o.num_graphs = Scaled(o.num_graphs, scale);
+    o.seed += seed_offset;
+    return MakeRedditBinary(o);
+  }
+  if (code == "ENZ") {
+    EnzymesOptions o;
+    o.num_graphs = Scaled(o.num_graphs, scale);
+    o.seed += seed_offset;
+    return MakeEnzymes(o);
+  }
+  if (code == "MAL") {
+    MalnetOptions o;
+    o.num_graphs = Scaled(o.num_graphs, scale);
+    o.seed += seed_offset;
+    return MakeMalnet(o);
+  }
+  if (code == "PCQ") {
+    PcqmOptions o;
+    o.num_graphs = Scaled(o.num_graphs, scale);
+    o.seed += seed_offset;
+    return MakePcqm(o);
+  }
+  if (code == "PRO") {
+    ProductsOptions o;
+    o.num_subgraphs = Scaled(o.num_subgraphs, scale);
+    o.seed += seed_offset;
+    return MakeProducts(o);
+  }
+  if (code == "SYN") {
+    BaMotifOptions o;
+    o.num_graphs = Scaled(o.num_graphs, scale);
+    o.seed += seed_offset;
+    return MakeBaMotif(o);
+  }
+  return Status::NotFound("unknown dataset code: " + code);
+}
+
+std::vector<std::string> AllDatasetCodes() {
+  return {"MUT", "RED", "ENZ", "MAL", "PCQ", "PRO", "SYN"};
+}
+
+}  // namespace datasets
+}  // namespace gvex

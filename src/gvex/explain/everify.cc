@@ -1,0 +1,34 @@
+#include "gvex/explain/everify.h"
+
+namespace gvex {
+
+EVerifyResult EVerify::Verify(const Graph& g,
+                              const std::vector<NodeId>& nodes,
+                              ClassLabel l) const {
+  EVerifyResult result;
+  if (nodes.empty() || l < 0) return result;
+
+  Graph subgraph = g.InducedSubgraph(nodes);
+  GcnTrace sub_trace = model_->Forward(subgraph);
+  result.consistent = sub_trace.predicted() == l;
+  if (!sub_trace.probs.empty() &&
+      static_cast<size_t>(l) < sub_trace.probs.size()) {
+    result.prob_subgraph = sub_trace.probs[static_cast<size_t>(l)];
+  }
+
+  Graph remainder = g.RemoveNodes(nodes);
+  if (remainder.num_nodes() == 0) {
+    // Everything removed: the remainder has no label, trivially != l.
+    result.counterfactual = true;
+    result.prob_remainder = 0.0f;
+  } else {
+    GcnTrace rem_trace = model_->Forward(remainder);
+    result.counterfactual = rem_trace.predicted() != l;
+    if (static_cast<size_t>(l) < rem_trace.probs.size()) {
+      result.prob_remainder = rem_trace.probs[static_cast<size_t>(l)];
+    }
+  }
+  return result;
+}
+
+}  // namespace gvex

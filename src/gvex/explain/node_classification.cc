@@ -1,0 +1,58 @@
+#include "gvex/explain/node_classification.h"
+
+#include <algorithm>
+
+#include "gvex/explain/psum.h"
+
+namespace gvex {
+
+Result<NodeExplanation> ExplainNodeClassification(
+    const GcnClassifier& model, const Graph& host, NodeId target,
+    const Configuration& config, const NodeExplanationOptions& options) {
+  if (target >= host.num_nodes()) {
+    return Status::InvalidArgument("target node out of range");
+  }
+  if (!host.has_features()) {
+    return Status::InvalidArgument("host graph lacks features");
+  }
+
+  // Ego graph around the target, capped in size with the target pinned.
+  std::vector<NodeId> ego = host.KHopNeighborhood(target, options.ego_radius);
+  if (ego.size() > options.max_ego_nodes) {
+    // Keep the closest nodes: KHopNeighborhood returns sorted ids, so
+    // re-rank by BFS distance via radius shrinking.
+    for (unsigned r = options.ego_radius; r > 0 && ego.size() >
+                                          options.max_ego_nodes; --r) {
+      ego = host.KHopNeighborhood(target, r - 1);
+    }
+    if (ego.size() > options.max_ego_nodes) {
+      ego.resize(options.max_ego_nodes);
+    }
+    if (std::find(ego.begin(), ego.end(), target) == ego.end()) {
+      ego.push_back(target);
+      std::sort(ego.begin(), ego.end());
+    }
+  }
+
+  NodeExplanation result;
+  result.target = target;
+  result.ego_nodes = ego;
+
+  Graph ego_graph = host.InducedSubgraph(ego);
+  ClassLabel label = model.Predict(ego_graph);
+  if (label < 0) {
+    return Status::Infeasible("model assigns no label to the ego graph");
+  }
+  result.label = label;
+
+  ApproxGvex solver(&model, config);
+  GVEX_ASSIGN_OR_RETURN(ExplanationSubgraph sub,
+                        solver.ExplainGraph(ego_graph, /*graph_index=*/0,
+                                            label));
+  PsumResult summary = Psum({sub.subgraph}, config);
+  result.subgraph = std::move(sub);
+  result.patterns = std::move(summary.patterns);
+  return result;
+}
+
+}  // namespace gvex

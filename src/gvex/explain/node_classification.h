@@ -1,0 +1,45 @@
+// Node-classification support (the NC column of Table 1).
+//
+// GVEX explains graph-level predictions; node-level predictions on a
+// large graph reduce to the same machinery through the standard ego-graph
+// construction the paper itself applies to PRODUCTS (§6.2): the k-hop
+// neighborhood subgraph around the target node is classified in place of
+// the node, and its explanation view explains the node's label.
+#pragma once
+
+#include "gvex/common/result.h"
+#include "gvex/explain/approx_gvex.h"
+#include "gvex/explain/config.h"
+#include "gvex/explain/view.h"
+#include "gvex/gnn/model.h"
+#include "gvex/graph/graph.h"
+
+namespace gvex {
+
+struct NodeExplanationOptions {
+  /// Ego-graph radius; should be >= the GNN's receptive field (its layer
+  /// count) so the node's prediction is fully determined by the ego graph.
+  unsigned ego_radius = 3;
+  /// Cap on ego-graph size (hub nodes explode otherwise). The target
+  /// node is always kept.
+  size_t max_ego_nodes = 256;
+};
+
+/// \brief Result of explaining one node's classification.
+struct NodeExplanation {
+  NodeId target = kInvalidNode;       ///< node in the host graph
+  ClassLabel label = -1;              ///< M's label for the ego graph
+  std::vector<NodeId> ego_nodes;      ///< host ids of the ego graph
+  ExplanationSubgraph subgraph;       ///< within the ego graph
+  std::vector<Graph> patterns;        ///< covering patterns
+};
+
+/// Explain why node `target` of `host` receives its label: build the ego
+/// graph, run ApproxGVEX on it, and summarize. The returned subgraph's
+/// provenance ids index the *ego graph*; `ego_nodes` maps them back to
+/// host ids (ego_nodes[i] is the host id of ego node i).
+Result<NodeExplanation> ExplainNodeClassification(
+    const GcnClassifier& model, const Graph& host, NodeId target,
+    const Configuration& config, const NodeExplanationOptions& options = {});
+
+}  // namespace gvex

@@ -1,0 +1,72 @@
+#include "gvex/explain/parallel.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "gvex/common/thread_pool.h"
+#include "gvex/explain/psum.h"
+
+namespace gvex {
+
+Result<ExplanationViewSet> ParallelApproxExplain(
+    const GcnClassifier& model, const GraphDatabase& db,
+    const std::vector<ClassLabel>& assigned,
+    const std::vector<ClassLabel>& labels, const Configuration& config,
+    size_t num_threads) {
+  // Flatten (label, graph) work items.
+  struct WorkItem {
+    ClassLabel label;
+    size_t graph_index;
+  };
+  std::vector<WorkItem> items;
+  for (ClassLabel l : labels) {
+    for (size_t gi : GraphDatabase::LabelGroup(assigned, l)) {
+      items.push_back({l, gi});
+    }
+  }
+
+  std::vector<Result<ExplanationSubgraph>> results(
+      items.size(), Status::Internal("not run"));
+  {
+    ThreadPool pool(num_threads);
+    // One solver per worker slot would need worker ids; per-item solvers
+    // are cheap relative to the explain work itself.
+    pool.ParallelFor(items.size(), [&](size_t i) {
+      ApproxGvex solver(&model, config);
+      results[i] =
+          solver.ExplainGraph(db.graph(items[i].graph_index),
+                              items[i].graph_index, items[i].label);
+    });
+  }
+
+  ExplanationViewSet set;
+  for (ClassLabel l : labels) {
+    ExplanationView view;
+    view.label = l;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (items[i].label != l) continue;
+      if (!results[i].ok()) {
+        if (results[i].status().IsInfeasible() ||
+            results[i].status().IsInvalidArgument()) {
+          continue;
+        }
+        return results[i].status();
+      }
+      view.explainability += results[i]->explainability;
+      view.subgraphs.push_back(std::move(*results[i]));
+    }
+    std::sort(view.subgraphs.begin(), view.subgraphs.end(),
+              [](const ExplanationSubgraph& a, const ExplanationSubgraph& b) {
+                return a.graph_index < b.graph_index;
+              });
+    std::vector<Graph> raw;
+    raw.reserve(view.subgraphs.size());
+    for (const auto& s : view.subgraphs) raw.push_back(s.subgraph);
+    PsumResult summary = Psum(raw, config);
+    view.patterns = std::move(summary.patterns);
+    set.views.push_back(std::move(view));
+  }
+  return set;
+}
+
+}  // namespace gvex

@@ -1,0 +1,27 @@
+// Parallel view generation (appendix A.7): the per-graph explain phase is
+// embarrassingly parallel, so graphs are distributed over a thread pool and
+// the per-label summarize phase runs once the subgraphs are in.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gvex/common/result.h"
+#include "gvex/explain/approx_gvex.h"
+#include "gvex/explain/config.h"
+#include "gvex/explain/view.h"
+#include "gvex/gnn/model.h"
+#include "gvex/graph/graph_db.h"
+
+namespace gvex {
+
+/// Run ApproxGVEX's explain phase across `num_threads` workers, then Psum
+/// per label. Equivalent output to ApproxGvex::Explain up to subgraph
+/// ordering; deterministic given the configuration.
+Result<ExplanationViewSet> ParallelApproxExplain(
+    const GcnClassifier& model, const GraphDatabase& db,
+    const std::vector<ClassLabel>& assigned,
+    const std::vector<ClassLabel>& labels, const Configuration& config,
+    size_t num_threads);
+
+}  // namespace gvex

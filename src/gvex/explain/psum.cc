@@ -1,0 +1,132 @@
+#include "gvex/explain/psum.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gvex/common/bitset.h"
+#include "gvex/matching/vf2.h"
+
+namespace gvex {
+namespace {
+
+// Global node/edge coverage of one candidate pattern across all subgraphs,
+// flattened into shared index spaces.
+struct CandidateCoverage {
+  DynamicBitset nodes;
+  DynamicBitset edges;
+  double weight = 1.0;  // w(P) = 1 - |P_Es| / |Es|
+};
+
+}  // namespace
+
+PsumResult Psum(const std::vector<Graph>& subgraphs,
+                const Configuration& config) {
+  PsumResult result;
+  if (subgraphs.empty()) {
+    result.full_node_coverage = true;
+    return result;
+  }
+
+  // Flatten node and edge index spaces across subgraphs.
+  size_t total_nodes = 0;
+  size_t total_edges = 0;
+  std::vector<size_t> node_base(subgraphs.size());
+  std::vector<size_t> edge_base(subgraphs.size());
+  for (size_t i = 0; i < subgraphs.size(); ++i) {
+    node_base[i] = total_nodes;
+    edge_base[i] = total_edges;
+    total_nodes += subgraphs[i].num_nodes();
+    total_edges += subgraphs[i].num_edges();
+  }
+
+  // Mine candidates and compute their global coverage. Structural
+  // patterns only (>= 2 nodes): single-type singletons trivially dominate
+  // node-coverage-per-weight yet explain nothing; they re-enter solely as
+  // the mop-up fallback below.
+  PgenOptions pgen = config.pgen;
+  pgen.min_pattern_nodes = std::max<size_t>(pgen.min_pattern_nodes, 2);
+  std::vector<PatternCandidate> candidates =
+      GeneratePatternCandidates(subgraphs, pgen);
+  std::vector<CandidateCoverage> coverage(candidates.size());
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    CandidateCoverage& cov = coverage[ci];
+    cov.nodes = DynamicBitset(total_nodes);
+    cov.edges = DynamicBitset(total_edges);
+    for (size_t gi = 0; gi < subgraphs.size(); ++gi) {
+      CoverageResult local = ComputeCoverage({candidates[ci].pattern},
+                                             subgraphs[gi], config.match);
+      for (size_t v : local.covered_nodes.ToVector()) {
+        cov.nodes.Set(node_base[gi] + v);
+      }
+      for (size_t e : local.covered_edges.ToVector()) {
+        cov.edges.Set(edge_base[gi] + e);
+      }
+    }
+    cov.weight = total_edges == 0
+                     ? 0.0
+                     : 1.0 - static_cast<double>(cov.edges.Count()) /
+                                 static_cast<double>(total_edges);
+  }
+
+  // Greedy weighted set cover: maximize newly covered nodes per unit
+  // weight until all nodes are covered or candidates are exhausted.
+  DynamicBitset covered_nodes(total_nodes);
+  DynamicBitset covered_edges(total_edges);
+  std::vector<bool> selected(candidates.size(), false);
+  constexpr double kWeightFloor = 1e-2;  // avoids division by ~0 weights
+  while (covered_nodes.Count() < total_nodes) {
+    size_t best = static_cast<size_t>(-1);
+    double best_ratio = 0.0;
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      if (selected[ci]) continue;
+      size_t gain = covered_nodes.MarginalCount(coverage[ci].nodes);
+      if (gain == 0) continue;
+      // Weighted-set-cover greedy on nodes; newly covered edges join the
+      // numerator so that at equal node gain the pattern missing fewer
+      // edges wins (the w(P) objective of Lemma 4.3).
+      size_t edge_gain = covered_edges.MarginalCount(coverage[ci].edges);
+      double ratio = static_cast<double>(gain + edge_gain) /
+                     (coverage[ci].weight + kWeightFloor);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = ci;
+      }
+    }
+    if (best == static_cast<size_t>(-1)) break;  // nothing useful left
+    selected[best] = true;
+    covered_nodes.UnionWith(coverage[best].nodes);
+    covered_edges.UnionWith(coverage[best].edges);
+    result.patterns.push_back(candidates[best].pattern);
+  }
+
+  // Mop-up: any node the mined candidates missed (possible when PGen
+  // truncates) gets its singleton type pattern, preserving the view
+  // invariant that P^l covers all of G_s^l.
+  if (covered_nodes.Count() < total_nodes) {
+    std::vector<NodeType> singleton_types;
+    for (size_t gi = 0; gi < subgraphs.size(); ++gi) {
+      for (NodeId v = 0; v < subgraphs[gi].num_nodes(); ++v) {
+        if (covered_nodes.Test(node_base[gi] + v)) continue;
+        NodeType t = subgraphs[gi].node_type(v);
+        if (std::find(singleton_types.begin(), singleton_types.end(), t) ==
+            singleton_types.end()) {
+          singleton_types.push_back(t);
+          Graph p;
+          p.AddNode(t);
+          result.patterns.push_back(std::move(p));
+        }
+        covered_nodes.Set(node_base[gi] + v);
+      }
+    }
+  }
+
+  result.full_node_coverage = covered_nodes.Count() == total_nodes;
+  result.edge_loss =
+      total_edges == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(covered_edges.Count()) /
+                      static_cast<double>(total_edges);
+  return result;
+}
+
+}  // namespace gvex

@@ -1,0 +1,63 @@
+#include "gvex/explain/query.h"
+
+namespace gvex {
+
+std::vector<size_t> ViewQuery::SubgraphsContaining(
+    const ExplanationView& view, const Graph& pattern) const {
+  std::vector<size_t> hits;
+  for (size_t i = 0; i < view.subgraphs.size(); ++i) {
+    if (Vf2Matcher::HasMatch(pattern, view.subgraphs[i].subgraph, options_)) {
+      hits.push_back(i);
+    }
+  }
+  return hits;
+}
+
+size_t ViewQuery::Support(const ExplanationView& view,
+                          const Graph& pattern) const {
+  return SubgraphsContaining(view, pattern).size();
+}
+
+std::vector<Graph> ViewQuery::DiscriminativePatterns(
+    const ExplanationView& of, const ExplanationView& against) const {
+  std::vector<Graph> discriminative;
+  for (const Graph& p : of.patterns) {
+    bool found_in_other = false;
+    for (const auto& s : against.subgraphs) {
+      if (Vf2Matcher::HasMatch(p, s.subgraph, options_)) {
+        found_in_other = true;
+        break;
+      }
+    }
+    if (!found_in_other) discriminative.push_back(p);
+  }
+  return discriminative;
+}
+
+std::vector<size_t> ViewQuery::PatternSupports(
+    const ExplanationView& view) const {
+  std::vector<size_t> supports;
+  supports.reserve(view.patterns.size());
+  for (const Graph& p : view.patterns) {
+    supports.push_back(Support(view, p));
+  }
+  return supports;
+}
+
+std::vector<ViewQuery::Hit> ViewQuery::FindHits(
+    const ExplanationView& view, const Graph& pattern,
+    size_t max_embeddings_per_graph) const {
+  std::vector<Hit> hits;
+  MatchOptions capped = options_;
+  capped.max_matches = max_embeddings_per_graph;
+  for (const auto& s : view.subgraphs) {
+    size_t count =
+        Vf2Matcher::FindMatches(pattern, s.subgraph, capped).size();
+    if (count > 0) {
+      hits.push_back({s.graph_index, count});
+    }
+  }
+  return hits;
+}
+
+}  // namespace gvex

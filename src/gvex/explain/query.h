@@ -1,0 +1,53 @@
+// Query interface over explanation views — the "queryable" property of
+// Table 1 as a first-class API. Supports the analyst queries of Example
+// 1.1 ("which toxicophores occur in mutagens?", "which nonmutagens contain
+// pattern P?") and the discriminativeness analysis behind the paper's P12
+// observation (patterns that cover one label group but not another).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gvex/explain/view.h"
+#include "gvex/matching/vf2.h"
+
+namespace gvex {
+
+/// \brief Read-only query engine over one or more explanation views.
+class ViewQuery {
+ public:
+  explicit ViewQuery(MatchOptions options = {}) : options_(options) {}
+
+  /// Indices (into view.subgraphs) of explanation subgraphs containing an
+  /// embedding of `pattern` ("which mutagens contain this toxicophore?").
+  std::vector<size_t> SubgraphsContaining(const ExplanationView& view,
+                                          const Graph& pattern) const;
+
+  /// Number of explanation subgraphs of `view` containing `pattern`.
+  size_t Support(const ExplanationView& view, const Graph& pattern) const;
+
+  /// Patterns of `of` that match NO explanation subgraph of `against` —
+  /// the substructures that discriminate the two labels (the paper's P12:
+  /// "covers all mutagens but does not occur in nonmutagens").
+  std::vector<Graph> DiscriminativePatterns(
+      const ExplanationView& of, const ExplanationView& against) const;
+
+  /// For every pattern of `view`, its support across the view's own
+  /// subgraphs (how representative each pattern is).
+  std::vector<size_t> PatternSupports(const ExplanationView& view) const;
+
+  /// Database graphs (by index) whose explanation subgraph in `view`
+  /// contains `pattern`, paired with the number of embeddings found.
+  struct Hit {
+    size_t graph_index;
+    size_t embeddings;
+  };
+  std::vector<Hit> FindHits(const ExplanationView& view,
+                            const Graph& pattern,
+                            size_t max_embeddings_per_graph = 64) const;
+
+ private:
+  MatchOptions options_;
+};
+
+}  // namespace gvex

@@ -1,0 +1,595 @@
+#include "gvex/explain/stream_gvex.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gvex/common/bitset.h"
+#include "gvex/common/logging.h"
+#include "gvex/common/rng.h"
+#include "gvex/influence/influence.h"
+#include "gvex/matching/vf2.h"
+#include "gvex/mining/canonical.h"
+#include "gvex/mining/pgen.h"
+
+namespace gvex {
+namespace {
+
+// Visit u's neighbors in the undirected sense (directed graphs store
+// out-edges only; in-neighbors need a scan, acceptable at repair rates).
+template <typename Fn>
+void ForEachNeighborBothDirections(const Graph& g, NodeId u, Fn&& fn) {
+  for (const auto& nb : g.neighbors(u)) fn(nb.node);
+  if (g.directed()) {
+    for (NodeId w = 0; w < g.num_nodes(); ++w) {
+      if (w != u && g.HasEdge(w, u)) fn(w);
+    }
+  }
+}
+
+// f(V_S \ v') - style removal loss requires a rebuild: unions are not
+// invertible. |V_S| <= u_l keeps this cheap.
+double RemovalLoss(const InfluenceAnalyzer& analyzer,
+                   const std::vector<NodeId>& vs, NodeId victim, float gamma,
+                   double current_score) {
+  std::vector<NodeId> without;
+  without.reserve(vs.size() - 1);
+  for (NodeId v : vs) {
+    if (v != victim) without.push_back(v);
+  }
+  InfluenceAccumulator acc(&analyzer);
+  acc.Rebuild(without);
+  return current_score - acc.Score(gamma);
+}
+
+}  // namespace
+
+Result<ExplanationSubgraph> StreamGvex::ExplainGraphStream(
+    const Graph& g, size_t graph_index, ClassLabel l,
+    std::vector<Graph>* patterns, std::unordered_set<std::string>* codes,
+    const std::vector<NodeId>* order) {
+  if (g.num_nodes() == 0) {
+    return Status::InvalidArgument("cannot explain an empty graph");
+  }
+  CoverageConstraint cc = config_.ConstraintFor(l);
+  if (cc.lower > cc.upper || cc.upper == 0) {
+    return Status::InvalidArgument("invalid coverage constraint");
+  }
+  // Keep the counterfactual test meaningful: never cache the whole graph.
+  cc.upper = std::min(cc.upper, g.num_nodes() - 1);
+  cc.lower = std::min(cc.lower, cc.upper);
+  if (cc.upper == 0) {
+    ++stats_.graphs_infeasible;
+    return Status::Infeasible("single-node graph has no proper subgraph");
+  }
+
+  // IncEVerify surrogate: the influence/diversity state is prepared once
+  // and queried incrementally per arriving node (same asymptotics as the
+  // paper's per-arrival Jacobian update, which touches every node once).
+  GVEX_ASSIGN_OR_RETURN(
+      InfluenceAnalyzer analyzer,
+      InfluenceAnalyzer::Build(*model_, g, config_.MakeInfluenceOptions()));
+  const float gamma = config_.gamma;
+
+  std::vector<NodeId> stream;
+  if (order != nullptr) {
+    stream = *order;
+  } else {
+    stream.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) stream[v] = v;
+  }
+
+  InfluenceAccumulator acc(&analyzer);
+  std::vector<NodeId> vs;
+  std::vector<NodeId> vu;  // rejected/evicted candidates, for the top-up
+
+  for (NodeId v : stream) {
+    ++stats_.nodes_processed;
+    if (vs.size() < cc.upper) {
+      // Case (a): budget available, accept.
+      vs.push_back(v);
+      acc.Add(v);
+      ++stats_.accepts;
+      continue;
+    }
+    // Case (b): does v contribute new pattern structure? IncPGen over its
+    // local neighborhood; if every local pattern is already known, skip.
+    // The screen only needs existence of one unseen pattern, so it mines
+    // with tightened bounds.
+    PgenOptions screen = config_.pgen;
+    screen.max_pattern_nodes = std::min<size_t>(screen.max_pattern_nodes, 3);
+    screen.max_candidates = 16;
+    screen.max_enumerated_per_graph =
+        std::min<size_t>(screen.max_enumerated_per_graph, 300);
+    std::vector<PatternCandidate> local =
+        GenerateLocalPatternCandidates(g, v, config_.stream_hops, screen);
+    bool contributes = false;
+    for (const auto& cand : local) {
+      if (codes->find(cand.canonical) == codes->end()) {
+        contributes = true;
+        break;
+      }
+    }
+    if (!contributes) {
+      vu.push_back(v);
+      ++stats_.skips;
+      continue;
+    }
+    // Case (c): Procedure 4 swap. Find the cached node whose removal
+    // loses the least explainability.
+    const double current = acc.Score(gamma);
+    NodeId victim = kInvalidNode;
+    double min_loss = 1e18;
+    for (NodeId cached : vs) {
+      double loss = RemovalLoss(analyzer, vs, cached, gamma, current);
+      if (loss < min_loss) {
+        min_loss = loss;
+        victim = cached;
+      }
+    }
+    // Gains measured against V_u = V_S \ {v-} (Procedure 4 line 3).
+    std::vector<NodeId> without;
+    for (NodeId cached : vs) {
+      if (cached != victim) without.push_back(cached);
+    }
+    InfluenceAccumulator base(&analyzer);
+    base.Rebuild(without);
+    double w_new = base.ScoreWith(v, gamma) - base.Score(gamma);
+    double w_old = base.ScoreWith(victim, gamma) - base.Score(gamma);
+    if (w_new >= 2.0 * w_old) {
+      without.push_back(v);
+      vs = std::move(without);
+      acc.Rebuild(vs);
+      vu.push_back(victim);
+      ++stats_.swaps;
+    } else {
+      vu.push_back(v);
+      ++stats_.skips;
+    }
+  }
+
+  // Gradient saliency, used by the C2 repair phase to probe label-critical
+  // nodes the f-driven cache may have passed over (cf. ApproxGVEX).
+  std::vector<float> saliency(g.num_nodes(), 0.0f);
+  {
+    GcnTrace trace = model_->Forward(g);
+    if (!trace.logits.empty() && l >= 0 &&
+        static_cast<size_t>(l) < trace.probs.size()) {
+      Matrix grad = model_->InputLogitGradient(trace, l);
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        saliency[v] = grad.RowL1Norm(v);
+      }
+    }
+  }
+  float max_saliency = 0.0f;
+  for (float s : saliency) max_saliency = std::max(max_saliency, s);
+  const float inv_saliency =
+      max_saliency > 0.0f ? 1.0f / max_saliency : 0.0f;
+
+  // Lower-bound top-up from V_u (Algorithm 3 line 10).
+  std::sort(vu.begin(), vu.end());
+  vu.erase(std::unique(vu.begin(), vu.end()), vu.end());
+  auto in_vs = [&](NodeId v) {
+    return std::find(vs.begin(), vs.end(), v) != vs.end();
+  };
+  while (vs.size() < cc.lower && !vu.empty()) {
+    double base_score = acc.Score(gamma);
+    size_t best_i = static_cast<size_t>(-1);
+    double best_gain = -1e18;
+    for (size_t i = 0; i < vu.size(); ++i) {
+      if (in_vs(vu[i])) continue;
+      double gain = acc.ScoreWith(vu[i], gamma) - base_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_i = i;
+      }
+    }
+    if (best_i == static_cast<size_t>(-1)) break;
+    vs.push_back(vu[best_i]);
+    acc.Add(vu[best_i]);
+    vu.erase(vu.begin() + static_cast<ptrdiff_t>(best_i));
+  }
+  if (vs.size() < cc.lower) {
+    ++stats_.graphs_infeasible;
+    return Status::Infeasible("stream could not meet coverage lower bound");
+  }
+
+  // Finalize C2: if the maintained cache is not yet consistent +
+  // counterfactual, repair greedily from V_u within the budget.
+  std::sort(vs.begin(), vs.end());
+  ++stats_.everify_calls;
+  EVerifyResult check = verifier_.Verify(g, vs, l);
+  while (!check.IsExplanation() && vs.size() < cc.upper && !vu.empty()) {
+    // Rank the pool by marginal f-gain, then EVerify the top few and pick
+    // the one that makes the most consistency/counterfactual progress —
+    // the same guided selection ApproxGVEX's VpExtend performs.
+    double base_score = acc.Score(gamma);
+    std::vector<std::pair<double, size_t>> ranked;
+    ranked.reserve(vu.size());
+    for (size_t i = 0; i < vu.size(); ++i) {
+      if (in_vs(vu[i])) continue;
+      double gain = acc.ScoreWith(vu[i], gamma) - base_score;
+      ranked.emplace_back(
+          gain / static_cast<double>(g.num_nodes()) +
+              static_cast<double>(config_.saliency_weight) *
+                  static_cast<double>(saliency[vu[i]] * inv_saliency),
+          i);
+    }
+    if (ranked.empty()) break;
+    std::sort(ranked.rbegin(), ranked.rend());
+    size_t probe = std::min<size_t>(ranked.size(),
+                                    std::max<size_t>(1, config_.everify_top_k));
+    size_t best_i = static_cast<size_t>(-1);
+    double best_rank = -1e18;
+    for (size_t p = 0; p < probe; ++p) {
+      size_t i = ranked[p].second;
+      std::vector<NodeId> trial = vs;
+      trial.push_back(vu[i]);
+      std::sort(trial.begin(), trial.end());
+      ++stats_.everify_calls;
+      EVerifyResult ev = verifier_.Verify(g, trial, l);
+      double rank = ranked[p].first +
+                    static_cast<double>(config_.counterfactual_bonus) *
+                        (static_cast<double>(ev.prob_subgraph) -
+                         static_cast<double>(ev.prob_remainder));
+      if (ev.IsExplanation()) rank += 10.0;  // take a valid completion now
+      if (rank > best_rank) {
+        best_rank = rank;
+        best_i = i;
+      }
+    }
+    if (best_i == static_cast<size_t>(-1)) break;
+    vs.push_back(vu[best_i]);
+    acc.Add(vu[best_i]);
+    vu.erase(vu.begin() + static_cast<ptrdiff_t>(best_i));
+    std::sort(vs.begin(), vs.end());
+    ++stats_.everify_calls;
+    check = verifier_.Verify(g, vs, l);
+  }
+  // Swap repair: when the cache is at capacity but C2 fails (important
+  // nodes were evicted by the f-driven 2x rule, which guards
+  // explainability only), hill-climb over (victim, candidate) swaps
+  // guided by saliency and EVerify progress until validity is restored or
+  // progress stalls. Bounded by u_l rounds of (3 x 8) probes.
+  if (!check.IsExplanation() && vs.size() == cc.upper && !vu.empty()) {
+    double progress = static_cast<double>(check.prob_subgraph) -
+                      static_cast<double>(check.prob_remainder);
+    for (size_t round = 0; round < cc.upper && !check.IsExplanation();
+         ++round) {
+      // Victims: cheapest explainability removals first.
+      const double current = acc.Score(gamma);
+      std::vector<std::pair<double, NodeId>> victims;
+      for (NodeId cached : vs) {
+        victims.emplace_back(
+            RemovalLoss(analyzer, vs, cached, gamma, current), cached);
+      }
+      std::sort(victims.begin(), victims.end());
+      // Candidates: most salient pool nodes first.
+      std::vector<NodeId> cands;
+      for (NodeId u : vu) {
+        if (!in_vs(u)) cands.push_back(u);
+      }
+      std::sort(cands.begin(), cands.end(), [&](NodeId a, NodeId b) {
+        if (saliency[a] != saliency[b]) return saliency[a] > saliency[b];
+        return a < b;
+      });
+      const size_t victim_probe = std::min<size_t>(victims.size(), 3);
+      const size_t cand_probe = std::min<size_t>(cands.size(), 8);
+      std::vector<NodeId> best_trial;
+      EVerifyResult best_ev;
+      double best_progress = progress;
+      for (size_t vi = 0; vi < victim_probe; ++vi) {
+        for (size_t ci = 0; ci < cand_probe; ++ci) {
+          std::vector<NodeId> trial;
+          trial.reserve(vs.size());
+          for (NodeId cached : vs) {
+            if (cached != victims[vi].second) trial.push_back(cached);
+          }
+          trial.push_back(cands[ci]);
+          std::sort(trial.begin(), trial.end());
+          ++stats_.everify_calls;
+          EVerifyResult ev = verifier_.Verify(g, trial, l);
+          double p = static_cast<double>(ev.prob_subgraph) -
+                     static_cast<double>(ev.prob_remainder);
+          if (ev.IsExplanation()) p += 10.0;
+          if (p > best_progress + 1e-9) {
+            best_progress = p;
+            best_trial = std::move(trial);
+            best_ev = ev;
+          }
+        }
+        if (best_progress > 9.0) break;  // found a valid completion
+      }
+      if (best_trial.empty()) break;  // no improving swap: stall
+      vs = std::move(best_trial);
+      acc.Rebuild(vs);
+      check = best_ev;
+      progress = best_progress;
+      ++stats_.swaps;
+    }
+  }
+  // Saturated-model fallback: when the classifier's probabilities are
+  // near 0/1, partial explanations give the hill-climb no gradient. Try
+  // the top-saliency node sets directly (constant extra EVerify work).
+  if (!check.IsExplanation()) {
+    // Anytime semantics: only nodes the stream has delivered may appear.
+    std::vector<bool> seen(g.num_nodes(), false);
+    for (NodeId v : stream) seen[v] = true;
+    std::vector<NodeId> by_saliency;
+    by_saliency.reserve(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (seen[v]) by_saliency.push_back(v);
+    }
+    std::sort(by_saliency.begin(), by_saliency.end(),
+              [&](NodeId a, NodeId b) {
+                if (saliency[a] != saliency[b]) {
+                  return saliency[a] > saliency[b];
+                }
+                return a < b;
+              });
+    // From each of the top seeds, grow a connected region by always
+    // absorbing the most salient neighbor (explanations are localized
+    // substructures; a bare top-k saliency set is usually disconnected).
+    const size_t seed_probe = std::min<size_t>(by_saliency.size(), 3);
+    for (size_t si = 0; si < seed_probe && !check.IsExplanation(); ++si) {
+      std::vector<NodeId> region{by_saliency[si]};
+      std::vector<bool> in_region(g.num_nodes(), false);
+      in_region[by_saliency[si]] = true;
+      while (region.size() < cc.upper) {
+        NodeId best_nb = kInvalidNode;
+        float best_sal = -1.0f;
+        for (NodeId r : region) {
+          ForEachNeighborBothDirections(g, r, [&](NodeId w) {
+            if (!in_region[w] && seen[w] && saliency[w] > best_sal) {
+              best_sal = saliency[w];
+              best_nb = w;
+            }
+          });
+        }
+        if (best_nb == kInvalidNode) break;
+        in_region[best_nb] = true;
+        region.push_back(best_nb);
+        if (region.size() >= std::max<size_t>(cc.lower, 3)) {
+          std::vector<NodeId> trial = region;
+          std::sort(trial.begin(), trial.end());
+          ++stats_.everify_calls;
+          EVerifyResult ev = verifier_.Verify(g, trial, l);
+          if (ev.IsExplanation()) {
+            vs = std::move(trial);
+            acc.Rebuild(vs);
+            check = ev;
+            break;
+          }
+        }
+      }
+    }
+  }
+  if (!check.IsExplanation()) {
+    ++stats_.graphs_infeasible;
+    return Status::Infeasible("stream found no valid explanation subgraph");
+  }
+
+  // IncUpdateP: make sure the incremental pattern set covers the final
+  // V_S; uncovered nodes trigger localized mining, then singletons.
+  Graph subgraph = g.InducedSubgraph(vs);
+  CoverageResult cov = ComputeCoverage(*patterns, subgraph, config_.match);
+  for (NodeId local = 0; local < subgraph.num_nodes(); ++local) {
+    if (cov.covered_nodes.Test(local)) continue;
+    bool covered = false;
+    std::vector<PatternCandidate> local_cands = GenerateLocalPatternCandidates(
+        subgraph, local, config_.stream_hops, config_.pgen);
+    // Among the unseen candidates that cover this node, adopt the one
+    // covering the most structure (edges, then nodes) — the small-edge-miss
+    // goal of Procedure 5.
+    const Graph* best_pattern = nullptr;
+    const std::string* best_code = nullptr;
+    size_t best_edges = 0;
+    size_t best_nodes = 0;
+    CoverageResult best_cov;
+    size_t evaluated = 0;
+    for (const auto& cand : local_cands) {
+      if (codes->count(cand.canonical) > 0) continue;
+      if (++evaluated > 12) break;
+      CoverageResult c1 =
+          ComputeCoverage({cand.pattern}, subgraph, config_.match);
+      if (!c1.covered_nodes.Test(local)) continue;
+      size_t e = c1.covered_edges.Count();
+      size_t n = c1.covered_nodes.Count();
+      if (best_pattern == nullptr || e > best_edges ||
+          (e == best_edges && n > best_nodes)) {
+        best_pattern = &cand.pattern;
+        best_code = &cand.canonical;
+        best_edges = e;
+        best_nodes = n;
+        best_cov = std::move(c1);
+      }
+    }
+    if (best_pattern != nullptr) {
+      patterns->push_back(*best_pattern);
+      codes->insert(*best_code);
+      for (size_t idx : best_cov.covered_nodes.ToVector()) {
+        cov.covered_nodes.Set(idx);
+      }
+      covered = true;
+    }
+    if (!covered) {
+      Graph singleton;
+      singleton.AddNode(subgraph.node_type(local));
+      std::string code = CanonicalCode(singleton);
+      if (codes->insert(code).second) {
+        patterns->push_back(std::move(singleton));
+      }
+      cov.covered_nodes.Set(local);
+    }
+  }
+
+  // Edge mop-up (Procedure 5's "small edge misses" goal): edges whose
+  // endpoints are covered can still be missed by the pattern tier; give
+  // each uncovered edge a chance to contribute a pattern — minimally its
+  // own 2-node edge pattern.
+  {
+    CoverageResult ecov =
+        ComputeCoverage(*patterns, subgraph, config_.match);
+    auto edges = EdgeList(subgraph);
+    size_t budget = 10;
+    for (size_t e = 0; e < edges.size() && budget > 0; ++e) {
+      if (ecov.covered_edges.Test(e)) continue;
+      auto [u, v] = edges[e];
+      Graph edge_pattern(subgraph.directed());
+      edge_pattern.AddNode(subgraph.node_type(u));
+      edge_pattern.AddNode(subgraph.node_type(v));
+      Status st = edge_pattern.AddEdge(0, 1, subgraph.GetEdgeType(u, v));
+      (void)st;
+      std::string code = CanonicalCode(edge_pattern);
+      if (codes->insert(code).second) {
+        patterns->push_back(std::move(edge_pattern));
+        --budget;
+      }
+    }
+  }
+
+  ExplanationSubgraph out;
+  out.graph_index = graph_index;
+  out.nodes = vs;
+  out.subgraph = std::move(subgraph);
+  out.explainability =
+      (static_cast<double>(analyzer.InfluenceScore(vs)) +
+       static_cast<double>(gamma) *
+           static_cast<double>(analyzer.DiversityScore(vs))) /
+      static_cast<double>(g.num_nodes());
+  ++stats_.graphs_explained;
+  return out;
+}
+
+PatternReduction ReducePatterns(const std::vector<Graph>& patterns,
+                                const std::vector<Graph>& subgraphs,
+                                const Configuration& config) {
+  PatternReduction result;
+  if (subgraphs.empty()) return result;
+
+  size_t total_nodes = 0;
+  size_t total_edges = 0;
+  std::vector<size_t> node_base(subgraphs.size());
+  std::vector<size_t> edge_base(subgraphs.size());
+  for (size_t i = 0; i < subgraphs.size(); ++i) {
+    node_base[i] = total_nodes;
+    edge_base[i] = total_edges;
+    total_nodes += subgraphs[i].num_nodes();
+    total_edges += subgraphs[i].num_edges();
+  }
+
+  struct Cov {
+    DynamicBitset nodes;
+    DynamicBitset edges;
+    double weight;
+  };
+  std::vector<Cov> covs(patterns.size());
+  for (size_t pi = 0; pi < patterns.size(); ++pi) {
+    covs[pi].nodes = DynamicBitset(total_nodes);
+    covs[pi].edges = DynamicBitset(total_edges);
+    for (size_t gi = 0; gi < subgraphs.size(); ++gi) {
+      CoverageResult local =
+          ComputeCoverage({patterns[pi]}, subgraphs[gi], config.match);
+      for (size_t v : local.covered_nodes.ToVector()) {
+        covs[pi].nodes.Set(node_base[gi] + v);
+      }
+      for (size_t e : local.covered_edges.ToVector()) {
+        covs[pi].edges.Set(edge_base[gi] + e);
+      }
+    }
+    covs[pi].weight =
+        total_edges == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(covs[pi].edges.Count()) /
+                        static_cast<double>(total_edges);
+  }
+
+  DynamicBitset covered_nodes(total_nodes);
+  DynamicBitset covered_edges(total_edges);
+  std::vector<bool> chosen(patterns.size(), false);
+  constexpr double kWeightFloor = 1e-2;
+  for (;;) {
+    size_t best = static_cast<size_t>(-1);
+    double best_ratio = 0.0;
+    for (size_t pi = 0; pi < patterns.size(); ++pi) {
+      if (chosen[pi]) continue;
+      // Greedy cover over nodes AND edges (Lemma 4.3's objective wants
+      // full node coverage with minimal edge misses, so patterns that
+      // only add edge coverage still earn selection).
+      size_t gain = covered_nodes.MarginalCount(covs[pi].nodes);
+      size_t edge_gain = covered_edges.MarginalCount(covs[pi].edges);
+      if (gain + edge_gain == 0) continue;
+      double ratio = static_cast<double>(gain + edge_gain) /
+                     (covs[pi].weight + kWeightFloor);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = pi;
+      }
+    }
+    if (best == static_cast<size_t>(-1)) break;
+    chosen[best] = true;
+    covered_nodes.UnionWith(covs[best].nodes);
+    covered_edges.UnionWith(covs[best].edges);
+    result.patterns.push_back(patterns[best]);
+  }
+  result.edge_loss =
+      total_edges == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(covered_edges.Count()) /
+                      static_cast<double>(total_edges);
+  return result;
+}
+
+Result<ExplanationView> StreamGvex::ExplainLabel(
+    const GraphDatabase& db, const std::vector<ClassLabel>& assigned,
+    ClassLabel l, const Deadline* deadline, uint64_t order_seed) {
+  ExplanationView view;
+  view.label = l;
+  std::vector<Graph> patterns;
+  std::unordered_set<std::string> codes;
+
+  std::vector<size_t> group = GraphDatabase::LabelGroup(assigned, l);
+  for (size_t gi : group) {
+    if (deadline != nullptr && deadline->Expired()) {
+      return Status::Timeout("stream label explanation exceeded time budget");
+    }
+    const Graph& g = db.graph(gi);
+    std::vector<NodeId> order(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) order[v] = v;
+    if (order_seed != 0) {
+      Rng rng(order_seed + gi);
+      rng.Shuffle(&order);
+    }
+    Result<ExplanationSubgraph> sub =
+        ExplainGraphStream(g, gi, l, &patterns, &codes, &order);
+    if (!sub.ok()) {
+      if (sub.status().IsInfeasible()) continue;
+      return sub.status();
+    }
+    view.explainability += sub->explainability;
+    view.subgraphs.push_back(std::move(*sub));
+  }
+
+  // Batched Procedure 5 swap: drop patterns that stopped contributing.
+  std::vector<Graph> raw;
+  raw.reserve(view.subgraphs.size());
+  for (const auto& s : view.subgraphs) raw.push_back(s.subgraph);
+  PatternReduction reduction = ReducePatterns(patterns, raw, config_);
+  view.patterns = std::move(reduction.patterns);
+  return view;
+}
+
+Result<ExplanationViewSet> StreamGvex::Explain(
+    const GraphDatabase& db, const std::vector<ClassLabel>& assigned,
+    const std::vector<ClassLabel>& labels, const Deadline* deadline,
+    uint64_t order_seed) {
+  ExplanationViewSet set;
+  for (ClassLabel l : labels) {
+    GVEX_ASSIGN_OR_RETURN(
+        ExplanationView view,
+        ExplainLabel(db, assigned, l, deadline, order_seed));
+    set.views.push_back(std::move(view));
+  }
+  return set;
+}
+
+}  // namespace gvex

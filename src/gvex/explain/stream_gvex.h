@@ -1,0 +1,99 @@
+// StreamGVEX (Algorithm 3): single-pass node-stream maintenance of
+// explanation views with an anytime 1/4-approximation on the seen prefix.
+//
+// Per arriving node the algorithm maintains a bounded node cache V_S
+// (Procedure 4, IncUpdateVS):
+//   (a) below the u_l budget, accept;
+//   (b) if the node adds no new pattern structure (IncPGen finds nothing
+//       its local neighborhood contributes), skip;
+//   (c) otherwise swap against the cheapest cached node v- only when the
+//       replacement gain is at least twice the loss — the streaming
+//       submodular-maximization rule that preserves the 1/4 ratio.
+//
+// Patterns are maintained incrementally (IncUpdateP): newly uncovered
+// nodes trigger localized mining (IncPGen over the r-hop neighborhood),
+// and at the end of each label group a reduction pass removes patterns
+// that no longer contribute coverage — the batched equivalent of
+// Procedure 5's swap, preserving full node coverage and small edge miss.
+//
+// C2 (consistency + counterfactual) is enforced at finalization with a
+// greedy repair from the candidate pool V_u, mirroring the lower-bound
+// top-up of Algorithm 3 line 10.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "gvex/common/result.h"
+#include "gvex/common/stopwatch.h"
+#include "gvex/explain/config.h"
+#include "gvex/explain/everify.h"
+#include "gvex/explain/view.h"
+#include "gvex/gnn/model.h"
+#include "gvex/graph/graph_db.h"
+
+namespace gvex {
+
+struct StreamGvexStats {
+  size_t nodes_processed = 0;
+  size_t accepts = 0;
+  size_t swaps = 0;
+  size_t skips = 0;
+  size_t everify_calls = 0;
+  size_t graphs_explained = 0;
+  size_t graphs_infeasible = 0;
+};
+
+/// \brief The streaming solver. One instance may process many graphs;
+/// pattern state accumulates per label within an Explain* call.
+class StreamGvex {
+ public:
+  StreamGvex(const GcnClassifier* model, Configuration config)
+      : model_(model), verifier_(model), config_(std::move(config)) {}
+
+  const Configuration& config() const { return config_; }
+  const StreamGvexStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = StreamGvexStats{}; }
+
+  /// Stream the nodes of `g` (in `order` if given, else 0..n-1) and return
+  /// the maintained explanation subgraph. `patterns`/`codes` carry the
+  /// label-level incremental pattern state across graphs.
+  Result<ExplanationSubgraph> ExplainGraphStream(
+      const Graph& g, size_t graph_index, ClassLabel l,
+      std::vector<Graph>* patterns,
+      std::unordered_set<std::string>* codes,
+      const std::vector<NodeId>* order = nullptr);
+
+  /// Views per label, as in ApproxGvex::Explain but via the stream path.
+  Result<ExplanationView> ExplainLabel(const GraphDatabase& db,
+                                       const std::vector<ClassLabel>& assigned,
+                                       ClassLabel l,
+                                       const Deadline* deadline = nullptr,
+                                       uint64_t order_seed = 0);
+
+  Result<ExplanationViewSet> Explain(const GraphDatabase& db,
+                                     const std::vector<ClassLabel>& assigned,
+                                     const std::vector<ClassLabel>& labels,
+                                     const Deadline* deadline = nullptr,
+                                     uint64_t order_seed = 0);
+
+ private:
+  const GcnClassifier* model_;
+  EVerify verifier_;
+  Configuration config_;
+  StreamGvexStats stats_;
+};
+
+/// Reduce a pattern set to a coverage-minimal subset over `subgraphs`
+/// (greedy weighted set cover over the *given* patterns; full node
+/// coverage is preserved). Returns the reduced set and the edge loss.
+struct PatternReduction {
+  std::vector<Graph> patterns;
+  double edge_loss = 0.0;
+};
+PatternReduction ReducePatterns(const std::vector<Graph>& patterns,
+                                const std::vector<Graph>& subgraphs,
+                                const Configuration& config);
+
+}  // namespace gvex

@@ -1,0 +1,62 @@
+#include "gvex/explain/verifier.h"
+
+#include "gvex/common/string_util.h"
+#include "gvex/explain/everify.h"
+#include "gvex/matching/vf2.h"
+
+namespace gvex {
+
+ViewVerification VerifyExplanationView(const ExplanationView& view,
+                                       const GraphDatabase& db,
+                                       const GcnClassifier& model,
+                                       const Configuration& config) {
+  ViewVerification result;
+
+  // C1: pattern coverage of every subgraph's nodes.
+  result.c1_graph_view = true;
+  for (size_t si = 0; si < view.subgraphs.size(); ++si) {
+    const Graph& sub = view.subgraphs[si].subgraph;
+    CoverageResult cov =
+        ComputeCoverage(view.patterns, sub, config.match);
+    if (cov.covered_nodes.Count() != sub.num_nodes()) {
+      result.c1_graph_view = false;
+      result.detail += StrFormat("C1: subgraph %zu has %zu/%zu nodes covered; ",
+                                 si, cov.covered_nodes.Count(),
+                                 sub.num_nodes());
+      break;
+    }
+  }
+
+  // C2: consistency + counterfactual for every subgraph.
+  result.c2_explanation = true;
+  EVerify verifier(&model);
+  for (size_t si = 0; si < view.subgraphs.size(); ++si) {
+    const ExplanationSubgraph& s = view.subgraphs[si];
+    EVerifyResult ev =
+        verifier.Verify(db.graph(s.graph_index), s.nodes, view.label);
+    if (!ev.IsExplanation()) {
+      result.c2_explanation = false;
+      result.detail += StrFormat(
+          "C2: subgraph %zu (graph %zu) consistent=%d counterfactual=%d; ",
+          si, s.graph_index, ev.consistent ? 1 : 0, ev.counterfactual ? 1 : 0);
+      break;
+    }
+  }
+
+  // C3: per-graph coverage bounds.
+  const CoverageConstraint& cc = config.ConstraintFor(view.label);
+  result.c3_coverage = true;
+  for (size_t si = 0; si < view.subgraphs.size(); ++si) {
+    size_t n = view.subgraphs[si].nodes.size();
+    if (n < cc.lower || n > cc.upper) {
+      result.c3_coverage = false;
+      result.detail += StrFormat("C3: subgraph %zu selects %zu nodes outside "
+                                 "[%zu, %zu]; ",
+                                 si, n, cc.lower, cc.upper);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace gvex

@@ -1,0 +1,33 @@
+// View verification (Lemma 3.1): given a two-tier structure, check
+//   C1 — it is a graph view: the patterns cover all subgraph nodes via
+//        node-induced subgraph isomorphism;
+//   C2 — it is an explanation view: every subgraph is consistent and
+//        counterfactual under M;
+//   C3 — it properly covers the label group: each per-graph node selection
+//        lies within the coverage constraint [b_l, u_l].
+#pragma once
+
+#include <string>
+
+#include "gvex/explain/config.h"
+#include "gvex/explain/view.h"
+#include "gvex/gnn/model.h"
+#include "gvex/graph/graph_db.h"
+
+namespace gvex {
+
+struct ViewVerification {
+  bool c1_graph_view = false;
+  bool c2_explanation = false;
+  bool c3_coverage = false;
+  std::string detail;
+
+  bool ok() const { return c1_graph_view && c2_explanation && c3_coverage; }
+};
+
+ViewVerification VerifyExplanationView(const ExplanationView& view,
+                                       const GraphDatabase& db,
+                                       const GcnClassifier& model,
+                                       const Configuration& config);
+
+}  // namespace gvex

@@ -1,0 +1,87 @@
+#include "gvex/explain/view_io.h"
+
+#include <fstream>
+
+#include "gvex/graph/graph_io.h"
+
+namespace gvex {
+
+namespace {
+constexpr const char* kMagic = "gvexviews-v1";
+}  // namespace
+
+Status WriteViewSet(const ExplanationViewSet& set, std::ostream* out) {
+  (*out) << kMagic << "\n" << set.views.size() << "\n";
+  for (const ExplanationView& view : set.views) {
+    (*out) << "view " << view.label << " " << view.patterns.size() << " "
+           << view.subgraphs.size() << " " << view.explainability << "\n";
+    for (const Graph& p : view.patterns) {
+      GVEX_RETURN_NOT_OK(WriteGraph(p, out));
+    }
+    for (const ExplanationSubgraph& s : view.subgraphs) {
+      (*out) << "sub " << s.graph_index << " " << s.nodes.size() << " "
+             << s.explainability;
+      for (NodeId v : s.nodes) (*out) << " " << v;
+      (*out) << "\n";
+      GVEX_RETURN_NOT_OK(WriteGraph(s.subgraph, out));
+    }
+  }
+  if (!out->good()) return Status::IoError("view stream write failed");
+  return Status::OK();
+}
+
+Result<ExplanationViewSet> ReadViewSet(std::istream* in) {
+  std::string magic;
+  if (!((*in) >> magic) || magic != kMagic) {
+    return Status::IoError("bad view-set magic");
+  }
+  size_t num_views = 0;
+  if (!((*in) >> num_views)) return Status::IoError("bad view count");
+  ExplanationViewSet set;
+  for (size_t vi = 0; vi < num_views; ++vi) {
+    std::string tag;
+    ExplanationView view;
+    size_t num_patterns = 0, num_subgraphs = 0;
+    if (!((*in) >> tag >> view.label >> num_patterns >> num_subgraphs >>
+          view.explainability) ||
+        tag != "view") {
+      return Status::IoError("bad view header");
+    }
+    for (size_t p = 0; p < num_patterns; ++p) {
+      GVEX_ASSIGN_OR_RETURN(Graph pattern, ReadGraph(in));
+      view.patterns.push_back(std::move(pattern));
+    }
+    for (size_t s = 0; s < num_subgraphs; ++s) {
+      ExplanationSubgraph sub;
+      size_t num_nodes = 0;
+      if (!((*in) >> tag >> sub.graph_index >> num_nodes >>
+            sub.explainability) ||
+          tag != "sub") {
+        return Status::IoError("bad subgraph header");
+      }
+      sub.nodes.resize(num_nodes);
+      for (NodeId& v : sub.nodes) {
+        if (!((*in) >> v)) return Status::IoError("bad subgraph node id");
+      }
+      GVEX_ASSIGN_OR_RETURN(Graph g, ReadGraph(in));
+      sub.subgraph = std::move(g);
+      view.subgraphs.push_back(std::move(sub));
+    }
+    set.views.push_back(std::move(view));
+  }
+  return set;
+}
+
+Status SaveViewSet(const ExplanationViewSet& set, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  return WriteViewSet(set, &out);
+}
+
+Result<ExplanationViewSet> LoadViewSet(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  return ReadViewSet(&in);
+}
+
+}  // namespace gvex

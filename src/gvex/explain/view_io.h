@@ -1,0 +1,21 @@
+// Serialization of explanation views, so generated views can be stored,
+// shipped to analysts, and queried later without re-running the solvers
+// (views are materialized structures — the database-views heritage of the
+// paper).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gvex/common/result.h"
+#include "gvex/explain/view.h"
+
+namespace gvex {
+
+Status WriteViewSet(const ExplanationViewSet& set, std::ostream* out);
+Result<ExplanationViewSet> ReadViewSet(std::istream* in);
+
+Status SaveViewSet(const ExplanationViewSet& set, const std::string& path);
+Result<ExplanationViewSet> LoadViewSet(const std::string& path);
+
+}  // namespace gvex

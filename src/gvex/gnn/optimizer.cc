@@ -1,0 +1,50 @@
+#include "gvex/gnn/optimizer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gvex {
+
+void AdamOptimizer::Step(const std::vector<Matrix*>& params,
+                         const std::vector<Matrix*>& grads) {
+  assert(params.size() == grads.size());
+  if (m_.empty()) {
+    m_.resize(params.size());
+    v_.resize(params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      m_[i].assign(params[i]->size(), 0.0f);
+      v_[i].assign(params[i]->size(), 0.0f);
+    }
+  }
+  assert(m_.size() == params.size());
+  ++t_;
+  const float b1 = config_.beta1;
+  const float b2 = config_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  const float lr = config_.learning_rate;
+
+  for (size_t i = 0; i < params.size(); ++i) {
+    float* p = params[i]->data();
+    const float* g = grads[i]->data();
+    assert(params[i]->size() == grads[i]->size());
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (size_t j = 0; j < params[i]->size(); ++j) {
+      float grad = g[j] + config_.weight_decay * p[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * grad;
+      v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
+      float m_hat = m[j] / bias1;
+      float v_hat = v[j] / bias2;
+      p[j] -= lr * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+    }
+  }
+}
+
+void AdamOptimizer::Reset() {
+  t_ = 0;
+  m_.clear();
+  v_.clear();
+}
+
+}  // namespace gvex

@@ -1,0 +1,43 @@
+// Adam optimizer (Kingma & Ba 2015), the paper's training optimizer
+// (§6.1: Adam, lr 0.001).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gvex/tensor/matrix.h"
+
+namespace gvex {
+
+struct AdamConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+/// \brief Adam over an arbitrary list of parameter tensors. State slots are
+/// allocated lazily on the first Step and keyed by position, so the caller
+/// must pass parameters in a stable order.
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(AdamConfig config = {}) : config_(config) {}
+
+  /// Apply one update: params[i] -= lr * m_hat / (sqrt(v_hat) + eps).
+  void Step(const std::vector<Matrix*>& params,
+            const std::vector<Matrix*>& grads);
+
+  void Reset();
+
+  int64_t step_count() const { return t_; }
+  const AdamConfig& config() const { return config_; }
+
+ private:
+  AdamConfig config_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace gvex

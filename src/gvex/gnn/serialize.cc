@@ -1,0 +1,85 @@
+#include "gvex/gnn/serialize.h"
+
+#include <fstream>
+
+namespace gvex {
+
+namespace {
+constexpr const char* kMagic = "gvexgcn-v1";
+
+void WriteMatrix(const Matrix& m, std::ostream* out) {
+  (*out) << m.rows() << " " << m.cols();
+  for (size_t i = 0; i < m.size(); ++i) (*out) << " " << m.data()[i];
+  (*out) << "\n";
+}
+
+bool ReadMatrix(std::istream* in, Matrix* m) {
+  size_t rows = 0, cols = 0;
+  if (!((*in) >> rows >> cols)) return false;
+  *m = Matrix(rows, cols);
+  for (size_t i = 0; i < m->size(); ++i) {
+    if (!((*in) >> m->data()[i])) return false;
+  }
+  return true;
+}
+}  // namespace
+
+Status GcnSerializer::Write(const GcnClassifier& model, std::ostream* out) {
+  const GcnConfig& c = model.config();
+  (*out) << kMagic << "\n"
+         << c.input_dim << " " << c.hidden_dim << " " << c.num_layers << " "
+         << c.num_classes << " " << c.seed << " "
+         << c.edge_type_weights.size();
+  for (float w : c.edge_type_weights) (*out) << " " << w;
+  (*out) << " " << static_cast<int>(c.propagation) << "\n";
+  for (const Matrix* p : model.Parameters()) WriteMatrix(*p, out);
+  if (!out->good()) return Status::IoError("model write failed");
+  return Status::OK();
+}
+
+Result<GcnClassifier> GcnSerializer::Read(std::istream* in) {
+  std::string magic;
+  if (!((*in) >> magic) || magic != kMagic) {
+    return Status::IoError("bad model magic");
+  }
+  GcnConfig config;
+  size_t num_edge_weights = 0;
+  if (!((*in) >> config.input_dim >> config.hidden_dim >> config.num_layers >>
+        config.num_classes >> config.seed >> num_edge_weights)) {
+    return Status::IoError("bad model config");
+  }
+  config.edge_type_weights.resize(num_edge_weights);
+  for (float& w : config.edge_type_weights) {
+    if (!((*in) >> w)) return Status::IoError("bad edge weight");
+  }
+  int propagation = 0;
+  if (!((*in) >> propagation) || propagation < 0 || propagation > 2) {
+    return Status::IoError("bad propagation kind");
+  }
+  config.propagation = static_cast<Graph::PropagationKind>(propagation);
+  GVEX_ASSIGN_OR_RETURN(GcnClassifier model, GcnClassifier::Create(config));
+  for (Matrix* p : model.MutableParameters()) {
+    Matrix loaded;
+    if (!ReadMatrix(in, &loaded)) return Status::IoError("bad model tensor");
+    if (loaded.rows() != p->rows() || loaded.cols() != p->cols()) {
+      return Status::IoError("model tensor shape mismatch");
+    }
+    *p = std::move(loaded);
+  }
+  return model;
+}
+
+Status GcnSerializer::Save(const GcnClassifier& model,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  return Write(model, &out);
+}
+
+Result<GcnClassifier> GcnSerializer::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  return Read(&in);
+}
+
+}  // namespace gvex

@@ -1,0 +1,22 @@
+// Save/load trained GCN models so benches can reuse pretrained classifiers
+// instead of retraining per experiment.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gvex/common/result.h"
+#include "gvex/gnn/model.h"
+
+namespace gvex {
+
+class GcnSerializer {
+ public:
+  static Status Write(const GcnClassifier& model, std::ostream* out);
+  static Result<GcnClassifier> Read(std::istream* in);
+
+  static Status Save(const GcnClassifier& model, const std::string& path);
+  static Result<GcnClassifier> Load(const std::string& path);
+};
+
+}  // namespace gvex

@@ -1,0 +1,107 @@
+#include "gvex/gnn/trainer.h"
+
+#include <algorithm>
+
+#include "gvex/common/logging.h"
+#include "gvex/common/rng.h"
+
+namespace gvex {
+
+TrainReport Trainer::Fit(GcnClassifier* model, const GraphDatabase& db,
+                         const DataSplit& split) const {
+  TrainReport report;
+  if (split.train.empty()) return report;
+
+  AdamOptimizer optimizer(config_.adam);
+  Rng rng(config_.shuffle_seed);
+  std::vector<size_t> order = split.train;
+
+  // Track the best parameters seen on the validation split; ties on
+  // validation accuracy break toward lower training loss so continued
+  // training keeps sharpening the decision boundary (confident
+  // probabilities matter to downstream fidelity measurements).
+  std::vector<Matrix> best_params;
+  float best_val = -1.0f;
+  float best_loss = 1e30f;
+  size_t since_best = 0;
+  auto snapshot = [&]() {
+    best_params.clear();
+    for (const Matrix* p : model->Parameters()) best_params.push_back(*p);
+  };
+  auto restore = [&]() {
+    if (best_params.empty()) return;
+    auto params = model->MutableParameters();
+    for (size_t i = 0; i < params.size(); ++i) *params[i] = best_params[i];
+  };
+
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    float epoch_loss = 0.0f;
+    size_t seen = 0;
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      GcnGradients grads = model->ZeroGradients();
+      size_t end = std::min(order.size(), start + config_.batch_size);
+      size_t batch = end - start;
+      for (size_t i = start; i < end; ++i) {
+        const Graph& g = db.graph(order[i]);
+        if (g.num_nodes() == 0) continue;
+        GcnTrace trace = model->Forward(g);
+        epoch_loss += model->BackwardFromLabel(trace, db.label(order[i]),
+                                               &grads);
+        ++seen;
+      }
+      if (batch > 0) {
+        grads.Scale(1.0f / static_cast<float>(batch));
+        auto params = model->MutableParameters();
+        auto slots = GcnClassifier::GradientSlots(&grads);
+        optimizer.Step(params, slots);
+      }
+    }
+    report.epochs_run = epoch + 1;
+    report.final_train_loss =
+        seen > 0 ? epoch_loss / static_cast<float>(seen) : 0.0f;
+
+    float val = split.validation.empty()
+                    ? -report.final_train_loss  // fall back to loss
+                    : Evaluate(*model, db, split.validation);
+    if (val > best_val ||
+        (val == best_val && report.final_train_loss < best_loss)) {
+      best_val = val;
+      best_loss = report.final_train_loss;
+      snapshot();
+      since_best = 0;
+    } else if (config_.patience > 0 && ++since_best >= config_.patience) {
+      break;
+    }
+    if (config_.verbose && epoch % 10 == 0) {
+      GVEX_LOG(Info) << "epoch " << epoch << " loss "
+                     << report.final_train_loss << " val " << val;
+    }
+  }
+  restore();
+  report.best_validation_accuracy = std::max(0.0f, best_val);
+  report.test_accuracy = Evaluate(*model, db, split.test);
+  return report;
+}
+
+float Trainer::Evaluate(const GcnClassifier& model, const GraphDatabase& db,
+                        const std::vector<size_t>& indices) {
+  if (indices.empty()) return 0.0f;
+  size_t correct = 0;
+  for (size_t i : indices) {
+    if (model.Predict(db.graph(i)) == db.label(i)) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(indices.size());
+}
+
+std::vector<ClassLabel> AssignLabels(const GcnClassifier& model,
+                                     const GraphDatabase& db) {
+  std::vector<ClassLabel> labels(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    labels[i] = model.Predict(db.graph(i));
+  }
+  return labels;
+}
+
+}  // namespace gvex

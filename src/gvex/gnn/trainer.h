@@ -1,0 +1,55 @@
+// Training loop for the GCN classifier: mini-batch gradient accumulation,
+// Adam updates, validation-based best-model tracking, and accuracy
+// reporting. Produces the "fixed, pretrained M" every explainer consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gvex/gnn/model.h"
+#include "gvex/gnn/optimizer.h"
+#include "gvex/graph/graph_db.h"
+
+namespace gvex {
+
+struct TrainerConfig {
+  size_t epochs = 200;
+  size_t batch_size = 16;
+  AdamConfig adam;
+  uint64_t shuffle_seed = 7;
+  /// Stop early when validation accuracy has not improved for this many
+  /// epochs (0 disables early stopping).
+  size_t patience = 40;
+  bool verbose = false;
+};
+
+struct TrainReport {
+  size_t epochs_run = 0;
+  float final_train_loss = 0.0f;
+  float best_validation_accuracy = 0.0f;
+  float test_accuracy = 0.0f;
+};
+
+/// \brief Trains `model` in place on db[split.train], early-stops on
+/// validation accuracy, and reports test accuracy.
+class Trainer {
+ public:
+  explicit Trainer(TrainerConfig config = {}) : config_(config) {}
+
+  TrainReport Fit(GcnClassifier* model, const GraphDatabase& db,
+                  const DataSplit& split) const;
+
+  /// Accuracy of `model` over the listed graph indices.
+  static float Evaluate(const GcnClassifier& model, const GraphDatabase& db,
+                        const std::vector<size_t>& indices);
+
+ private:
+  TrainerConfig config_;
+};
+
+/// \brief Labels assigned by M to every graph in the database — the l = M(G)
+/// assignments that define label groups for explanation.
+std::vector<ClassLabel> AssignLabels(const GcnClassifier& model,
+                                     const GraphDatabase& db);
+
+}  // namespace gvex

@@ -1,0 +1,85 @@
+#include "gvex/graph/graph_db.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gvex/common/rng.h"
+
+namespace gvex {
+
+size_t GraphDatabase::Add(Graph graph, ClassLabel label, std::string name) {
+  graphs_.push_back(std::move(graph));
+  labels_.push_back(label);
+  names_.push_back(std::move(name));
+  return graphs_.size() - 1;
+}
+
+size_t GraphDatabase::num_classes() const {
+  ClassLabel mx = -1;
+  for (ClassLabel l : labels_) mx = std::max(mx, l);
+  return static_cast<size_t>(mx + 1);
+}
+
+size_t GraphDatabase::feature_dim() const {
+  assert(!graphs_.empty());
+  size_t d = graphs_.front().feature_dim();
+  for (const auto& g : graphs_) {
+    assert(g.feature_dim() == d && "inconsistent feature dims");
+    (void)g;
+  }
+  return d;
+}
+
+std::vector<size_t> GraphDatabase::LabelGroup(
+    const std::vector<ClassLabel>& assigned, ClassLabel l) {
+  std::vector<size_t> group;
+  for (size_t i = 0; i < assigned.size(); ++i) {
+    if (assigned[i] == l) group.push_back(i);
+  }
+  return group;
+}
+
+size_t GraphDatabase::TotalNodes(const std::vector<size_t>& indices) const {
+  size_t total = 0;
+  for (size_t i : indices) total += graphs_[i].num_nodes();
+  return total;
+}
+
+GraphDatabase::Stats GraphDatabase::ComputeStats() const {
+  Stats s;
+  s.num_graphs = graphs_.size();
+  s.num_classes = num_classes();
+  s.feature_dim = graphs_.empty() ? 0 : graphs_.front().feature_dim();
+  if (graphs_.empty()) return s;
+  for (const auto& g : graphs_) {
+    s.avg_nodes += static_cast<double>(g.num_nodes());
+    s.avg_edges += static_cast<double>(g.num_edges());
+  }
+  s.avg_nodes /= static_cast<double>(graphs_.size());
+  s.avg_edges /= static_cast<double>(graphs_.size());
+  return s;
+}
+
+DataSplit SplitDatabase(const GraphDatabase& db, double train_frac,
+                        double val_frac, uint64_t seed) {
+  std::vector<size_t> order(db.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(seed);
+  rng.Shuffle(&order);
+
+  DataSplit split;
+  size_t n_train = static_cast<size_t>(train_frac * static_cast<double>(db.size()));
+  size_t n_val = static_cast<size_t>(val_frac * static_cast<double>(db.size()));
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i < n_train) {
+      split.train.push_back(order[i]);
+    } else if (i < n_train + n_val) {
+      split.validation.push_back(order[i]);
+    } else {
+      split.test.push_back(order[i]);
+    }
+  }
+  return split;
+}
+
+}  // namespace gvex

@@ -1,0 +1,77 @@
+// GraphDatabase: the set G of graphs being classified, plus per-graph
+// metadata (ground-truth labels, names) and label-group extraction.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gvex/common/result.h"
+#include "gvex/graph/graph.h"
+
+namespace gvex {
+
+/// \brief A database G = {G_1, ..., G_m} with ground-truth class labels.
+///
+/// Explainers operate on the labels assigned by a GNN M, not the ground
+/// truth; the ground truth here exists to train M and to report its test
+/// accuracy.
+class GraphDatabase {
+ public:
+  GraphDatabase() = default;
+
+  /// Add a graph with its ground-truth label and an optional display name.
+  size_t Add(Graph graph, ClassLabel label, std::string name = "");
+
+  size_t size() const { return graphs_.size(); }
+  bool empty() const { return graphs_.empty(); }
+
+  const Graph& graph(size_t i) const { return graphs_[i]; }
+  Graph& mutable_graph(size_t i) { return graphs_[i]; }
+  ClassLabel label(size_t i) const { return labels_[i]; }
+  const std::string& name(size_t i) const { return names_[i]; }
+
+  const std::vector<ClassLabel>& labels() const { return labels_; }
+
+  /// Number of distinct ground-truth labels (max label + 1; labels must be
+  /// dense non-negative ints).
+  size_t num_classes() const;
+
+  /// Feature dimensionality (asserts all graphs agree).
+  size_t feature_dim() const;
+
+  /// Indices of graphs whose *given* labels (e.g. GNN-assigned) equal l.
+  static std::vector<size_t> LabelGroup(const std::vector<ClassLabel>& assigned,
+                                        ClassLabel l);
+
+  /// Total node count across a set of graph indices.
+  size_t TotalNodes(const std::vector<size_t>& indices) const;
+
+  /// Aggregate statistics, matching the columns of Table 3 of the paper.
+  struct Stats {
+    double avg_nodes = 0.0;
+    double avg_edges = 0.0;
+    size_t num_graphs = 0;
+    size_t num_classes = 0;
+    size_t feature_dim = 0;
+  };
+  Stats ComputeStats() const;
+
+ private:
+  std::vector<Graph> graphs_;
+  std::vector<ClassLabel> labels_;
+  std::vector<std::string> names_;
+};
+
+/// \brief Deterministic train/validation/test split (80/10/10 by default,
+/// matching the paper's protocol §6.1).
+struct DataSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> validation;
+  std::vector<size_t> test;
+};
+
+DataSplit SplitDatabase(const GraphDatabase& db, double train_frac,
+                        double val_frac, uint64_t seed);
+
+}  // namespace gvex

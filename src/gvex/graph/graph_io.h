@@ -1,0 +1,25 @@
+// Plain-text serialization of graphs and graph databases, so generated
+// datasets and explanation views can be saved, inspected, and reloaded.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gvex/common/result.h"
+#include "gvex/graph/graph_db.h"
+
+namespace gvex {
+
+/// Write a database in the gvex v1 text format.
+Status WriteDatabase(const GraphDatabase& db, std::ostream* out);
+Status SaveDatabase(const GraphDatabase& db, const std::string& path);
+
+/// Read a database back.
+Result<GraphDatabase> ReadDatabase(std::istream* in);
+Result<GraphDatabase> LoadDatabase(const std::string& path);
+
+/// Single-graph helpers (used for patterns / explanation subgraphs).
+Status WriteGraph(const Graph& g, std::ostream* out);
+Result<Graph> ReadGraph(std::istream* in);
+
+}  // namespace gvex

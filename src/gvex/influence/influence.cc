@@ -1,0 +1,190 @@
+#include "gvex/influence/influence.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "gvex/common/string_util.h"
+#include "gvex/tensor/ops.h"
+
+namespace gvex {
+namespace {
+
+// Exact backend: forward-mode differentiation with realized ReLU gates.
+// For each source node u and input dimension j, propagate the tangent
+// T^0 = e_u e_j^T through X^{i+1} = ReLU(S X^i W_i + b_i):
+//   T^{i+1} = [pre_i > 0] ⊙ (S T^i W_i)
+// and accumulate I1(v, u) = sum_j || T_j^k[v, :] ||_1.
+Matrix ExactJacobianInfluence(const GcnClassifier& model, const Graph& g,
+                              const GcnTrace& trace) {
+  const size_t n = g.num_nodes();
+  const size_t d_in = g.feature_dim();
+  const size_t layers = model.num_layers();
+  Matrix i1(n, n);
+
+  // Gather the conv weights through the public parameter view: the first
+  // `layers` parameter tensors are the conv weights (see GcnClassifier).
+  std::vector<const Matrix*> params = model.Parameters();
+
+  for (NodeId u = 0; u < n; ++u) {
+    for (size_t j = 0; j < d_in; ++j) {
+      // Layer 0 applied to T^0 = e_u e_j^T: (S T^0 W)[v, :] = S[v,u] * W[j, :].
+      const Matrix& w0 = *params[0];
+      Matrix t(n, w0.cols());
+      for (size_t v = 0; v < n; ++v) {
+        float s_vu = trace.s.At(v, u);
+        if (s_vu == 0.0f) continue;
+        for (size_t c = 0; c < w0.cols(); ++c) t.At(v, c) = s_vu * w0.At(j, c);
+      }
+      // Gate through layer 0's pre-activation.
+      for (size_t idx = 0; idx < t.size(); ++idx) {
+        if (trace.pre[0].data()[idx] <= 0.0f) t.data()[idx] = 0.0f;
+      }
+      // Remaining layers.
+      for (size_t layer = 1; layer < layers; ++layer) {
+        Matrix agg = trace.s.MultiplyDense(t);
+        t = MatMul(agg, *params[layer]);
+        for (size_t idx = 0; idx < t.size(); ++idx) {
+          if (trace.pre[layer].data()[idx] <= 0.0f) t.data()[idx] = 0.0f;
+        }
+      }
+      for (size_t v = 0; v < n; ++v) {
+        i1.At(v, u) += t.RowL1Norm(v);
+      }
+    }
+  }
+  return i1;
+}
+
+// Random-walk backend: I1(v, u) = [S^k]_{vu} (expected-Jacobian surrogate).
+Matrix RandomWalkInfluence(const CsrMatrix& s, size_t k) {
+  const size_t n = s.n();
+  Matrix p = Matrix::Identity(n);
+  for (size_t i = 0; i < k; ++i) p = s.MultiplyDense(p);
+  // p(v, u) already equals [S^k]_{vu}: row v collects mass arriving at v.
+  return p;
+}
+
+}  // namespace
+
+Result<InfluenceAnalyzer> InfluenceAnalyzer::Build(
+    const GcnClassifier& model, const Graph& graph,
+    const InfluenceOptions& options) {
+  if (graph.num_nodes() > 0 && !graph.has_features()) {
+    return Status::InvalidArgument("graph lacks features");
+  }
+  InfluenceAnalyzer a;
+  a.n_ = graph.num_nodes();
+  a.options_ = options;
+  if (a.n_ == 0) return a;
+
+  GcnTrace trace = model.Forward(graph);
+  a.embeddings_ = trace.x.back();
+
+  switch (options.backend) {
+    case InfluenceBackend::kExactJacobian:
+      if (a.n_ > options.exact_backend_node_limit) {
+        return Status::FailedPrecondition(
+            StrFormat("exact Jacobian backend limited to %zu nodes, got %zu",
+                      options.exact_backend_node_limit, a.n_));
+      }
+      a.i1_ = ExactJacobianInfluence(model, graph, trace);
+      break;
+    case InfluenceBackend::kRandomWalk:
+      a.i1_ = RandomWalkInfluence(trace.s, model.num_layers());
+      break;
+  }
+
+  // I2 (Eq. 4): normalize each target row of I1 over sources.
+  a.i2_ = Matrix(a.n_, a.n_);
+  for (size_t v = 0; v < a.n_; ++v) {
+    double row_sum = 0.0;
+    for (size_t u = 0; u < a.n_; ++u) row_sum += a.i1_.At(v, u);
+    if (row_sum <= 0.0) continue;
+    const float inv = static_cast<float>(1.0 / row_sum);
+    for (size_t u = 0; u < a.n_; ++u) {
+      a.i2_.At(v, u) = a.i1_.At(v, u) * inv;
+    }
+  }
+
+  a.FinalizeSets();
+  return a;
+}
+
+void InfluenceAnalyzer::FinalizeSets() {
+  influenced_.assign(n_, DynamicBitset(n_));
+  for (NodeId u = 0; u < n_; ++u) {
+    for (NodeId v = 0; v < n_; ++v) {
+      if (i2_.At(v, u) >= options_.theta) influenced_[u].Set(v);
+    }
+  }
+  ball_.assign(n_, DynamicBitset(n_));
+  for (NodeId v = 0; v < n_; ++v) {
+    for (NodeId w = 0; w < n_; ++w) {
+      if (NormalizedRowDistance(embeddings_, v, w) <= options_.radius) {
+        ball_[v].Set(w);
+      }
+    }
+  }
+}
+
+size_t InfluenceAnalyzer::InfluenceScore(const std::vector<NodeId>& vs) const {
+  DynamicBitset acc(n_);
+  for (NodeId u : vs) acc.UnionWith(influenced_[u]);
+  return acc.Count();
+}
+
+size_t InfluenceAnalyzer::DiversityScore(const std::vector<NodeId>& vs) const {
+  DynamicBitset influenced(n_);
+  for (NodeId u : vs) influenced.UnionWith(influenced_[u]);
+  DynamicBitset balls(n_);
+  for (size_t v : influenced.ToVector()) {
+    balls.UnionWith(ball_[v]);
+  }
+  return balls.Count();
+}
+
+InfluenceAccumulator::InfluenceAccumulator(const InfluenceAnalyzer* analyzer)
+    : analyzer_(analyzer),
+      influence_union_(analyzer->num_nodes()),
+      diversity_union_(analyzer->num_nodes()) {}
+
+double InfluenceAccumulator::Score(float gamma) const {
+  return static_cast<double>(influence_union_.Count()) +
+         static_cast<double>(gamma) *
+             static_cast<double>(diversity_union_.Count());
+}
+
+double InfluenceAccumulator::ScoreWith(NodeId v, float gamma) const {
+  const DynamicBitset& inf_v = analyzer_->InfluencedBy(v);
+  size_t new_influence = influence_union_.UnionCount(inf_v);
+  // Diversity gains come only from newly influenced nodes' balls.
+  DynamicBitset tentative = diversity_union_;
+  DynamicBitset newly = inf_v;
+  for (size_t idx : newly.ToVector()) {
+    if (!influence_union_.Test(idx)) {
+      tentative.UnionWith(analyzer_->Ball(static_cast<NodeId>(idx)));
+    }
+  }
+  return static_cast<double>(new_influence) +
+         static_cast<double>(gamma) * static_cast<double>(tentative.Count());
+}
+
+void InfluenceAccumulator::Add(NodeId v) {
+  const DynamicBitset& inf_v = analyzer_->InfluencedBy(v);
+  for (size_t idx : inf_v.ToVector()) {
+    if (!influence_union_.Test(idx)) {
+      diversity_union_.UnionWith(analyzer_->Ball(static_cast<NodeId>(idx)));
+    }
+  }
+  influence_union_.UnionWith(inf_v);
+  selected_.push_back(v);
+}
+
+void InfluenceAccumulator::Rebuild(const std::vector<NodeId>& vs) {
+  influence_union_.Clear();
+  diversity_union_.Clear();
+  selected_.clear();
+  for (NodeId v : vs) Add(v);
+}
+
+}  // namespace gvex

@@ -1,0 +1,264 @@
+#include "gvex/matching/vf2.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace gvex {
+namespace {
+
+// Search state for one (pattern, target) matching run.
+class Vf2State {
+ public:
+  Vf2State(const Graph& pattern, const Graph& target,
+           const MatchOptions& options,
+           const std::function<bool(const Match&)>& cb)
+      : pattern_(pattern),
+        target_(target),
+        options_(options),
+        cb_(cb),
+        assignment_(pattern.num_nodes(), kInvalidNode),
+        used_(target.num_nodes(), false) {
+    // Undirected adjacency view of the pattern (for ordering and anchor
+    // selection; feasibility still checks directions).
+    pattern_undirected_.resize(pattern.num_nodes());
+    for (NodeId u = 0; u < pattern.num_nodes(); ++u) {
+      for (const auto& nb : pattern.neighbors(u)) {
+        pattern_undirected_[u].push_back(nb.node);
+        if (pattern.directed()) pattern_undirected_[nb.node].push_back(u);
+      }
+    }
+    BuildOrder();
+  }
+
+  size_t Run() {
+    if (order_.empty() || pattern_.num_nodes() > target_.num_nodes()) {
+      return 0;
+    }
+    Extend(0);
+    return delivered_;
+  }
+
+ private:
+  // Match pattern nodes in a connectivity-respecting order, starting from
+  // the highest-degree node: each subsequent node (except roots of new
+  // components, which we disallow — patterns must be connected) has at
+  // least one already-matched neighbor, enabling candidate restriction.
+  void BuildOrder() {
+    const size_t np = pattern_.num_nodes();
+    if (np == 0) return;
+    std::vector<bool> placed(np, false);
+    NodeId root = 0;
+    for (NodeId v = 1; v < np; ++v) {
+      if (pattern_undirected_[v].size() > pattern_undirected_[root].size()) {
+        root = v;
+      }
+    }
+    order_.push_back(root);
+    placed[root] = true;
+    // Greedy BFS-like extension preferring nodes with most placed neighbors.
+    while (order_.size() < np) {
+      NodeId best = kInvalidNode;
+      size_t best_links = 0;
+      for (NodeId v = 0; v < np; ++v) {
+        if (placed[v]) continue;
+        size_t links = 0;
+        for (NodeId u : pattern_undirected_[v]) {
+          if (placed[u]) ++links;
+        }
+        if (links > best_links ||
+            (best == kInvalidNode && links > 0 && best_links == 0)) {
+          best = v;
+          best_links = links;
+        }
+      }
+      if (best == kInvalidNode || best_links == 0) {
+        // Disconnected pattern: refuse (paper patterns are connected).
+        order_.clear();
+        return;
+      }
+      order_.push_back(best);
+      placed[best] = true;
+    }
+  }
+
+  bool Feasible(NodeId pv, NodeId tv) {
+    if (pattern_.node_type(pv) != target_.node_type(tv)) return false;
+    if (target_.degree(tv) < pattern_.degree(pv) &&
+        options_.semantics == MatchSemantics::kSubgraph) {
+      return false;
+    }
+    // Check consistency against all already-assigned pattern nodes. For
+    // directed graphs each direction is verified independently.
+    auto check_direction = [&](NodeId pa, NodeId pb, NodeId ta,
+                               NodeId tb) -> bool {
+      bool p_edge = pattern_.HasEdge(pa, pb);
+      bool t_edge = target_.HasEdge(ta, tb);
+      if (p_edge) {
+        if (!t_edge) return false;
+        if (pattern_.GetEdgeType(pa, pb) != target_.GetEdgeType(ta, tb)) {
+          return false;
+        }
+      } else if (options_.semantics == MatchSemantics::kInduced && t_edge) {
+        return false;
+      }
+      return true;
+    };
+    for (NodeId pu = 0; pu < pattern_.num_nodes(); ++pu) {
+      NodeId tu = assignment_[pu];
+      if (tu == kInvalidNode || pu == pv) continue;
+      if (!check_direction(pu, pv, tu, tv)) return false;
+      if (pattern_.directed() && !check_direction(pv, pu, tv, tu)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Returns false to abort the whole search (budget exhausted / cb stop).
+  bool Extend(size_t depth) {
+    if (options_.max_steps > 0 && ++steps_ > options_.max_steps) return false;
+    if (depth == order_.size()) {
+      ++delivered_;
+      if (!cb_(assignment_)) return false;
+      if (options_.max_matches > 0 && delivered_ >= options_.max_matches) {
+        return false;
+      }
+      return true;
+    }
+    NodeId pv = order_[depth];
+    // Restrict candidates to neighbors of an already-matched pattern
+    // neighbor when possible (always possible beyond the root).
+    if (depth == 0) {
+      for (NodeId tv = 0; tv < target_.num_nodes(); ++tv) {
+        if (!TryAssign(pv, tv, depth)) return false;
+      }
+    } else {
+      NodeId anchor_p = kInvalidNode;
+      for (NodeId u : pattern_undirected_[pv]) {
+        if (assignment_[u] != kInvalidNode) {
+          anchor_p = u;
+          break;
+        }
+      }
+      assert(anchor_p != kInvalidNode);
+      NodeId anchor_t = assignment_[anchor_p];
+      for (const auto& nb : target_.neighbors(anchor_t)) {
+        if (!TryAssign(pv, nb.node, depth)) return false;
+      }
+      // Directed targets store out-edges at the source; if the pattern edge
+      // may be realized as an in-edge of anchor_t, scan sources too.
+      if (target_.directed()) {
+        for (NodeId tu = 0; tu < target_.num_nodes(); ++tu) {
+          if (target_.HasEdge(tu, anchor_t)) {
+            if (!TryAssign(pv, tu, depth)) return false;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  bool TryAssign(NodeId pv, NodeId tv, size_t depth) {
+    if (used_[tv]) return true;
+    if (!Feasible(pv, tv)) return true;
+    assignment_[pv] = tv;
+    used_[tv] = true;
+    bool keep_going = Extend(depth + 1);
+    assignment_[pv] = kInvalidNode;
+    used_[tv] = false;
+    return keep_going;
+  }
+
+  const Graph& pattern_;
+  const Graph& target_;
+  const MatchOptions& options_;
+  const std::function<bool(const Match&)>& cb_;
+  std::vector<std::vector<NodeId>> pattern_undirected_;
+  std::vector<NodeId> order_;
+  Match assignment_;
+  std::vector<bool> used_;
+  size_t steps_ = 0;
+  size_t delivered_ = 0;
+};
+
+}  // namespace
+
+size_t Vf2Matcher::EnumerateMatches(
+    const Graph& pattern, const Graph& target, const MatchOptions& options,
+    const std::function<bool(const Match&)>& cb) {
+  if (pattern.num_nodes() == 0) return 0;
+  Vf2State state(pattern, target, options, cb);
+  return state.Run();
+}
+
+std::vector<Match> Vf2Matcher::FindMatches(const Graph& pattern,
+                                           const Graph& target,
+                                           const MatchOptions& options) {
+  std::vector<Match> matches;
+  EnumerateMatches(pattern, target, options, [&](const Match& m) {
+    matches.push_back(m);
+    return true;
+  });
+  return matches;
+}
+
+bool Vf2Matcher::HasMatch(const Graph& pattern, const Graph& target,
+                          const MatchOptions& options) {
+  MatchOptions first_only = options;
+  first_only.max_matches = 1;
+  return EnumerateMatches(pattern, target, first_only,
+                          [](const Match&) { return false; }) > 0;
+}
+
+std::vector<std::pair<NodeId, NodeId>> EdgeList(const Graph& g) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& nb : g.neighbors(u)) {
+      if (!g.directed() && nb.node < u) continue;
+      edges.emplace_back(u, nb.node);
+    }
+  }
+  return edges;
+}
+
+CoverageResult ComputeCoverage(const std::vector<Graph>& patterns,
+                               const Graph& target,
+                               const MatchOptions& options) {
+  CoverageResult result;
+  result.covered_nodes = DynamicBitset(target.num_nodes());
+  auto edges = EdgeList(target);
+  result.covered_edges = DynamicBitset(edges.size());
+
+  // Edge -> index lookup for marking covered edges during enumeration.
+  std::map<std::pair<NodeId, NodeId>, size_t> edge_index;
+  for (size_t i = 0; i < edges.size(); ++i) edge_index[edges[i]] = i;
+  auto edge_id = [&](NodeId u, NodeId v) -> size_t {
+    if (!target.directed() && u > v) std::swap(u, v);
+    auto it = edge_index.find({u, v});
+    return it == edge_index.end() ? static_cast<size_t>(-1) : it->second;
+  };
+
+  for (const Graph& p : patterns) {
+    auto p_edges = EdgeList(p);
+    Vf2Matcher::EnumerateMatches(p, target, options, [&](const Match& m) {
+      ++result.num_matches;
+      for (NodeId tv : m) result.covered_nodes.Set(tv);
+      for (auto [pu, pv] : p_edges) {
+        size_t idx = edge_id(m[pu], m[pv]);
+        if (idx != static_cast<size_t>(-1)) result.covered_edges.Set(idx);
+      }
+      // Early exit if everything is already covered.
+      return result.covered_nodes.Count() < target.num_nodes() ||
+             result.covered_edges.Count() < edges.size();
+    });
+    if (result.covered_nodes.Count() == target.num_nodes() &&
+        result.covered_edges.Count() == edges.size()) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace gvex

@@ -1,0 +1,78 @@
+// Subgraph isomorphism (the PMatch primitive of §4).
+//
+// Patterns are matched into target graphs by a VF2-style backtracking
+// search with type compatibility and adjacency-consistency pruning.
+// Two semantics are supported:
+//  * kSubgraph — ordinary subgraph isomorphism: every pattern edge must map
+//    to a target edge (the containment direction of the paper's matching
+//    definition in §2.1);
+//  * kInduced  — node-induced isomorphism: additionally, pattern non-edges
+//    must map to target non-edges (the semantics named by the paper, used
+//    for view verification C1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gvex/common/bitset.h"
+#include "gvex/common/stopwatch.h"
+#include "gvex/graph/graph.h"
+
+namespace gvex {
+
+enum class MatchSemantics {
+  kSubgraph,
+  kInduced,
+};
+
+struct MatchOptions {
+  MatchSemantics semantics = MatchSemantics::kInduced;
+  /// Stop after this many matches (0 = unlimited).
+  size_t max_matches = 0;
+  /// Give up (returning what was found) after this many backtracking steps
+  /// (0 = unlimited). Guards the NP-hard worst case in streaming paths.
+  size_t max_steps = 0;
+};
+
+/// One match: match[i] is the target node assigned to pattern node i.
+using Match = std::vector<NodeId>;
+
+/// \brief Backtracking matcher for connected patterns.
+class Vf2Matcher {
+ public:
+  /// All (or up to options.max_matches) matches of `pattern` in `target`.
+  /// The pattern must be connected; disconnected patterns yield no matches.
+  static std::vector<Match> FindMatches(const Graph& pattern,
+                                        const Graph& target,
+                                        const MatchOptions& options = {});
+
+  /// True iff at least one match exists.
+  static bool HasMatch(const Graph& pattern, const Graph& target,
+                       const MatchOptions& options = {});
+
+  /// Enumerate matches through a callback; return false from the callback
+  /// to stop. Returns the number of matches delivered.
+  static size_t EnumerateMatches(const Graph& pattern, const Graph& target,
+                                 const MatchOptions& options,
+                                 const std::function<bool(const Match&)>& cb);
+};
+
+/// \brief Node/edge coverage of a target graph by a set of patterns
+/// (the PMatch operator checking constraints C1/C3).
+struct CoverageResult {
+  DynamicBitset covered_nodes;            // over target nodes
+  DynamicBitset covered_edges;            // over EdgeList(target) indices
+  size_t num_matches = 0;
+};
+
+/// Canonical edge list of a graph: pairs (u, v) with u < v for undirected
+/// graphs, (u, v) as stored for directed. Index order is deterministic.
+std::vector<std::pair<NodeId, NodeId>> EdgeList(const Graph& g);
+
+/// Coverage of `target` by every pattern in `patterns`.
+CoverageResult ComputeCoverage(const std::vector<Graph>& patterns,
+                               const Graph& target,
+                               const MatchOptions& options = {});
+
+}  // namespace gvex

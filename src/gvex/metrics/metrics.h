@@ -1,0 +1,41 @@
+// Evaluation metrics of §6.1: Fidelity+ (Eq. 8), Fidelity- (Eq. 9),
+// Sparsity (Eq. 10), and Compression (Eq. 11). All explainers produce
+// per-graph node selections, so the metrics take a uniform representation.
+#pragma once
+
+#include <vector>
+
+#include "gvex/explain/view.h"
+#include "gvex/gnn/model.h"
+#include "gvex/graph/graph_db.h"
+#include "gvex/matching/vf2.h"
+
+namespace gvex {
+
+/// \brief A generic per-graph explanation: the selected node subset.
+struct GraphExplanation {
+  size_t graph_index = 0;
+  std::vector<NodeId> nodes;
+};
+
+struct FidelityReport {
+  double fidelity_plus = 0.0;   ///< higher is better (counterfactual)
+  double fidelity_minus = 0.0;  ///< near or below zero is better (consistent)
+  double sparsity = 0.0;        ///< higher is more concise
+  size_t num_graphs = 0;        ///< graphs actually evaluated
+};
+
+/// Evaluate explanations against the model's own predictions l_G = M(G).
+/// Graphs with empty explanations are skipped.
+FidelityReport EvaluateFidelity(const GcnClassifier& model,
+                                const GraphDatabase& db,
+                                const std::vector<GraphExplanation>& explanations);
+
+/// Flatten an explanation view into the generic representation.
+std::vector<GraphExplanation> ToGraphExplanations(const ExplanationView& view);
+
+/// Edge loss of a view: fraction of subgraph edges its patterns miss
+/// (Fig. 8(c,d)). Recomputed from scratch via pattern matching.
+double ViewEdgeLoss(const ExplanationView& view, const MatchOptions& options);
+
+}  // namespace gvex

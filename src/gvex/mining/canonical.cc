@@ -1,0 +1,95 @@
+#include "gvex/mining/canonical.h"
+
+#include <algorithm>
+#include <functional>
+#include <cassert>
+#include <numeric>
+
+#include "gvex/common/string_util.h"
+
+namespace gvex {
+namespace {
+
+// Encode the graph under a specific node order as a compact string:
+// node types in order, then the upper-triangle adjacency with edge types.
+std::string EncodeUnderPermutation(const Graph& g,
+                                   const std::vector<NodeId>& perm) {
+  const size_t n = g.num_nodes();
+  std::string code;
+  code.reserve(n * 3 + n * n);
+  for (NodeId v : perm) {
+    code += std::to_string(g.node_type(v));
+    code += ',';
+  }
+  code += '|';
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (g.HasEdge(perm[i], perm[j])) {
+        code += std::to_string(g.GetEdgeType(perm[i], perm[j]) + 1);
+      } else {
+        code += '0';
+      }
+      code += ';';
+    }
+  }
+  return code;
+}
+
+}  // namespace
+
+std::string CanonicalCode(const Graph& g) {
+  const size_t n = g.num_nodes();
+  if (n == 0) return "empty";
+
+  // Order nodes by (type, degree) to shrink the permutation space: only
+  // permutations that respect this sort order can be minimal, because the
+  // type prefix of the code is compared first.
+  std::vector<NodeId> base(n);
+  std::iota(base.begin(), base.end(), 0);
+  auto cls = [&](NodeId v) {
+    return std::make_pair(g.node_type(v), g.degree(v));
+  };
+  std::sort(base.begin(), base.end(),
+            [&](NodeId a, NodeId b) { return cls(a) < cls(b); });
+
+  // Enumerate permutations within equivalence classes of equal (type,
+  // degree); across classes the order is fixed by the sort.
+  std::string best;
+  std::vector<NodeId> perm = base;
+  // Identify class boundaries.
+  std::vector<std::pair<size_t, size_t>> classes;
+  size_t start = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    if (i == n || cls(base[i]) != cls(base[start])) {
+      classes.emplace_back(start, i);
+      start = i;
+    }
+  }
+  // Recursive product of per-class permutations.
+  std::function<void(size_t)> recurse = [&](size_t ci) {
+    if (ci == classes.size()) {
+      std::string code = EncodeUnderPermutation(g, perm);
+      if (best.empty() || code < best) best = std::move(code);
+      return;
+    }
+    auto [lo, hi] = classes[ci];
+    std::vector<NodeId> segment(perm.begin() + lo, perm.begin() + hi);
+    std::sort(segment.begin(), segment.end());
+    do {
+      std::copy(segment.begin(), segment.end(), perm.begin() + lo);
+      recurse(ci + 1);
+    } while (std::next_permutation(segment.begin(), segment.end()));
+  };
+  recurse(0);
+  return best;
+}
+
+bool AreIsomorphic(const Graph& a, const Graph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  if (a.StructureSignature() != b.StructureSignature()) return false;
+  return CanonicalCode(a) == CanonicalCode(b);
+}
+
+}  // namespace gvex

@@ -1,0 +1,188 @@
+#include "gvex/mining/pgen.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "gvex/mining/canonical.h"
+
+namespace gvex {
+namespace {
+
+// ESU extension step. `sub` is the current connected set, `ext` the legal
+// extension candidates, `root` the anchor enforcing uniqueness (only nodes
+// with id > root ever join).
+struct EsuDriver {
+  const Graph& g;
+  size_t min_nodes;
+  size_t max_nodes;
+  size_t max_enumerated;
+  const std::function<bool(const std::vector<NodeId>&)>& cb;
+  size_t emitted = 0;
+  bool aborted = false;
+
+  // Neighborhood-of-subgraph membership, maintained incrementally.
+  std::vector<bool> in_sub;
+  std::vector<bool> in_neighborhood;
+
+  bool Emit(const std::vector<NodeId>& sub) {
+    if (++emitted > max_enumerated) {
+      aborted = true;
+      return false;
+    }
+    if (sub.size() >= min_nodes) {
+      std::vector<NodeId> sorted = sub;
+      std::sort(sorted.begin(), sorted.end());
+      if (!cb(sorted)) {
+        aborted = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Extend(std::vector<NodeId>* sub, std::vector<NodeId> ext, NodeId root) {
+    if (!Emit(*sub)) return false;
+    if (sub->size() == max_nodes) return true;
+    while (!ext.empty()) {
+      NodeId w = ext.back();
+      ext.pop_back();
+      // New extension set: old ext plus exclusive neighbors of w.
+      std::vector<NodeId> next_ext = ext;
+      std::vector<NodeId> newly_flagged;
+      for (const auto& nb : g.neighbors(w)) {
+        NodeId u = nb.node;
+        if (u > root && !in_sub[u] && !in_neighborhood[u]) {
+          next_ext.push_back(u);
+          in_neighborhood[u] = true;
+          newly_flagged.push_back(u);
+        }
+      }
+      sub->push_back(w);
+      in_sub[w] = true;
+      bool keep_going = Extend(sub, std::move(next_ext), root);
+      in_sub[w] = false;
+      sub->pop_back();
+      for (NodeId u : newly_flagged) in_neighborhood[u] = false;
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+bool EnumerateConnectedSubgraphs(
+    const Graph& g, size_t min_nodes, size_t max_nodes, size_t max_enumerated,
+    const std::function<bool(const std::vector<NodeId>&)>& cb) {
+  if (g.num_nodes() == 0 || max_nodes == 0) return true;
+  EsuDriver driver{g, min_nodes, max_nodes,
+                   max_enumerated == 0 ? static_cast<size_t>(-1)
+                                       : max_enumerated,
+                   cb,
+                   /*emitted=*/0,
+                   /*aborted=*/false,
+                   /*in_sub=*/{},
+                   /*in_neighborhood=*/{}};
+  driver.in_sub.assign(g.num_nodes(), false);
+  driver.in_neighborhood.assign(g.num_nodes(), false);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::vector<NodeId> ext;
+    std::vector<NodeId> flagged;
+    for (const auto& nb : g.neighbors(v)) {
+      if (nb.node > v && !driver.in_neighborhood[nb.node]) {
+        ext.push_back(nb.node);
+        driver.in_neighborhood[nb.node] = true;
+        flagged.push_back(nb.node);
+      }
+    }
+    std::vector<NodeId> sub{v};
+    driver.in_sub[v] = true;
+    bool keep_going = driver.Extend(&sub, std::move(ext), v);
+    driver.in_sub[v] = false;
+    for (NodeId u : flagged) driver.in_neighborhood[u] = false;
+    if (!keep_going) return !driver.aborted;
+  }
+  return !driver.aborted;
+}
+
+Graph ToPattern(const Graph& g) {
+  Graph p(g.directed());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) p.AddNode(g.node_type(v));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& nb : g.neighbors(u)) {
+      if (!g.directed() && nb.node < u) continue;
+      Status st = p.AddEdge(u, nb.node, nb.edge_type);
+      (void)st;
+    }
+  }
+  return p;
+}
+
+std::vector<PatternCandidate> GeneratePatternCandidates(
+    const std::vector<Graph>& subgraphs, const PgenOptions& options) {
+  struct Entry {
+    PatternCandidate candidate;
+    std::set<size_t> sources;
+  };
+  std::unordered_map<std::string, Entry> by_code;
+
+  for (size_t gi = 0; gi < subgraphs.size(); ++gi) {
+    const Graph& g = subgraphs[gi];
+    EnumerateConnectedSubgraphs(
+        g, options.min_pattern_nodes, options.max_pattern_nodes,
+        options.max_enumerated_per_graph,
+        [&](const std::vector<NodeId>& nodes) {
+          Graph piece = ToPattern(g.InducedSubgraph(nodes));
+          std::string code = CanonicalCode(piece);
+          auto it = by_code.find(code);
+          if (it == by_code.end()) {
+            Entry e;
+            e.candidate.pattern = std::move(piece);
+            e.candidate.canonical = code;
+            e.candidate.embeddings = 1;
+            e.sources.insert(gi);
+            by_code.emplace(std::move(code), std::move(e));
+          } else {
+            it->second.candidate.embeddings += 1;
+            it->second.sources.insert(gi);
+          }
+          return true;
+        });
+  }
+
+  std::vector<PatternCandidate> out;
+  out.reserve(by_code.size());
+  for (auto& [code, entry] : by_code) {
+    PatternCandidate c = std::move(entry.candidate);
+    c.support = entry.sources.size();
+    // MDL-style compression gain: re-encoding (embeddings - 1) occurrences
+    // by a pointer to the pattern saves ~(nodes + edges) symbols each,
+    // minus the one-time cost of describing the pattern itself.
+    const double size_cost = static_cast<double>(c.pattern.num_nodes() +
+                                                 c.pattern.num_edges());
+    c.mdl_score =
+        (static_cast<double>(c.embeddings) - 1.0) * size_cost - size_cost;
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PatternCandidate& a, const PatternCandidate& b) {
+              if (a.mdl_score != b.mdl_score) return a.mdl_score > b.mdl_score;
+              if (a.embeddings != b.embeddings) return a.embeddings > b.embeddings;
+              return a.canonical < b.canonical;  // deterministic tie-break
+            });
+  if (options.max_candidates > 0 && out.size() > options.max_candidates) {
+    out.resize(options.max_candidates);
+  }
+  return out;
+}
+
+std::vector<PatternCandidate> GenerateLocalPatternCandidates(
+    const Graph& g, NodeId v, unsigned hops, const PgenOptions& options) {
+  std::vector<NodeId> hood = g.KHopNeighborhood(v, hops);
+  Graph local = g.InducedSubgraph(hood);
+  return GeneratePatternCandidates({local}, options);
+}
+
+}  // namespace gvex

@@ -1,0 +1,127 @@
+#include "gvex/tensor/csr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace gvex {
+
+CsrMatrix CsrMatrix::FromTriplets(size_t n, const std::vector<size_t>& rows,
+                                  const std::vector<size_t>& cols,
+                                  const std::vector<float>& values) {
+  assert(rows.size() == cols.size() && cols.size() == values.size());
+  CsrMatrix m;
+  m.n_ = n;
+  m.row_ptr_.assign(n + 1, 0);
+
+  // Count entries per row, then prefix-sum into row_ptr.
+  for (size_t r : rows) {
+    assert(r < n);
+    m.row_ptr_[r + 1]++;
+  }
+  for (size_t i = 0; i < n; ++i) m.row_ptr_[i + 1] += m.row_ptr_[i];
+
+  std::vector<size_t> cursor(m.row_ptr_.begin(), m.row_ptr_.end() - 1);
+  m.col_idx_.resize(rows.size());
+  m.values_.resize(rows.size());
+  for (size_t k = 0; k < rows.size(); ++k) {
+    size_t pos = cursor[rows[k]]++;
+    m.col_idx_[pos] = cols[k];
+    m.values_[pos] = values[k];
+  }
+
+  // Sort each row by column and merge duplicate entries.
+  std::vector<size_t> perm;
+  std::vector<size_t> new_row_ptr(n + 1, 0);
+  std::vector<size_t> new_cols;
+  std::vector<float> new_vals;
+  new_cols.reserve(m.col_idx_.size());
+  new_vals.reserve(m.values_.size());
+  for (size_t r = 0; r < n; ++r) {
+    size_t begin = m.row_ptr_[r];
+    size_t end = m.row_ptr_[r + 1];
+    perm.resize(end - begin);
+    std::iota(perm.begin(), perm.end(), begin);
+    std::sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+      return m.col_idx_[a] < m.col_idx_[b];
+    });
+    size_t row_start = new_cols.size();
+    for (size_t idx : perm) {
+      if (new_cols.size() > row_start && new_cols.back() == m.col_idx_[idx]) {
+        new_vals.back() += m.values_[idx];
+      } else {
+        new_cols.push_back(m.col_idx_[idx]);
+        new_vals.push_back(m.values_[idx]);
+      }
+    }
+    new_row_ptr[r + 1] = new_cols.size();
+  }
+  m.row_ptr_ = std::move(new_row_ptr);
+  m.col_idx_ = std::move(new_cols);
+  m.values_ = std::move(new_vals);
+  return m;
+}
+
+std::vector<float> CsrMatrix::MultiplyVector(const std::vector<float>& x) const {
+  assert(x.size() == n_);
+  std::vector<float> y(n_, 0.0f);
+  for (size_t r = 0; r < n_; ++r) {
+    float acc = 0.0f;
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+Matrix CsrMatrix::MultiplyDense(const Matrix& x) const {
+  assert(x.rows() == n_);
+  Matrix y(n_, x.cols());
+  const size_t d = x.cols();
+  for (size_t r = 0; r < n_; ++r) {
+    float* yr = y.RowPtr(r);
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float v = values_[k];
+      const float* xr = x.RowPtr(col_idx_[k]);
+      for (size_t c = 0; c < d; ++c) yr[c] += v * xr[c];
+    }
+  }
+  return y;
+}
+
+Matrix CsrMatrix::TransposeMultiplyDense(const Matrix& x) const {
+  assert(x.rows() == n_);
+  Matrix y(n_, x.cols());
+  const size_t d = x.cols();
+  for (size_t r = 0; r < n_; ++r) {
+    const float* xr = x.RowPtr(r);
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float v = values_[k];
+      float* yc = y.RowPtr(col_idx_[k]);
+      for (size_t c = 0; c < d; ++c) yc[c] += v * xr[c];
+    }
+  }
+  return y;
+}
+
+float CsrMatrix::At(size_t r, size_t c) const {
+  assert(r < n_);
+  auto begin = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[r]);
+  auto end = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[r + 1]);
+  auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0f;
+  return values_[static_cast<size_t>(it - col_idx_.begin())];
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix m(n_, n_);
+  for (size_t r = 0; r < n_; ++r) {
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      m.At(r, col_idx_[k]) = values_[k];
+    }
+  }
+  return m;
+}
+
+}  // namespace gvex

@@ -1,0 +1,171 @@
+#include "gvex/tensor/ops.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace gvex {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const float* ar = a.RowPtr(i);
+    float* cr = c.RowPtr(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = ar[p];
+      if (av == 0.0f) continue;
+      const float* br = b.RowPtr(p);
+      for (size_t j = 0; j < n; ++j) cr[j] += av * br[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const float* ar = a.RowPtr(p);
+    const float* br = b.RowPtr(p);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = ar[i];
+      if (av == 0.0f) continue;
+      float* cr = c.RowPtr(i);
+      for (size_t j = 0; j < n; ++j) cr[j] += av * br[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const float* ar = a.RowPtr(i);
+    float* cr = c.RowPtr(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* br = b.RowPtr(j);
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += ar[p] * br[p];
+      cr[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  assert(a.SameShape(b));
+  Matrix c = a;
+  AddInPlace(&c, b);
+  return c;
+}
+
+void AddInPlace(Matrix* a, const Matrix& b, float scale) {
+  assert(a->SameShape(b));
+  float* pa = a->data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < a->size(); ++i) pa[i] += scale * pb[i];
+}
+
+void ScaleInPlace(Matrix* a, float s) {
+  float* p = a->data();
+  for (size_t i = 0; i < a->size(); ++i) p[i] *= s;
+}
+
+Matrix Relu(const Matrix& x) {
+  Matrix y = x;
+  float* p = y.data();
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (p[i] < 0.0f) p[i] = 0.0f;
+  }
+  return y;
+}
+
+Matrix ReluBackward(const Matrix& x, const Matrix& dy) {
+  assert(x.SameShape(dy));
+  Matrix dx = dy;
+  const float* px = x.data();
+  float* pd = dx.data();
+  for (size_t i = 0; i < dx.size(); ++i) {
+    if (px[i] <= 0.0f) pd[i] = 0.0f;
+  }
+  return dx;
+}
+
+Matrix RowSoftmax(const Matrix& logits) {
+  Matrix out = logits;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* p = out.RowPtr(r);
+    float mx = -std::numeric_limits<float>::infinity();
+    for (size_t c = 0; c < out.cols(); ++c) mx = std::max(mx, p[c]);
+    float sum = 0.0f;
+    for (size_t c = 0; c < out.cols(); ++c) {
+      p[c] = std::exp(p[c] - mx);
+      sum += p[c];
+    }
+    const float inv = 1.0f / sum;
+    for (size_t c = 0; c < out.cols(); ++c) p[c] *= inv;
+  }
+  return out;
+}
+
+void AddRowBias(Matrix* x, const std::vector<float>& bias) {
+  assert(bias.size() == x->cols());
+  for (size_t r = 0; r < x->rows(); ++r) {
+    float* p = x->RowPtr(r);
+    for (size_t c = 0; c < x->cols(); ++c) p[c] += bias[c];
+  }
+}
+
+void ColumnMax(const Matrix& x, std::vector<float>* max_values,
+               std::vector<size_t>* argmax_rows) {
+  assert(x.rows() >= 1);
+  max_values->assign(x.cols(), -std::numeric_limits<float>::infinity());
+  argmax_rows->assign(x.cols(), 0);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const float* p = x.RowPtr(r);
+    for (size_t c = 0; c < x.cols(); ++c) {
+      if (p[c] > (*max_values)[c]) {
+        (*max_values)[c] = p[c];
+        (*argmax_rows)[c] = r;
+      }
+    }
+  }
+}
+
+std::vector<float> ColumnMean(const Matrix& x) {
+  std::vector<float> mean(x.cols(), 0.0f);
+  if (x.rows() == 0) return mean;
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const float* p = x.RowPtr(r);
+    for (size_t c = 0; c < x.cols(); ++c) mean[c] += p[c];
+  }
+  const float inv = 1.0f / static_cast<float>(x.rows());
+  for (auto& v : mean) v *= inv;
+  return mean;
+}
+
+float NormalizedRowDistance(const Matrix& x, size_t i, size_t j) {
+  const float* a = x.RowPtr(i);
+  const float* b = x.RowPtr(j);
+  double acc = 0.0;
+  for (size_t c = 0; c < x.cols(); ++c) {
+    double d = static_cast<double>(a[c]) - b[c];
+    acc += d * d;
+  }
+  return static_cast<float>(
+      std::sqrt(acc / static_cast<double>(std::max<size_t>(1, x.cols()))));
+}
+
+Matrix MatrixPower(const Matrix& s, unsigned k) {
+  assert(s.rows() == s.cols());
+  Matrix result = Matrix::Identity(s.rows());
+  for (unsigned i = 0; i < k; ++i) result = MatMul(result, s);
+  return result;
+}
+
+}  // namespace gvex

@@ -1,0 +1,58 @@
+// Dense kernels shared by the GNN layers, the Jacobian engine, and the
+// embedding-distance computations.
+#pragma once
+
+#include <vector>
+
+#include "gvex/tensor/matrix.h"
+
+namespace gvex {
+
+/// C = A * B. Shapes must agree ((m x k) * (k x n) -> (m x n)).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B ((k x m)^T * (k x n) -> (m x n)), without materializing A^T.
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T ((m x k) * (n x k)^T -> (m x n)).
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// C = A + B (element-wise).
+Matrix Add(const Matrix& a, const Matrix& b);
+
+/// a += scale * b (element-wise, in place).
+void AddInPlace(Matrix* a, const Matrix& b, float scale = 1.0f);
+
+/// a *= s (element-wise, in place).
+void ScaleInPlace(Matrix* a, float s);
+
+/// Element-wise ReLU. Out-of-place.
+Matrix Relu(const Matrix& x);
+
+/// Gradient gate of ReLU: dx = dy ⊙ [x > 0].
+Matrix ReluBackward(const Matrix& x, const Matrix& dy);
+
+/// Row-wise softmax (numerically stabilized).
+Matrix RowSoftmax(const Matrix& logits);
+
+/// Add a row-broadcast bias: x[r] += bias for every row r.
+void AddRowBias(Matrix* x, const std::vector<float>& bias);
+
+/// Column-wise max over rows; also reports the argmax row per column
+/// (needed by max-pool readout backprop). `x` must have >= 1 row.
+void ColumnMax(const Matrix& x, std::vector<float>* max_values,
+               std::vector<size_t>* argmax_rows);
+
+/// Column-wise mean over rows.
+std::vector<float> ColumnMean(const Matrix& x);
+
+/// Normalized Euclidean distance between two rows of `x`:
+/// ||xi - xj||_2 / sqrt(d). This is the embedding distance used by the
+/// neighborhood-diversity measure (Eq. 6).
+float NormalizedRowDistance(const Matrix& x, size_t i, size_t j);
+
+/// Dense n-step propagation power: S^k restricted to dense (tests and
+/// small graphs). `s` must be square.
+Matrix MatrixPower(const Matrix& s, unsigned k);
+
+}  // namespace gvex

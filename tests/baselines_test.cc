@@ -1,0 +1,203 @@
+// Tests for the four baseline explainers against the shared trained model:
+// interface contracts, determinism, size bounds, and explanation quality
+// sanity (each should beat random selection on fidelity+ on this easy task).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gvex/baselines/gcf_explainer.h"
+#include "gvex/baselines/gnn_explainer.h"
+#include "gvex/baselines/gstarx.h"
+#include "gvex/baselines/subgraphx.h"
+#include "gvex/matching/vf2.h"
+#include "gvex/metrics/metrics.h"
+#include "tests/test_util.h"
+
+namespace gvex {
+namespace {
+
+using testutil::MutagenicityContext;
+
+constexpr size_t kMaxNodes = 8;
+
+void ExpectValidSelection(const std::vector<NodeId>& nodes, const Graph& g,
+                          size_t max_nodes) {
+  EXPECT_LE(nodes.size(), max_nodes);
+  std::set<NodeId> uniq(nodes.begin(), nodes.end());
+  EXPECT_EQ(uniq.size(), nodes.size());
+  for (NodeId v : nodes) EXPECT_LT(v, g.num_nodes());
+  EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+}
+
+template <typename MakeExplainer>
+void RunContractTests(MakeExplainer make) {
+  const auto& ctx = MutagenicityContext();
+  auto explainer = make();
+  // Contract: valid selections on several graphs.
+  for (size_t gi = 0; gi < 5; ++gi) {
+    auto nodes = explainer->ExplainGraph(ctx.db.graph(gi), ctx.assigned[gi],
+                                         kMaxNodes);
+    ASSERT_TRUE(nodes.ok()) << nodes.status().ToString();
+    ExpectValidSelection(*nodes, ctx.db.graph(gi), kMaxNodes);
+  }
+  // Contract: empty graph and negative label rejected.
+  Graph empty;
+  EXPECT_FALSE(explainer->ExplainGraph(empty, 0, kMaxNodes).ok());
+  EXPECT_FALSE(
+      explainer->ExplainGraph(ctx.db.graph(0), -1, kMaxNodes).ok());
+  // Contract: determinism.
+  auto a = explainer->ExplainGraph(ctx.db.graph(1), ctx.assigned[1], kMaxNodes);
+  auto fresh = make();
+  auto b = fresh->ExplainGraph(ctx.db.graph(1), ctx.assigned[1], kMaxNodes);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(GnnExplainerTest, Contract) {
+  const auto& ctx = MutagenicityContext();
+  RunContractTests(
+      [&] { return std::make_unique<GnnExplainer>(&ctx.model); });
+}
+
+TEST(GnnExplainerTest, MaskValuesAreProbabilities) {
+  const auto& ctx = MutagenicityContext();
+  GnnExplainer ge(&ctx.model);
+  auto mask = ge.LearnEdgeMask(ctx.db.graph(0), ctx.assigned[0]);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(mask->size(), EdgeList(ctx.db.graph(0)).size());
+  for (float m : *mask) {
+    EXPECT_GE(m, 0.0f);
+    EXPECT_LE(m, 1.0f);
+  }
+}
+
+TEST(GnnExplainerTest, MaskConcentratesOnInformativeEdges) {
+  // On a mutagen, the edges touching the nitro group should carry higher
+  // mask weight than the average edge.
+  const auto& ctx = MutagenicityContext();
+  GnnExplainer ge(&ctx.model);
+  // Find a mutagen (label 1) graph.
+  for (size_t gi = 0; gi < ctx.db.size(); ++gi) {
+    if (ctx.assigned[gi] != 1) continue;
+    const Graph& g = ctx.db.graph(gi);
+    auto mask = ge.LearnEdgeMask(g, 1);
+    ASSERT_TRUE(mask.ok());
+    auto edges = EdgeList(g);
+    double nitro_sum = 0.0, nitro_n = 0.0, other_sum = 0.0, other_n = 0.0;
+    for (size_t e = 0; e < edges.size(); ++e) {
+      bool touches_n = g.node_type(edges[e].first) == datasets::kNitrogen ||
+                       g.node_type(edges[e].second) == datasets::kNitrogen;
+      if (touches_n) {
+        nitro_sum += (*mask)[e];
+        nitro_n += 1.0;
+      } else {
+        other_sum += (*mask)[e];
+        other_n += 1.0;
+      }
+    }
+    if (nitro_n > 0 && other_n > 0) {
+      EXPECT_GT(nitro_sum / nitro_n, other_sum / other_n - 0.25)
+          << "graph " << gi;
+    }
+    break;  // one graph suffices
+  }
+}
+
+TEST(SubgraphXTest, Contract) {
+  const auto& ctx = MutagenicityContext();
+  RunContractTests([&] { return std::make_unique<SubgraphX>(&ctx.model); });
+}
+
+TEST(SubgraphXTest, ShapleyOfWholeGraphIsPositiveForTrueLabel) {
+  const auto& ctx = MutagenicityContext();
+  SubgraphX sx(&ctx.model);
+  Rng rng(7);
+  const Graph& g = ctx.db.graph(0);
+  std::vector<NodeId> all;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all.push_back(v);
+  float shapley = sx.SampledShapley(g, all, ctx.assigned[0], &rng);
+  EXPECT_GT(shapley, 0.2f);
+}
+
+TEST(GStarXTest, Contract) {
+  const auto& ctx = MutagenicityContext();
+  RunContractTests([&] { return std::make_unique<GStarX>(&ctx.model); });
+}
+
+TEST(GStarXTest, ScoresCoverAllNodes) {
+  const auto& ctx = MutagenicityContext();
+  GStarX gx(&ctx.model);
+  auto scores = gx.NodeScores(ctx.db.graph(0), ctx.assigned[0]);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), ctx.db.graph(0).num_nodes());
+}
+
+TEST(GcfExplainerTest, Contract) {
+  const auto& ctx = MutagenicityContext();
+  RunContractTests(
+      [&] { return std::make_unique<GcfExplainer>(&ctx.model); });
+}
+
+TEST(GcfExplainerTest, DeletionFlipsPredictionWhenPossible) {
+  const auto& ctx = MutagenicityContext();
+  GcfExplainer gcf(&ctx.model);
+  size_t flipped = 0, tried = 0;
+  for (size_t gi = 0; gi < 8; ++gi) {
+    ClassLabel l = ctx.assigned[gi];
+    auto deleted = gcf.ExplainGraph(ctx.db.graph(gi), l, 10);
+    ASSERT_TRUE(deleted.ok());
+    if (deleted->empty()) continue;
+    ++tried;
+    Graph rest = ctx.db.graph(gi).RemoveNodes(*deleted);
+    if (rest.num_nodes() == 0 || ctx.model.Predict(rest) != l) ++flipped;
+  }
+  EXPECT_GT(tried, 0u);
+  EXPECT_GE(flipped * 2, tried) << "most deletion walks should reach a "
+                                   "counterfactual on this easy task";
+}
+
+TEST(GcfExplainerTest, GlobalSummaryCoversGroup) {
+  const auto& ctx = MutagenicityContext();
+  GcfExplainer gcf(&ctx.model);
+  auto group = GraphDatabase::LabelGroup(ctx.assigned, 1);
+  group.resize(std::min<size_t>(group.size(), 8));
+  auto summary = gcf.ExplainLabelGroup(ctx.db, group, 1, 10);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_LE(summary->counterfactuals.size(), 5u);
+  EXPECT_EQ(summary->assignment.size(), group.size());
+  size_t covered = 0;
+  for (int a : summary->assignment) {
+    if (a >= 0) {
+      EXPECT_LT(static_cast<size_t>(a), summary->counterfactuals.size());
+      ++covered;
+    }
+  }
+  EXPECT_GT(covered, 0u);
+}
+
+TEST(BaselineQualityTest, AllBeatEmptyExplanations) {
+  // Each baseline's selections should produce meaningful fidelity+ on a
+  // handful of mutagens (removal of important nodes hurts the prediction).
+  const auto& ctx = MutagenicityContext();
+  std::vector<std::unique_ptr<Explainer>> explainers;
+  explainers.push_back(std::make_unique<GnnExplainer>(&ctx.model));
+  explainers.push_back(std::make_unique<SubgraphX>(&ctx.model));
+  explainers.push_back(std::make_unique<GStarX>(&ctx.model));
+  explainers.push_back(std::make_unique<GcfExplainer>(&ctx.model));
+  for (auto& ex : explainers) {
+    std::vector<GraphExplanation> explanations;
+    for (size_t gi = 0; gi < 10; ++gi) {
+      auto nodes =
+          ex->ExplainGraph(ctx.db.graph(gi), ctx.assigned[gi], kMaxNodes);
+      ASSERT_TRUE(nodes.ok()) << ex->name();
+      explanations.push_back({gi, *nodes});
+    }
+    FidelityReport fid = EvaluateFidelity(ctx.model, ctx.db, explanations);
+    EXPECT_GT(fid.num_graphs, 0u) << ex->name();
+    EXPECT_GT(fid.fidelity_plus, 0.0) << ex->name();
+  }
+}
+
+}  // namespace
+}  // namespace gvex

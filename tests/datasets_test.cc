@@ -1,0 +1,218 @@
+// Tests for the seven synthetic dataset generators: structural invariants,
+// determinism, class balance, planted-motif presence, and GCN learnability
+// of the flagship dataset.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "gvex/datasets/datasets.h"
+#include "gvex/datasets/generator_util.h"
+#include "gvex/matching/vf2.h"
+
+namespace gvex {
+namespace {
+
+using namespace datasets;
+
+void ExpectBasicInvariants(const GraphDatabase& db, size_t expected_classes) {
+  ASSERT_GT(db.size(), 0u);
+  EXPECT_EQ(db.num_classes(), expected_classes);
+  std::map<ClassLabel, size_t> counts;
+  for (size_t i = 0; i < db.size(); ++i) {
+    const Graph& g = db.graph(i);
+    EXPECT_GT(g.num_nodes(), 0u);
+    EXPECT_TRUE(g.has_features());
+    counts[db.label(i)]++;
+  }
+  // Every class is populated, roughly balanced.
+  EXPECT_EQ(counts.size(), expected_classes);
+  for (auto [label, count] : counts) {
+    EXPECT_GE(count, db.size() / (2 * expected_classes)) << "label " << label;
+  }
+}
+
+TEST(GeneratorUtilTest, BarabasiAlbertShape) {
+  Rng rng(3);
+  Graph g = BarabasiAlbert(50, 2, 0, &rng);
+  EXPECT_EQ(g.num_nodes(), 50u);
+  EXPECT_TRUE(g.IsConnected());
+  // m edges per new node + seed clique.
+  EXPECT_GE(g.num_edges(), 49u);
+  // Preferential attachment: max degree well above the minimum.
+  size_t max_deg = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  EXPECT_GE(max_deg, 6u);
+}
+
+TEST(GeneratorUtilTest, MotifsAndPlanting) {
+  Graph house = HouseMotif(1);
+  EXPECT_EQ(house.num_nodes(), 5u);
+  EXPECT_EQ(house.num_edges(), 6u);
+  Graph cycle = CycleMotif(6, 1);
+  EXPECT_EQ(cycle.num_edges(), 6u);
+  EXPECT_TRUE(cycle.IsConnected());
+
+  Rng rng(4);
+  Graph base = BarabasiAlbert(20, 1, 0, &rng);
+  size_t before = base.num_nodes();
+  auto ids = PlantMotif(&base, house, 2, &rng);
+  EXPECT_EQ(base.num_nodes(), before + 5);
+  EXPECT_EQ(ids.size(), 5u);
+  EXPECT_TRUE(base.IsConnected());
+  // Motif preserved as an induced structure on its ids.
+  Graph recovered = base.InducedSubgraph(ids);
+  EXPECT_GE(recovered.num_edges(), house.num_edges());
+}
+
+TEST(GeneratorUtilTest, OneHotFeatures) {
+  Rng rng(5);
+  Graph g;
+  g.AddNode(0);
+  g.AddNode(2);
+  AssignOneHotFeatures(&g, 3, 0.0f, &rng);
+  EXPECT_FLOAT_EQ(g.features().At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(g.features().At(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(g.features().At(1, 2), 1.0f);
+}
+
+TEST(MutagenicityTest, InvariantsAndToxicophore) {
+  MutagenicityOptions o;
+  o.num_graphs = 40;
+  GraphDatabase db = MakeMutagenicity(o);
+  ExpectBasicInvariants(db, 2);
+
+  Graph nitro = NitroGroupPattern();
+  MatchOptions match;
+  match.semantics = MatchSemantics::kSubgraph;
+  for (size_t i = 0; i < db.size(); ++i) {
+    bool has_nitro = Vf2Matcher::HasMatch(nitro, db.graph(i), match);
+    if (db.label(i) == 1) {
+      EXPECT_TRUE(has_nitro) << "mutagen " << i << " missing toxicophore";
+    } else {
+      EXPECT_FALSE(has_nitro) << "nonmutagen " << i << " has toxicophore";
+    }
+  }
+}
+
+TEST(MutagenicityTest, Deterministic) {
+  MutagenicityOptions o;
+  o.num_graphs = 10;
+  GraphDatabase a = MakeMutagenicity(o);
+  GraphDatabase b = MakeMutagenicity(o);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.graph(i).StructureSignature(), b.graph(i).StructureSignature());
+    EXPECT_EQ(a.label(i), b.label(i));
+  }
+}
+
+TEST(RedditTest, StarVsBicliqueStructure) {
+  RedditOptions o;
+  o.num_graphs = 20;
+  o.min_users = 40;
+  o.max_users = 60;
+  GraphDatabase db = MakeRedditBinary(o);
+  ExpectBasicInvariants(db, 2);
+  for (size_t i = 0; i < db.size(); ++i) {
+    const Graph& g = db.graph(i);
+    EXPECT_TRUE(g.IsConnected()) << "thread " << i;
+    size_t max_deg = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      max_deg = std::max(max_deg, g.degree(v));
+    }
+    // Hubs/experts dominate both classes.
+    EXPECT_GE(max_deg, g.num_nodes() / 6) << "thread " << i;
+  }
+}
+
+TEST(EnzymesTest, SixBalancedClasses) {
+  EnzymesOptions o;
+  o.num_graphs = 60;
+  GraphDatabase db = MakeEnzymes(o);
+  ExpectBasicInvariants(db, 6);
+}
+
+TEST(MalnetTest, DirectedCallGraphs) {
+  MalnetOptions o;
+  o.num_graphs = 10;
+  o.min_functions = 60;
+  o.max_functions = 90;
+  GraphDatabase db = MakeMalnet(o);
+  ExpectBasicInvariants(db, 5);
+  for (size_t i = 0; i < db.size(); ++i) {
+    EXPECT_TRUE(db.graph(i).directed());
+    EXPECT_GE(db.graph(i).num_nodes(), 60u);
+  }
+}
+
+TEST(PcqmTest, SmallMoleculesManyInstances) {
+  PcqmOptions o;
+  o.num_graphs = 30;
+  GraphDatabase db = MakePcqm(o);
+  ExpectBasicInvariants(db, 3);
+  EXPECT_EQ(db.feature_dim(), 9u);  // paper: 9-dim fingerprints
+  auto stats = db.ComputeStats();
+  EXPECT_LT(stats.avg_nodes, 25.0);  // small molecules
+}
+
+TEST(ProductsTest, EgoSubgraphsInheritCenterCategory) {
+  ProductsOptions o;
+  o.base_nodes = 400;
+  o.num_subgraphs = 20;
+  o.num_communities = 4;
+  GraphDatabase db = MakeProducts(o);
+  ASSERT_EQ(db.size(), 20u);
+  for (size_t i = 0; i < db.size(); ++i) {
+    EXPECT_GT(db.graph(i).num_nodes(), 1u);
+    EXPECT_LE(db.graph(i).num_nodes(), o.max_subgraph_nodes);
+    EXPECT_GE(db.label(i), 0);
+    EXPECT_LT(db.label(i), 4);
+  }
+}
+
+TEST(BaMotifTest, MotifsArePresent) {
+  BaMotifOptions o;
+  o.num_graphs = 10;
+  o.base_nodes = 30;
+  GraphDatabase db = MakeBaMotif(o);
+  ExpectBasicInvariants(db, 2);
+  Graph house = HouseMotif(1);
+  Graph cycle = CycleMotif(6, 1);
+  MatchOptions match;
+  match.semantics = MatchSemantics::kSubgraph;
+  for (size_t i = 0; i < db.size(); ++i) {
+    if (db.label(i) == 0) {
+      EXPECT_TRUE(Vf2Matcher::HasMatch(house, db.graph(i), match));
+    } else {
+      EXPECT_TRUE(Vf2Matcher::HasMatch(cycle, db.graph(i), match));
+    }
+  }
+}
+
+TEST(RegistryTest, AllCodesResolve) {
+  for (const std::string& code : AllDatasetCodes()) {
+    auto db = MakeByName(code, /*scale=*/0.05);
+    ASSERT_TRUE(db.ok()) << code << ": " << db.status().ToString();
+    EXPECT_GT(db->size(), 0u) << code;
+  }
+}
+
+TEST(RegistryTest, RejectsBadInput) {
+  EXPECT_TRUE(MakeByName("NOPE").status().IsNotFound());
+  EXPECT_TRUE(MakeByName("MUT", 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeByName("MUT", 1.5).status().IsInvalidArgument());
+}
+
+TEST(RegistryTest, ScaleShrinksInstanceCount) {
+  auto full = MakeByName("PCQ", 1.0);
+  auto small = MakeByName("PCQ", 0.1);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(small.ok());
+  EXPECT_LT(small->size(), full->size());
+}
+
+}  // namespace
+}  // namespace gvex

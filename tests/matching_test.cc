@@ -1,0 +1,261 @@
+// Tests for VF2 subgraph isomorphism and the PMatch coverage operator,
+// including a brute-force oracle comparison (property test).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gvex/common/rng.h"
+#include "gvex/matching/vf2.h"
+
+namespace gvex {
+namespace {
+
+Graph TriangleWithTypes(NodeType a, NodeType b, NodeType c) {
+  Graph g;
+  g.AddNode(a);
+  g.AddNode(b);
+  g.AddNode(c);
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2).ok());
+  return g;
+}
+
+Graph PathWithTypes(const std::vector<NodeType>& types) {
+  Graph g;
+  for (NodeType t : types) g.AddNode(t);
+  for (size_t i = 0; i + 1 < types.size(); ++i) {
+    EXPECT_TRUE(
+        g.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1)).ok());
+  }
+  return g;
+}
+
+TEST(Vf2Test, SingleNodeMatchesByType) {
+  Graph pattern;
+  pattern.AddNode(7);
+  Graph target = PathWithTypes({7, 3, 7});
+  auto matches = Vf2Matcher::FindMatches(pattern, target);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0][0], 0u);
+  EXPECT_EQ(matches[1][0], 2u);
+}
+
+TEST(Vf2Test, EdgePatternInTriangle) {
+  Graph pattern = PathWithTypes({0, 0});
+  Graph target = TriangleWithTypes(0, 0, 0);
+  // Each of the 3 edges matches in 2 orientations.
+  auto matches = Vf2Matcher::FindMatches(pattern, target);
+  EXPECT_EQ(matches.size(), 6u);
+}
+
+TEST(Vf2Test, TypeMismatchRejects) {
+  Graph pattern = PathWithTypes({0, 1});
+  Graph target = PathWithTypes({0, 0, 0});
+  EXPECT_FALSE(Vf2Matcher::HasMatch(pattern, target));
+}
+
+TEST(Vf2Test, InducedVsSubgraphSemantics) {
+  // Pattern: path a-b-c (no a-c edge). Target: triangle.
+  Graph pattern = PathWithTypes({0, 0, 0});
+  Graph target = TriangleWithTypes(0, 0, 0);
+  MatchOptions induced;
+  induced.semantics = MatchSemantics::kInduced;
+  EXPECT_FALSE(Vf2Matcher::HasMatch(pattern, target, induced))
+      << "triangle has no induced path-of-3";
+  MatchOptions loose;
+  loose.semantics = MatchSemantics::kSubgraph;
+  EXPECT_TRUE(Vf2Matcher::HasMatch(pattern, target, loose));
+}
+
+TEST(Vf2Test, EdgeTypesMustAgree) {
+  Graph pattern;
+  pattern.AddNode(0);
+  pattern.AddNode(0);
+  ASSERT_TRUE(pattern.AddEdge(0, 1, /*type=*/2).ok());
+  Graph target;
+  target.AddNode(0);
+  target.AddNode(0);
+  ASSERT_TRUE(target.AddEdge(0, 1, /*type=*/1).ok());
+  EXPECT_FALSE(Vf2Matcher::HasMatch(pattern, target));
+  Graph target2;
+  target2.AddNode(0);
+  target2.AddNode(0);
+  ASSERT_TRUE(target2.AddEdge(0, 1, /*type=*/2).ok());
+  EXPECT_TRUE(Vf2Matcher::HasMatch(pattern, target2));
+}
+
+TEST(Vf2Test, DisconnectedPatternRefused) {
+  Graph pattern;
+  pattern.AddNode(0);
+  pattern.AddNode(0);  // no edge: disconnected
+  Graph target = TriangleWithTypes(0, 0, 0);
+  EXPECT_TRUE(Vf2Matcher::FindMatches(pattern, target).empty());
+}
+
+TEST(Vf2Test, MaxMatchesCap) {
+  Graph pattern = PathWithTypes({0, 0});
+  Graph target = TriangleWithTypes(0, 0, 0);
+  MatchOptions opts;
+  opts.max_matches = 2;
+  EXPECT_EQ(Vf2Matcher::FindMatches(pattern, target, opts).size(), 2u);
+}
+
+TEST(Vf2Test, StepBudgetTerminates) {
+  // A big uniform target with a mid-size pattern; a tiny step budget must
+  // still return (with possibly zero matches).
+  Graph target;
+  for (int i = 0; i < 30; ++i) target.AddNode(0);
+  Rng rng(5);
+  for (int e = 0; e < 120; ++e) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(30));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(30));
+    if (u != v && !target.HasEdge(u, v)) {
+      ASSERT_TRUE(target.AddEdge(u, v).ok());
+    }
+  }
+  Graph pattern = PathWithTypes({0, 0, 0, 0, 0});
+  MatchOptions opts;
+  opts.semantics = MatchSemantics::kSubgraph;
+  opts.max_steps = 10;
+  auto matches = Vf2Matcher::FindMatches(pattern, target, opts);
+  EXPECT_LE(matches.size(), 10u);
+}
+
+TEST(Vf2Test, MatchOnDirectedGraph) {
+  Graph pattern(/*directed=*/true);
+  pattern.AddNode(0);
+  pattern.AddNode(1);
+  ASSERT_TRUE(pattern.AddEdge(0, 1).ok());
+  Graph target(/*directed=*/true);
+  target.AddNode(1);
+  target.AddNode(0);
+  target.AddNode(1);
+  ASSERT_TRUE(target.AddEdge(1, 0).ok());  // 0-type -> 1-type
+  ASSERT_TRUE(target.AddEdge(1, 2).ok());
+  auto matches = Vf2Matcher::FindMatches(pattern, target);
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(EdgeListTest, CanonicalOrder) {
+  Graph g = TriangleWithTypes(0, 1, 2);
+  auto edges = EdgeList(g);
+  ASSERT_EQ(edges.size(), 3u);
+  for (auto [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(CoverageTest, PatternsCoverNodesAndEdges) {
+  // Target: path 0-1-2-3 with types 0,1,0,1. Pattern 0-1 edge covers all
+  // nodes and edges.
+  Graph target = PathWithTypes({0, 1, 0, 1});
+  Graph pattern = PathWithTypes({0, 1});
+  auto cov = ComputeCoverage({pattern}, target);
+  EXPECT_EQ(cov.covered_nodes.Count(), 4u);
+  EXPECT_EQ(cov.covered_edges.Count(), 3u);
+  EXPECT_GT(cov.num_matches, 0u);
+}
+
+TEST(CoverageTest, PartialCoverage) {
+  Graph target = PathWithTypes({0, 1, 2});
+  Graph pattern = PathWithTypes({0, 1});
+  MatchOptions opts;
+  opts.semantics = MatchSemantics::kSubgraph;
+  auto cov = ComputeCoverage({pattern}, target, opts);
+  EXPECT_EQ(cov.covered_nodes.Count(), 2u);
+  EXPECT_EQ(cov.covered_edges.Count(), 1u);
+  EXPECT_FALSE(cov.covered_nodes.Test(2));
+}
+
+// Brute-force oracle: enumerate all injective type-preserving assignments
+// and check edge conditions directly.
+size_t BruteForceCountMatches(const Graph& pattern, const Graph& target,
+                              MatchSemantics semantics) {
+  const size_t np = pattern.num_nodes();
+  std::vector<NodeId> targets(target.num_nodes());
+  for (NodeId i = 0; i < target.num_nodes(); ++i) targets[i] = i;
+  size_t count = 0;
+  std::vector<NodeId> assign(np);
+  std::vector<bool> used(target.num_nodes(), false);
+  std::function<void(size_t)> rec = [&](size_t depth) {
+    if (depth == np) {
+      ++count;
+      return;
+    }
+    for (NodeId tv = 0; tv < target.num_nodes(); ++tv) {
+      if (used[tv]) continue;
+      if (pattern.node_type(depth) != target.node_type(tv)) continue;
+      bool ok = true;
+      for (size_t prev = 0; prev < depth && ok; ++prev) {
+        bool pe = pattern.HasEdge(static_cast<NodeId>(prev),
+                                  static_cast<NodeId>(depth));
+        bool te = target.HasEdge(assign[prev], tv);
+        if (pe && (!te || pattern.GetEdgeType(static_cast<NodeId>(prev),
+                                              static_cast<NodeId>(depth)) !=
+                              target.GetEdgeType(assign[prev], tv))) {
+          ok = false;
+        }
+        if (!pe && te && semantics == MatchSemantics::kInduced) ok = false;
+      }
+      if (!ok) continue;
+      assign[depth] = tv;
+      used[tv] = true;
+      rec(depth + 1);
+      used[tv] = false;
+    }
+  };
+  rec(0);
+  return count;
+}
+
+class Vf2OracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Vf2OracleTest, AgreesWithBruteForce) {
+  Rng rng(GetParam());
+  // Random target: 7 nodes, 2 types, random edges; random connected
+  // pattern: 3 nodes sampled as an induced subgraph (guarantees >= 1 match
+  // for induced semantics).
+  Graph target;
+  for (int i = 0; i < 7; ++i) {
+    target.AddNode(static_cast<NodeType>(rng.NextBounded(2)));
+  }
+  for (NodeId u = 0; u < 7; ++u) {
+    for (NodeId v = u + 1; v < 7; ++v) {
+      if (rng.NextBool(0.4)) {
+        ASSERT_TRUE(target.AddEdge(u, v).ok());
+      }
+    }
+  }
+  // Find a connected induced triple to use as the pattern.
+  Graph pattern;
+  bool found = false;
+  for (NodeId a = 0; a < 7 && !found; ++a) {
+    for (NodeId b = a + 1; b < 7 && !found; ++b) {
+      for (NodeId c = b + 1; c < 7 && !found; ++c) {
+        Graph cand = target.InducedSubgraph({a, b, c});
+        if (cand.IsConnected()) {
+          pattern = cand;
+          found = true;
+        }
+      }
+    }
+  }
+  if (!found) GTEST_SKIP() << "no connected triple in this random target";
+
+  for (MatchSemantics sem :
+       {MatchSemantics::kInduced, MatchSemantics::kSubgraph}) {
+    MatchOptions opts;
+    opts.semantics = sem;
+    size_t vf2 = Vf2Matcher::FindMatches(pattern, target, opts).size();
+    size_t oracle = BruteForceCountMatches(pattern, target, sem);
+    EXPECT_EQ(vf2, oracle) << "semantics=" << static_cast<int>(sem);
+    if (sem == MatchSemantics::kInduced) {
+      EXPECT_GE(vf2, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Vf2OracleTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace gvex

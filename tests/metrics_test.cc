@@ -1,0 +1,89 @@
+// Tests for the fidelity / sparsity / compression / edge-loss metrics.
+#include <gtest/gtest.h>
+
+#include "gvex/metrics/metrics.h"
+#include "tests/test_util.h"
+
+namespace gvex {
+namespace {
+
+using testutil::MutagenicityContext;
+
+TEST(MetricsTest, EmptyExplanationsYieldZeroReport) {
+  const auto& ctx = MutagenicityContext();
+  FidelityReport report = EvaluateFidelity(ctx.model, ctx.db, {});
+  EXPECT_EQ(report.num_graphs, 0u);
+  EXPECT_EQ(report.fidelity_plus, 0.0);
+
+  // Explanations with empty node sets are skipped too.
+  std::vector<GraphExplanation> empty_nodes{{0, {}}, {1, {}}};
+  report = EvaluateFidelity(ctx.model, ctx.db, empty_nodes);
+  EXPECT_EQ(report.num_graphs, 0u);
+}
+
+TEST(MetricsTest, WholeGraphExplanationExtremes) {
+  // Selecting the whole graph: fidelity- = 0 (same prediction), sparsity =
+  // 0, fidelity+ = p_orig (empty remainder scores 0).
+  const auto& ctx = MutagenicityContext();
+  const Graph& g = ctx.db.graph(0);
+  std::vector<NodeId> all;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all.push_back(v);
+  FidelityReport report =
+      EvaluateFidelity(ctx.model, ctx.db, {{0, all}});
+  EXPECT_EQ(report.num_graphs, 1u);
+  EXPECT_NEAR(report.fidelity_minus, 0.0, 1e-6);
+  EXPECT_NEAR(report.sparsity, 0.0, 1e-6);
+  EXPECT_GT(report.fidelity_plus, 0.5);
+}
+
+TEST(MetricsTest, SingleNodeExplanationIsSparse) {
+  const auto& ctx = MutagenicityContext();
+  FidelityReport report =
+      EvaluateFidelity(ctx.model, ctx.db, {{0, {0}}});
+  EXPECT_EQ(report.num_graphs, 1u);
+  EXPECT_GT(report.sparsity, 0.8);
+}
+
+TEST(MetricsTest, ToGraphExplanationsRoundTrip) {
+  ExplanationView view;
+  view.label = 1;
+  ExplanationSubgraph s;
+  s.graph_index = 3;
+  s.nodes = {1, 4, 5};
+  view.subgraphs.push_back(s);
+  auto flat = ToGraphExplanations(view);
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_EQ(flat[0].graph_index, 3u);
+  EXPECT_EQ(flat[0].nodes, (std::vector<NodeId>{1, 4, 5}));
+}
+
+TEST(MetricsTest, ViewEdgeLossBounds) {
+  // A view whose single pattern covers the whole subgraph has zero loss;
+  // a single-node pattern misses all edges.
+  ExplanationView view;
+  view.label = 0;
+  ExplanationSubgraph s;
+  s.graph_index = 0;
+  s.nodes = {0, 1};
+  s.subgraph.AddNode(0);
+  s.subgraph.AddNode(0);
+  ASSERT_TRUE(s.subgraph.AddEdge(0, 1).ok());
+  view.subgraphs.push_back(s);
+
+  Graph full_pattern;
+  full_pattern.AddNode(0);
+  full_pattern.AddNode(0);
+  ASSERT_TRUE(full_pattern.AddEdge(0, 1).ok());
+  view.patterns.push_back(full_pattern);
+  MatchOptions match;
+  EXPECT_NEAR(ViewEdgeLoss(view, match), 0.0, 1e-9);
+
+  view.patterns.clear();
+  Graph single;
+  single.AddNode(0);
+  view.patterns.push_back(single);
+  EXPECT_NEAR(ViewEdgeLoss(view, match), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gvex

@@ -1,0 +1,226 @@
+// Tests for canonical codes, ESU enumeration, and PGen candidate mining.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "gvex/common/rng.h"
+#include "gvex/mining/canonical.h"
+#include "gvex/mining/pgen.h"
+
+namespace gvex {
+namespace {
+
+Graph Path(const std::vector<NodeType>& types) {
+  Graph g;
+  for (NodeType t : types) g.AddNode(t);
+  for (size_t i = 0; i + 1 < types.size(); ++i) {
+    EXPECT_TRUE(
+        g.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1)).ok());
+  }
+  return g;
+}
+
+Graph Cycle(size_t n, NodeType t) {
+  Graph g;
+  for (size_t i = 0; i < n; ++i) g.AddNode(t);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(g.AddEdge(static_cast<NodeId>(i),
+                          static_cast<NodeId>((i + 1) % n))
+                    .ok());
+  }
+  return g;
+}
+
+TEST(CanonicalTest, IsomorphicGraphsShareCode) {
+  // Same path, different node orderings.
+  Graph a = Path({1, 0, 1});
+  Graph b;
+  b.AddNode(1);
+  b.AddNode(1);
+  b.AddNode(0);
+  ASSERT_TRUE(b.AddEdge(0, 2).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_EQ(CanonicalCode(a), CanonicalCode(b));
+  EXPECT_TRUE(AreIsomorphic(a, b));
+}
+
+TEST(CanonicalTest, NonIsomorphicGraphsDiffer) {
+  EXPECT_NE(CanonicalCode(Path({0, 0, 0})), CanonicalCode(Cycle(3, 0)));
+  EXPECT_NE(CanonicalCode(Path({0, 1})), CanonicalCode(Path({0, 0})));
+  EXPECT_FALSE(AreIsomorphic(Path({0, 0, 0, 0}), Cycle(4, 0)));
+}
+
+TEST(CanonicalTest, EdgeTypesDistinguish) {
+  Graph a;
+  a.AddNode(0);
+  a.AddNode(0);
+  ASSERT_TRUE(a.AddEdge(0, 1, 1).ok());
+  Graph b;
+  b.AddNode(0);
+  b.AddNode(0);
+  ASSERT_TRUE(b.AddEdge(0, 1, 2).ok());
+  EXPECT_NE(CanonicalCode(a), CanonicalCode(b));
+}
+
+TEST(CanonicalTest, PermutationInvarianceProperty) {
+  // Random graph vs a random relabeling of itself.
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g;
+    const size_t n = 6;
+    for (size_t i = 0; i < n; ++i) {
+      g.AddNode(static_cast<NodeType>(rng.NextBounded(2)));
+    }
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        if (rng.NextBool(0.4)) {
+          ASSERT_TRUE(g.AddEdge(u, v).ok());
+        }
+      }
+    }
+    std::vector<NodeId> perm(n);
+    for (size_t i = 0; i < n; ++i) perm[i] = static_cast<NodeId>(i);
+    rng.Shuffle(&perm);
+    Graph h = g.InducedSubgraph(perm);
+    EXPECT_EQ(CanonicalCode(g), CanonicalCode(h)) << "trial " << trial;
+  }
+}
+
+TEST(EsuTest, CountsConnectedSubgraphsOfTriangle) {
+  Graph tri = Cycle(3, 0);
+  std::set<std::vector<NodeId>> seen;
+  EnumerateConnectedSubgraphs(tri, 1, 3, 0,
+                              [&](const std::vector<NodeId>& nodes) {
+                                EXPECT_TRUE(seen.insert(nodes).second)
+                                    << "duplicate emission";
+                                return true;
+                              });
+  // Triangle: 3 singletons + 3 edges + 1 triangle = 7 connected subsets.
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(EsuTest, CountsConnectedSubgraphsOfPath) {
+  Graph p4 = Path({0, 0, 0, 0});
+  size_t count = 0;
+  EnumerateConnectedSubgraphs(p4, 1, 4, 0,
+                              [&](const std::vector<NodeId>&) {
+                                ++count;
+                                return true;
+                              });
+  // Path of 4: connected subsets are exactly the sub-paths: 4+3+2+1 = 10.
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(EsuTest, RespectsSizeWindow) {
+  Graph p4 = Path({0, 0, 0, 0});
+  size_t count = 0;
+  EnumerateConnectedSubgraphs(p4, 2, 3, 0,
+                              [&](const std::vector<NodeId>& nodes) {
+                                EXPECT_GE(nodes.size(), 2u);
+                                EXPECT_LE(nodes.size(), 3u);
+                                ++count;
+                                return true;
+                              });
+  EXPECT_EQ(count, 5u);  // 3 edges + 2 sub-paths of length 3
+}
+
+TEST(EsuTest, EnumerationCapAborts) {
+  Graph c6 = Cycle(6, 0);
+  bool complete = EnumerateConnectedSubgraphs(
+      c6, 1, 6, /*max_enumerated=*/3,
+      [](const std::vector<NodeId>&) { return true; });
+  EXPECT_FALSE(complete);
+}
+
+TEST(ToPatternTest, DropsFeaturesKeepsStructure) {
+  Graph g = Path({0, 1});
+  g.SetDefaultFeatures(4, 2.0f);
+  Graph p = ToPattern(g);
+  EXPECT_FALSE(p.has_features());
+  EXPECT_EQ(p.num_nodes(), 2u);
+  EXPECT_EQ(p.num_edges(), 1u);
+  EXPECT_EQ(p.node_type(1), 1);
+}
+
+TEST(PgenTest, FindsRecurringMotif) {
+  // Three copies of a path 0-1-0 plus noise: the 0-1 edge pattern should be
+  // a top candidate with support 3.
+  std::vector<Graph> subgraphs;
+  for (int i = 0; i < 3; ++i) subgraphs.push_back(Path({0, 1, 0}));
+  PgenOptions opts;
+  opts.max_pattern_nodes = 3;
+  auto candidates = GeneratePatternCandidates(subgraphs, opts);
+  ASSERT_FALSE(candidates.empty());
+  bool found_edge = false;
+  for (const auto& c : candidates) {
+    EXPECT_GE(c.support, 1u);
+    EXPECT_LE(c.support, 3u);
+    if (c.pattern.num_nodes() == 2 && c.pattern.num_edges() == 1) {
+      EXPECT_EQ(c.support, 3u);
+      EXPECT_EQ(c.embeddings, 6u);  // two 0-1 edges per copy
+      found_edge = true;
+    }
+  }
+  EXPECT_TRUE(found_edge);
+}
+
+TEST(PgenTest, CandidatesAreDeduplicated) {
+  std::vector<Graph> subgraphs{Cycle(4, 0), Cycle(4, 0)};
+  auto candidates = GeneratePatternCandidates(subgraphs);
+  std::set<std::string> codes;
+  for (const auto& c : candidates) {
+    EXPECT_TRUE(codes.insert(c.canonical).second) << "duplicate canonical";
+  }
+}
+
+TEST(PgenTest, MdlPrefersFrequentLargerPatterns) {
+  // 0-1 path occurs in every graph; node type 2 occurs once. The edge
+  // pattern should outrank the lone node.
+  std::vector<Graph> subgraphs;
+  for (int i = 0; i < 4; ++i) subgraphs.push_back(Path({0, 1}));
+  subgraphs.push_back(Path({2}));
+  auto candidates = GeneratePatternCandidates(subgraphs);
+  ASSERT_GE(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].pattern.num_edges(), 1u)
+      << "frequent edge pattern should rank first";
+}
+
+TEST(PgenTest, MaxCandidatesBound) {
+  std::vector<Graph> subgraphs{Cycle(6, 0)};
+  PgenOptions opts;
+  opts.max_candidates = 2;
+  auto candidates = GeneratePatternCandidates(subgraphs, opts);
+  EXPECT_LE(candidates.size(), 2u);
+}
+
+TEST(PgenTest, LocalCandidatesComeFromNeighborhood) {
+  // Star with distinct outer type far from v: 1-hop mining around leaf 1
+  // must not see the type-9 node at distance 2.
+  Graph g;
+  g.AddNode(0);           // hub 0
+  g.AddNode(1);           // leaf 1
+  g.AddNode(9);           // leaf 2 (type 9)
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  auto candidates = GenerateLocalPatternCandidates(g, /*v=*/1, /*hops=*/1);
+  for (const auto& c : candidates) {
+    for (NodeId v = 0; v < c.pattern.num_nodes(); ++v) {
+      EXPECT_NE(c.pattern.node_type(v), 9);
+    }
+  }
+  EXPECT_FALSE(candidates.empty());
+}
+
+TEST(PgenTest, DeterministicOrdering) {
+  std::vector<Graph> subgraphs{Cycle(5, 0), Path({0, 0, 1})};
+  auto a = GeneratePatternCandidates(subgraphs);
+  auto b = GeneratePatternCandidates(subgraphs);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].canonical, b[i].canonical);
+  }
+}
+
+}  // namespace
+}  // namespace gvex

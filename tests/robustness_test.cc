@@ -1,0 +1,133 @@
+// Edge-case and failure-injection tests: expired deadlines, degenerate
+// splits, optimizer reset, tiny graphs, and label groups with no members.
+#include <gtest/gtest.h>
+
+#include "gvex/explain/approx_gvex.h"
+#include "gvex/explain/stream_gvex.h"
+#include "gvex/gnn/optimizer.h"
+#include "gvex/gnn/trainer.h"
+#include "tests/test_util.h"
+
+namespace gvex {
+namespace {
+
+using testutil::MutagenicityContext;
+
+Configuration TestConfig() {
+  Configuration config;
+  config.theta = 0.08f;
+  config.default_coverage = {0, 12};
+  return config;
+}
+
+TEST(RobustnessTest, ApproxRespectsExpiredDeadline) {
+  const auto& ctx = MutagenicityContext();
+  ApproxGvex solver(&ctx.model, TestConfig());
+  Deadline expired(1e-9);
+  auto view = solver.ExplainLabel(ctx.db, ctx.assigned, 1, &expired);
+  EXPECT_TRUE(view.status().IsTimeout());
+}
+
+TEST(RobustnessTest, StreamRespectsExpiredDeadline) {
+  const auto& ctx = MutagenicityContext();
+  StreamGvex solver(&ctx.model, TestConfig());
+  Deadline expired(1e-9);
+  auto view = solver.ExplainLabel(ctx.db, ctx.assigned, 1, &expired);
+  EXPECT_TRUE(view.status().IsTimeout());
+}
+
+TEST(RobustnessTest, EmptyLabelGroupYieldsEmptyView) {
+  const auto& ctx = MutagenicityContext();
+  ApproxGvex solver(&ctx.model, TestConfig());
+  // Label 99 is assigned to nothing.
+  auto view = solver.ExplainLabel(ctx.db, ctx.assigned, 99);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->subgraphs.empty());
+  EXPECT_TRUE(view->patterns.empty());
+  EXPECT_EQ(view->explainability, 0.0);
+}
+
+TEST(RobustnessTest, SingleNodeGraphIsInfeasible) {
+  const auto& ctx = MutagenicityContext();
+  Graph tiny;
+  tiny.AddNode(0);
+  tiny.SetDefaultFeatures(ctx.db.feature_dim(), 1.0f);
+  ApproxGvex solver(&ctx.model, TestConfig());
+  auto sub = solver.ExplainGraph(tiny, 0, 1);
+  EXPECT_TRUE(sub.status().IsInfeasible());
+}
+
+TEST(RobustnessTest, TwoNodeGraphNeverSelectsEverything) {
+  const auto& ctx = MutagenicityContext();
+  Graph pair;
+  pair.AddNode(0);
+  pair.AddNode(1);
+  ASSERT_TRUE(pair.AddEdge(0, 1).ok());
+  pair.SetDefaultFeatures(ctx.db.feature_dim(), 1.0f);
+  ApproxGvex solver(&ctx.model, TestConfig());
+  auto sub = solver.ExplainGraph(pair, 0, ctx.model.Predict(pair));
+  if (sub.ok()) {
+    EXPECT_EQ(sub->nodes.size(), 1u);  // upper bound clamped to n-1
+  }
+}
+
+TEST(RobustnessTest, TrainerHandlesEmptySplits) {
+  const auto& ctx = MutagenicityContext();
+  GcnConfig cfg;
+  cfg.input_dim = ctx.db.feature_dim();
+  cfg.hidden_dim = 8;
+  cfg.num_layers = 2;
+  cfg.num_classes = 2;
+  auto model = GcnClassifier::Create(cfg);
+  ASSERT_TRUE(model.ok());
+  DataSplit empty;
+  TrainReport report = Trainer().Fit(&*model, ctx.db, empty);
+  EXPECT_EQ(report.epochs_run, 0u);
+  EXPECT_FLOAT_EQ(Trainer::Evaluate(*model, ctx.db, {}), 0.0f);
+}
+
+TEST(RobustnessTest, AdamResetClearsState) {
+  Matrix w(1, 2, 0.0f);
+  Matrix g(1, 2, 1.0f);
+  AdamOptimizer opt;
+  std::vector<Matrix*> params{&w};
+  std::vector<Matrix*> grads{&g};
+  opt.Step(params, grads);
+  EXPECT_EQ(opt.step_count(), 1);
+  opt.Reset();
+  EXPECT_EQ(opt.step_count(), 0);
+  opt.Step(params, grads);
+  EXPECT_EQ(opt.step_count(), 1);
+}
+
+TEST(RobustnessTest, StreamHandlesCustomOrderSubset) {
+  // A stream order covering only part of the graph: the algorithm must
+  // only consider streamed nodes (anytime semantics over a prefix).
+  const auto& ctx = MutagenicityContext();
+  const Graph& g = ctx.db.graph(0);
+  std::vector<NodeId> half_order;
+  for (NodeId v = 0; v < g.num_nodes() / 2; ++v) half_order.push_back(v);
+  StreamGvex solver(&ctx.model, TestConfig());
+  std::vector<Graph> patterns;
+  std::unordered_set<std::string> codes;
+  auto sub = solver.ExplainGraphStream(g, 0, ctx.assigned[0], &patterns,
+                                       &codes, &half_order);
+  // Either infeasible (prefix lacks the evidence) or a valid subgraph;
+  // never a crash, and stats reflect only streamed nodes.
+  EXPECT_LE(solver.stats().nodes_processed, g.num_nodes());
+  if (sub.ok()) {
+    EXPECT_GE(sub->nodes.size(), 1u);
+  }
+}
+
+TEST(RobustnessTest, ConfigurationFallbackConstraint) {
+  Configuration config;
+  config.default_coverage = {1, 7};
+  config.coverage[3] = {2, 9};
+  EXPECT_EQ(config.ConstraintFor(3).upper, 9u);
+  EXPECT_EQ(config.ConstraintFor(0).upper, 7u);
+  EXPECT_EQ(config.ConstraintFor(-1).lower, 1u);
+}
+
+}  // namespace
+}  // namespace gvex

@@ -1,0 +1,108 @@
+// Invariant tests for StreamGVEX internals observable through its public
+// surface: selections stay within the streamed prefix, budgets hold, the
+// pattern state grows monotonically across graphs of a label group, and
+// skip/swap accounting is consistent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gvex/explain/stream_gvex.h"
+#include "tests/test_util.h"
+
+namespace gvex {
+namespace {
+
+using testutil::MutagenicityContext;
+
+Configuration TestConfig(size_t upper = 8) {
+  Configuration config;
+  config.theta = 0.08f;
+  config.default_coverage = {0, upper};
+  return config;
+}
+
+TEST(StreamInvariantTest, SelectionIsSubsetOfStreamedPrefix) {
+  const auto& ctx = MutagenicityContext();
+  StreamGvex solver(&ctx.model, TestConfig());
+  for (size_t gi = 0; gi < 6; ++gi) {
+    const Graph& g = ctx.db.graph(gi);
+    // Stream only even-numbered nodes.
+    std::vector<NodeId> order;
+    for (NodeId v = 0; v < g.num_nodes(); v += 2) order.push_back(v);
+    std::vector<Graph> patterns;
+    std::unordered_set<std::string> codes;
+    auto sub = solver.ExplainGraphStream(g, gi, ctx.assigned[gi], &patterns,
+                                         &codes, &order);
+    if (!sub.ok()) continue;
+    std::set<NodeId> streamed(order.begin(), order.end());
+    for (NodeId v : sub->nodes) {
+      EXPECT_TRUE(streamed.count(v) > 0)
+          << "node " << v << " was never streamed (graph " << gi << ")";
+    }
+  }
+}
+
+TEST(StreamInvariantTest, BudgetNeverExceeded) {
+  const auto& ctx = MutagenicityContext();
+  for (size_t upper : {3, 6, 10}) {
+    StreamGvex solver(&ctx.model, TestConfig(upper));
+    auto view = solver.ExplainLabel(ctx.db, ctx.assigned, 1);
+    ASSERT_TRUE(view.ok());
+    for (const auto& s : view->subgraphs) {
+      EXPECT_LE(s.nodes.size(), upper);
+      EXPECT_LT(s.nodes.size(),
+                ctx.db.graph(s.graph_index).num_nodes());
+    }
+  }
+}
+
+TEST(StreamInvariantTest, PatternStateGrowsMonotonically) {
+  const auto& ctx = MutagenicityContext();
+  StreamGvex solver(&ctx.model, TestConfig());
+  std::vector<Graph> patterns;
+  std::unordered_set<std::string> codes;
+  size_t last_patterns = 0;
+  auto group = GraphDatabase::LabelGroup(ctx.assigned, 1);
+  for (size_t i = 0; i < std::min<size_t>(group.size(), 8); ++i) {
+    size_t gi = group[i];
+    auto sub = solver.ExplainGraphStream(ctx.db.graph(gi), gi, 1, &patterns,
+                                         &codes);
+    (void)sub;
+    EXPECT_GE(patterns.size(), last_patterns) << "pattern pool shrank";
+    EXPECT_EQ(patterns.size(), codes.size())
+        << "pattern/code bookkeeping diverged";
+    last_patterns = patterns.size();
+  }
+  EXPECT_GT(patterns.size(), 0u);
+}
+
+TEST(StreamInvariantTest, StatsAccounting) {
+  const auto& ctx = MutagenicityContext();
+  StreamGvex solver(&ctx.model, TestConfig(4));
+  auto view = solver.ExplainLabel(ctx.db, ctx.assigned, 1);
+  ASSERT_TRUE(view.ok());
+  const auto& stats = solver.stats();
+  // Every streamed node is accepted, skipped, or triggers a swap attempt
+  // that either swaps or skips; accepts are bounded by u_l per graph.
+  EXPECT_GT(stats.nodes_processed, 0u);
+  EXPECT_LE(stats.accepts,
+            4 * (stats.graphs_explained + stats.graphs_infeasible) +
+                stats.swaps);
+  EXPECT_GT(stats.everify_calls, 0u);
+}
+
+TEST(StreamInvariantTest, ExplainedPlusInfeasibleEqualsGroup) {
+  const auto& ctx = MutagenicityContext();
+  StreamGvex solver(&ctx.model, TestConfig());
+  auto group = GraphDatabase::LabelGroup(ctx.assigned, 1);
+  auto view = solver.ExplainLabel(ctx.db, ctx.assigned, 1);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(solver.stats().graphs_explained +
+                solver.stats().graphs_infeasible,
+            group.size());
+  EXPECT_EQ(view->subgraphs.size(), solver.stats().graphs_explained);
+}
+
+}  // namespace
+}  // namespace gvex

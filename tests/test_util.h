@@ -1,0 +1,50 @@
+// Shared fixtures for integration-level tests: a small trained model over
+// the synthetic Mutagenicity data, built once per test binary.
+#pragma once
+
+#include <memory>
+
+#include "gvex/datasets/datasets.h"
+#include "gvex/gnn/trainer.h"
+#include "gvex/graph/graph_db.h"
+
+namespace gvex {
+namespace testutil {
+
+struct TrainedContext {
+  GraphDatabase db;
+  GcnClassifier model;
+  std::vector<ClassLabel> assigned;
+  float test_accuracy = 0.0f;
+};
+
+/// Train (once) a small GCN on 60 synthetic molecules; later calls return
+/// the cached context. The toy problem is separable, so downstream tests
+/// may assume a confident, accurate model.
+inline const TrainedContext& MutagenicityContext() {
+  static const TrainedContext* ctx = [] {
+    auto* c = new TrainedContext;
+    datasets::MutagenicityOptions d;
+    d.num_graphs = 60;
+    c->db = datasets::MakeMutagenicity(d);
+    GcnConfig mc;
+    mc.input_dim = c->db.feature_dim();
+    mc.hidden_dim = 24;
+    mc.num_layers = 3;
+    mc.num_classes = 2;
+    auto model = GcnClassifier::Create(mc);
+    c->model = std::move(model).ValueOrDie();
+    DataSplit split = SplitDatabase(c->db, 0.8, 0.1, 42);
+    TrainerConfig tc;
+    tc.epochs = 80;
+    tc.adam.learning_rate = 5e-3f;
+    TrainReport report = Trainer(tc).Fit(&c->model, c->db, split);
+    c->test_accuracy = report.test_accuracy;
+    c->assigned = AssignLabels(c->model, c->db);
+    return c;
+  }();
+  return *ctx;
+}
+
+}  // namespace testutil
+}  // namespace gvex

@@ -1,0 +1,11 @@
+// gvex_tool: the GVEX pipeline as a command-line utility. See
+// src/gvex/cli/cli.h for the synopsis.
+#include <string>
+#include <vector>
+
+#include "gvex/cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return gvex::cli::Run(args);
+}
