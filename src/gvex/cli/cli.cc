@@ -3,11 +3,17 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
+#include <set>
 
+#include "gvex/common/failpoint.h"
+#include "gvex/common/stopwatch.h"
 #include "gvex/common/string_util.h"
 #include "gvex/datasets/datasets.h"
 #include "gvex/explain/approx_gvex.h"
+#include "gvex/explain/checkpoint.h"
+#include "gvex/explain/parallel.h"
 #include "gvex/explain/query.h"
 #include "gvex/explain/stream_gvex.h"
 #include "gvex/explain/verifier.h"
@@ -26,12 +32,18 @@ namespace {
 class Flags {
  public:
   static Result<Flags> Parse(const std::vector<std::string>& args) {
+    // Boolean flags take no value; their presence means "true".
+    static const std::set<std::string> kBoolFlags = {"resume"};
     Flags flags;
     for (size_t i = 0; i < args.size(); ++i) {
       if (!StartsWith(args[i], "--")) {
         return Status::InvalidArgument("unexpected argument: " + args[i]);
       }
       std::string key = args[i].substr(2);
+      if (kBoolFlags.count(key) > 0) {
+        flags.values_[key] = "1";
+        continue;
+      }
       if (i + 1 >= args.size()) {
         return Status::InvalidArgument("flag --" + key + " needs a value");
       }
@@ -45,6 +57,8 @@ class Flags {
     if (it == values_.end()) return std::nullopt;
     return it->second;
   }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
   Result<std::string> Require(const std::string& key) const {
     auto v = Get(key);
@@ -171,14 +185,51 @@ Status CmdExplain(const Flags& flags) {
   Configuration config = ConfigFromFlags(flags);
   std::vector<ClassLabel> assigned = AssignLabels(model, db);
 
+  // Fault-tolerance knobs (see README "Long jobs" section).
+  std::unique_ptr<ExplanationCheckpoint> checkpoint;
+  if (auto ckpt_path = flags.Get("checkpoint")) {
+    GVEX_ASSIGN_OR_RETURN(
+        checkpoint,
+        ExplanationCheckpoint::Open(*ckpt_path, flags.Has("resume")));
+    if (checkpoint->loaded_count() > 0) {
+      std::printf("resuming: %zu journaled subgraphs from %s\n",
+                  checkpoint->loaded_count(), ckpt_path->c_str());
+    }
+  } else if (flags.Has("resume")) {
+    return Status::InvalidArgument("--resume requires --checkpoint <path>");
+  }
+  double budget = flags.GetDouble("budget", 0.0);
+  Deadline deadline(budget);
+  size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
+
   std::string algorithm = flags.Get("algorithm").value_or("approx");
   ExplanationViewSet set;
   if (algorithm == "approx") {
-    ApproxGvex solver(&model, config);
-    GVEX_ASSIGN_OR_RETURN(set, solver.Explain(db, assigned, labels));
+    ParallelExplainOptions options;
+    options.num_threads = threads == 0 ? 1 : threads;
+    options.deadline = budget > 0.0 ? &deadline : nullptr;
+    options.checkpoint = checkpoint.get();
+    ParallelExplainReport report;
+    options.report = &report;
+    GVEX_ASSIGN_OR_RETURN(
+        set, ParallelApproxExplain(model, db, assigned, labels, config,
+                                   options));
+    for (const auto& [label, stats] : report.per_view) {
+      std::printf("label %d: %zu/%zu explained (%zu resumed, %zu infeasible, "
+                  "%zu invalid)\n",
+                  label, stats.explained, stats.attempted, stats.resumed,
+                  stats.infeasible, stats.invalid);
+    }
   } else if (algorithm == "stream") {
+    if (checkpoint != nullptr) {
+      return Status::InvalidArgument(
+          "--checkpoint applies to --algorithm approx (stream uses in-process "
+          "Snapshot/Restore)");
+    }
     StreamGvex solver(&model, config);
-    GVEX_ASSIGN_OR_RETURN(set, solver.Explain(db, assigned, labels));
+    GVEX_ASSIGN_OR_RETURN(set, solver.Explain(db, assigned, labels,
+                                              budget > 0.0 ? &deadline
+                                                           : nullptr));
   } else {
     return Status::InvalidArgument("unknown algorithm: " + algorithm);
   }
@@ -252,6 +303,26 @@ Status CmdQuery(const Flags& flags) {
   return Status::OK();
 }
 
+// Scripts dispatch on the exit code, so each StatusCode maps to a
+// distinct one (documented in README.md "Exit codes"). 1 is reserved
+// for crashes/signals, 2 doubles as usage error in the getopt tradition.
+int ExitCodeForStatus(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 2;
+    case StatusCode::kNotFound: return 3;
+    case StatusCode::kOutOfRange: return 4;
+    case StatusCode::kAlreadyExists: return 5;
+    case StatusCode::kFailedPrecondition: return 6;
+    case StatusCode::kInternal: return 7;
+    case StatusCode::kIoError: return 8;
+    case StatusCode::kTimeout: return 9;
+    case StatusCode::kUnimplemented: return 10;
+    case StatusCode::kInfeasible: return 11;
+  }
+  return 7;
+}
+
 }  // namespace
 
 int Run(const std::vector<std::string>& argv) {
@@ -267,6 +338,24 @@ int Run(const std::vector<std::string>& argv) {
     return 2;
   }
   const Flags& flags = *flags_result;
+
+  // Global fault injection: --fail "name=spec[;name=spec...]". Applies to
+  // any subcommand; see src/gvex/common/failpoint.h for the spec grammar.
+  // Armed sites are cleared on return so embedded callers (tests) are not
+  // left with live failpoints.
+  bool armed_failpoints = false;
+  if (auto fail_spec = flags.Get("fail")) {
+    for (const std::string& entry : SplitString(*fail_spec, ';')) {
+      if (entry.empty()) continue;
+      Status armed = failpoint::ArmFromString(entry);
+      if (!armed.ok()) {
+        std::fprintf(stderr, "%s\n", armed.ToString().c_str());
+        failpoint::DisarmAll();
+        return 2;
+      }
+      armed_failpoints = true;
+    }
+  }
 
   Status st;
   if (command == "gen") {
@@ -287,11 +376,11 @@ int Run(const std::vector<std::string>& argv) {
     Usage();
     return 2;
   }
+  if (armed_failpoints) failpoint::DisarmAll();
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
   }
-  return 0;
+  return ExitCodeForStatus(st);
 }
 
 }  // namespace cli

@@ -7,10 +7,16 @@
 //   gvex_tool train   --db db.txt --out model.txt [--hidden 32 --layers 3
 //                     --epochs 150 --aggregator gcn|mean|sum]
 //   gvex_tool explain --db db.txt --model model.txt --labels 0,1
-//                     [--algorithm approx|stream --ul 15 --bl 0] --out views.txt
+//                     [--algorithm approx|stream --ul 15 --bl 0
+//                      --threads N --budget SECONDS
+//                      --checkpoint ckpt.txt --resume] --out views.txt
 //   gvex_tool verify  --db db.txt --model model.txt --views views.txt
 //   gvex_tool fidelity --db db.txt --model model.txt --views views.txt
 //   gvex_tool query   --views views.txt --label 1 --pattern pattern.txt
+//
+// Every subcommand accepts --fail "site=spec[;site=spec...]" to arm
+// fault-injection failpoints (see gvex/common/failpoint.h). Exit codes
+// map StatusCodes one-to-one; see README.md "Exit codes".
 #pragma once
 
 #include <string>

@@ -1,0 +1,17 @@
+#include "gvex/common/cancellation.h"
+
+namespace gvex {
+
+void CancellationToken::RequestCancel(Status cause) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cancelled_.load(std::memory_order_relaxed)) return;
+  cause_ = cause.ok() ? Status::Internal("cancelled") : std::move(cause);
+  cancelled_.store(true, std::memory_order_release);
+}
+
+Status CancellationToken::cause() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cause_;
+}
+
+}  // namespace gvex

@@ -1,0 +1,37 @@
+// Cooperative cancellation for fan-out work: the first non-recoverable
+// failure (or an expired deadline) flips the token, outstanding workers
+// observe it at their next safe point and stop, and the original cause is
+// preserved for the aggregated Status the caller returns.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#include "gvex/common/status.h"
+
+namespace gvex {
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Request cancellation. The first caller's `cause` wins; later calls
+  /// are no-ops. Safe to call from any thread.
+  void RequestCancel(Status cause);
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// The Status that triggered cancellation (OK when not cancelled).
+  Status cause() const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  Status cause_;
+};
+
+}  // namespace gvex

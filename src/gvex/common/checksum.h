@@ -1,0 +1,21 @@
+// CRC32 (reflected, polynomial 0xEDB88320 — the zlib/IEEE 802.3 variant)
+// for the v2 on-disk formats: every section of a saved database, view set,
+// model, or checkpoint carries a checksum so corruption is detected at
+// load time instead of poisoning later queries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gvex {
+
+/// One-shot CRC32 of `len` bytes.
+uint32_t Crc32(const void* data, size_t len);
+
+/// Incremental form: feed `crc` from a previous call (start with 0).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
+
+inline uint32_t Crc32(const std::string& s) { return Crc32(s.data(), s.size()); }
+
+}  // namespace gvex

@@ -1,0 +1,218 @@
+#include "gvex/common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "gvex/common/logging.h"
+#include "gvex/common/string_util.h"
+
+namespace gvex {
+namespace failpoint {
+
+std::atomic<int> g_armed_count{0};
+
+namespace {
+
+struct Entry {
+  FailpointSpec spec;
+  uint64_t hits = 0;
+  uint64_t fired = 0;
+  bool armed = false;  // disarmed entries linger to keep their counters
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Entry> sites;
+};
+
+Registry& Global() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+Result<StatusCode> ParseCode(const std::string& name) {
+  if (name == "io") return StatusCode::kIoError;
+  if (name == "internal") return StatusCode::kInternal;
+  if (name == "timeout") return StatusCode::kTimeout;
+  if (name == "notfound") return StatusCode::kNotFound;
+  if (name == "invalid") return StatusCode::kInvalidArgument;
+  if (name == "infeasible") return StatusCode::kInfeasible;
+  if (name == "failed_precondition") return StatusCode::kFailedPrecondition;
+  if (name == "out_of_range") return StatusCode::kOutOfRange;
+  return Status::InvalidArgument("unknown failpoint status code: " + name);
+}
+
+// Split "head(arg)" into head and arg; arg empty when no parentheses.
+Status SplitToken(const std::string& token, std::string* head,
+                  std::string* arg) {
+  size_t open = token.find('(');
+  if (open == std::string::npos) {
+    *head = token;
+    arg->clear();
+    return Status::OK();
+  }
+  if (token.back() != ')') {
+    return Status::InvalidArgument("unbalanced parens in failpoint token: " +
+                                   token);
+  }
+  *head = token.substr(0, open);
+  *arg = token.substr(open + 1, token.size() - open - 2);
+  return Status::OK();
+}
+
+Result<uint64_t> ParseCount(const std::string& arg, const std::string& what) {
+  if (arg.empty()) {
+    return Status::InvalidArgument("failpoint " + what + " needs an argument");
+  }
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(arg.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("bad failpoint " + what + ": " + arg);
+  }
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+Result<FailpointSpec> ParseSpec(const std::string& spec) {
+  FailpointSpec out;
+  bool saw_action = false;
+  for (const std::string& raw : SplitString(spec, ',')) {
+    std::string token = StripWhitespace(raw);
+    std::string head, arg;
+    GVEX_RETURN_NOT_OK(SplitToken(token, &head, &arg));
+    if (head == "off") {
+      out.action = FailpointSpec::Action::kOff;
+      saw_action = true;
+    } else if (head == "error") {
+      out.action = FailpointSpec::Action::kError;
+      saw_action = true;
+      if (!arg.empty()) {
+        GVEX_ASSIGN_OR_RETURN(out.code, ParseCode(arg));
+      }
+    } else if (head == "delay") {
+      out.action = FailpointSpec::Action::kDelay;
+      saw_action = true;
+      GVEX_ASSIGN_OR_RETURN(uint64_t ms, ParseCount(arg, "delay"));
+      out.delay_ms = static_cast<int>(ms);
+    } else if (head == "skip") {
+      GVEX_ASSIGN_OR_RETURN(out.skip, ParseCount(arg, "skip"));
+    } else if (head == "limit") {
+      GVEX_ASSIGN_OR_RETURN(out.limit, ParseCount(arg, "limit"));
+    } else if (head == "1in") {
+      GVEX_ASSIGN_OR_RETURN(out.one_in, ParseCount(arg, "1in"));
+      if (out.one_in == 0) {
+        return Status::InvalidArgument("failpoint 1in(0) is meaningless");
+      }
+    } else {
+      return Status::InvalidArgument("unknown failpoint token: " + token);
+    }
+  }
+  if (!saw_action) {
+    return Status::InvalidArgument("failpoint spec has no action: " + spec);
+  }
+  return out;
+}
+
+void Arm(const std::string& name, FailpointSpec spec) {
+  Registry& reg = Global();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  Entry& e = reg.sites[name];
+  if (!e.armed) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  e.spec = std::move(spec);
+  e.hits = 0;
+  e.fired = 0;
+  e.armed = true;
+}
+
+Status ArmFromString(const std::string& name_eq_spec) {
+  size_t eq = name_eq_spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("expected name=spec, got: " + name_eq_spec);
+  }
+  std::string name = StripWhitespace(name_eq_spec.substr(0, eq));
+  GVEX_ASSIGN_OR_RETURN(FailpointSpec spec,
+                        ParseSpec(name_eq_spec.substr(eq + 1)));
+  Arm(name, std::move(spec));
+  return Status::OK();
+}
+
+void Disarm(const std::string& name) {
+  Registry& reg = Global();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(name);
+  if (it != reg.sites.end() && it->second.armed) {
+    it->second.armed = false;
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& reg = Global();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, e] : reg.sites) {
+    if (e.armed) g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  reg.sites.clear();
+}
+
+uint64_t HitCount(const std::string& name) {
+  Registry& reg = Global();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(name);
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+uint64_t FiredCount(const std::string& name) {
+  Registry& reg = Global();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(name);
+  return it == reg.sites.end() ? 0 : it->second.fired;
+}
+
+Status Check(const char* name) {
+  FailpointSpec spec;
+  {
+    Registry& reg = Global();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.sites.find(name);
+    if (it == reg.sites.end() || !it->second.armed) return Status::OK();
+    Entry& e = it->second;
+    ++e.hits;
+    if (e.hits <= e.spec.skip) return Status::OK();
+    if (e.fired >= e.spec.limit) return Status::OK();
+    uint64_t active = e.hits - e.spec.skip;  // 1-based index past the skip
+    if ((active - 1) % e.spec.one_in != 0) return Status::OK();
+    ++e.fired;
+    spec = e.spec;
+  }
+  switch (spec.action) {
+    case FailpointSpec::Action::kOff:
+      return Status::OK();
+    case FailpointSpec::Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.delay_ms));
+      return Status::OK();
+    case FailpointSpec::Action::kError: {
+      std::string msg = spec.message.empty()
+                            ? std::string("failpoint '") + name + "' injected"
+                            : spec.message;
+      return Status(spec.code, std::move(msg));
+    }
+  }
+  return Status::OK();
+}
+
+ScopedFailpoint::ScopedFailpoint(std::string name, const std::string& spec)
+    : name_(std::move(name)) {
+  Result<FailpointSpec> parsed = ParseSpec(spec);
+  GVEX_CHECK(parsed.ok()) << parsed.status().ToString();
+  Arm(name_, std::move(*parsed));
+}
+
+ScopedFailpoint::~ScopedFailpoint() { Disarm(name_); }
+
+}  // namespace failpoint
+}  // namespace gvex

@@ -1,0 +1,106 @@
+// Failpoints: a process-wide registry of named fault-injection sites in the
+// RocksDB sync-point tradition. Production code marks a site with
+// GVEX_FAILPOINT_RETURN("layer.site") (fallible paths) or
+// GVEX_FAILPOINT_NOTIFY("layer.site") (void paths: delays and hit counting
+// only); tests and the CLI arm sites by name to inject an error Status,
+// fire once-in-N, skip the first K hits, cap the number of firings, or
+// inject a delay. When nothing is armed the site is a single relaxed
+// atomic load — cheap enough to leave compiled into release builds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "gvex/common/result.h"
+#include "gvex/common/status.h"
+
+namespace gvex {
+namespace failpoint {
+
+/// What an armed failpoint does when it fires.
+struct FailpointSpec {
+  enum class Action {
+    kOff,    ///< armed but inert (keeps hit counting)
+    kError,  ///< return an error Status from GVEX_FAILPOINT_RETURN sites
+    kDelay,  ///< sleep `delay_ms` (both site kinds)
+  };
+
+  Action action = Action::kError;
+  StatusCode code = StatusCode::kInternal;
+  int delay_ms = 0;
+  /// Hits 1..skip pass through untouched (fire "after N successes").
+  uint64_t skip = 0;
+  /// Fire at most this many times, then pass through.
+  uint64_t limit = UINT64_MAX;
+  /// Of the post-skip hits, fire every Nth starting with the first
+  /// (deterministic stand-in for "once in N").
+  uint64_t one_in = 1;
+  /// Message of the injected Status; defaults to naming the failpoint.
+  std::string message;
+};
+
+/// Parse a spec string: comma-separated tokens out of
+///   off | error | error(<code>) | delay(<ms>) |
+///   skip(<n>) | limit(<n>) | 1in(<n>)
+/// where <code> is one of io, internal, timeout, notfound, invalid,
+/// infeasible, failed_precondition, out_of_range. Example:
+///   "error(io),skip(3),limit(1)"  — fail the 4th hit with IoError, once.
+Result<FailpointSpec> ParseSpec(const std::string& spec);
+
+/// Arm `name` with `spec` (replaces any previous arming, resets counters).
+void Arm(const std::string& name, FailpointSpec spec);
+
+/// Arm from "name=spec" (CLI form). Returns InvalidArgument on bad syntax.
+Status ArmFromString(const std::string& name_eq_spec);
+
+/// Disarm one site / every site. DisarmAll also forgets hit counters.
+void Disarm(const std::string& name);
+void DisarmAll();
+
+/// Times an armed site was evaluated / actually fired (0 if never armed).
+uint64_t HitCount(const std::string& name);
+uint64_t FiredCount(const std::string& name);
+
+/// True when at least one failpoint is armed (the macros' fast-path guard).
+inline bool AnyArmed() {
+  extern std::atomic<int> g_armed_count;
+  return g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+/// Slow path behind the macros: count the hit, apply delays, and return
+/// the injected Status (OK when the site should pass through).
+Status Check(const char* name);
+
+/// RAII arming for tests: disarms on scope exit.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, const std::string& spec);
+  ~ScopedFailpoint();
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace failpoint
+}  // namespace gvex
+
+/// Fallible site: propagate an injected error Status to the caller.
+#define GVEX_FAILPOINT_RETURN(name)                      \
+  do {                                                   \
+    if (::gvex::failpoint::AnyArmed()) {                 \
+      ::gvex::Status _fp = ::gvex::failpoint::Check(name); \
+      if (!_fp.ok()) return _fp;                         \
+    }                                                    \
+  } while (false)
+
+/// Void site: hit counting and delay injection only (error specs are
+/// counted as fired but cannot propagate).
+#define GVEX_FAILPOINT_NOTIFY(name)                      \
+  do {                                                   \
+    if (::gvex::failpoint::AnyArmed()) {                 \
+      (void)::gvex::failpoint::Check(name);              \
+    }                                                    \
+  } while (false)

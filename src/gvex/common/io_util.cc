@@ -1,0 +1,100 @@
+#include "gvex/common/io_util.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <thread>
+
+#include "gvex/common/checksum.h"
+#include "gvex/common/failpoint.h"
+#include "gvex/common/string_util.h"
+
+namespace gvex {
+
+Status WriteSection(std::ostream* out, const std::string& payload) {
+  (*out) << "sec " << payload.size() << " "
+         << StrFormat("%08x", Crc32(payload)) << "\n";
+  out->write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out->good()) return Status::IoError("section write failed");
+  return Status::OK();
+}
+
+Result<std::string> ReadSection(std::istream* in) {
+  std::string tag, crc_hex;
+  size_t nbytes = 0;
+  if (!((*in) >> tag >> nbytes >> crc_hex) || tag != "sec") {
+    return Status::IoError("bad section frame");
+  }
+  if (crc_hex.size() != 8 ||
+      crc_hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return Status::IoError("bad section checksum field");
+  }
+  if (in->get() != '\n') return Status::IoError("bad section frame");
+  std::string payload(nbytes, '\0');
+  in->read(payload.data(), static_cast<std::streamsize>(nbytes));
+  if (static_cast<size_t>(in->gcount()) != nbytes) {
+    return Status::IoError("section truncated");
+  }
+  uint32_t expected =
+      static_cast<uint32_t>(std::strtoul(crc_hex.c_str(), nullptr, 16));
+  if (Crc32(payload) != expected) {
+    return Status::IoError("section checksum mismatch");
+  }
+  return payload;
+}
+
+void SetMaxPrecision(std::ostream* out) {
+  out->precision(std::numeric_limits<double>::max_digits10);
+}
+
+Status AtomicSave(const std::string& path,
+                  const std::function<Status(std::ostream*)>& writer) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) return Status::IoError("cannot open " + tmp);
+    SetMaxPrecision(&out);
+    Status st = writer(&out);
+    if (st.ok()) {
+      out.flush();
+      if (!out.good()) st = Status::IoError("flush failed for " + tmp);
+    }
+    if (!st.ok()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return st;
+    }
+  }
+  // Crash window under test: an armed "io.atomic_rename" failpoint models
+  // dying after the temp file is complete but before the commit rename.
+  if (failpoint::AnyArmed()) {
+    Status st = failpoint::Check("io.atomic_rename");
+    if (!st.ok()) {
+      std::remove(tmp.c_str());
+      return st;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Status RetryIo(const std::function<Status()>& op, const RetryOptions& options) {
+  Status st;
+  int delay_ms = options.base_delay_ms;
+  for (int attempt = 1;; ++attempt) {
+    st = op();
+    if (st.ok() || st.code() != StatusCode::kIoError ||
+        attempt >= options.max_attempts) {
+      return st;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    delay_ms *= 2;
+  }
+}
+
+}  // namespace gvex

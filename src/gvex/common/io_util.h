@@ -1,0 +1,54 @@
+// Hardened persistence primitives shared by the v2 on-disk formats:
+//   - CRC-framed sections (length + checksum per record, so loaders detect
+//     truncation and bit rot instead of mis-parsing),
+//   - atomic save (write-to-temp + rename: a crashed writer never leaves a
+//     half-written file under the final name),
+//   - retry with exponential backoff for transient IO errors.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "gvex/common/result.h"
+
+namespace gvex {
+
+// ---- CRC-framed sections ----------------------------------------------------
+//
+// A section is "sec <byte-count> <crc32-hex>\n" followed by exactly
+// <byte-count> payload bytes. Readers reject short reads (truncation) and
+// checksum mismatches (corruption) with IoError before any payload parsing.
+
+Status WriteSection(std::ostream* out, const std::string& payload);
+
+/// Read one section; IoError on framing, truncation, or CRC mismatch.
+Result<std::string> ReadSection(std::istream* in);
+
+// ---- atomic save ------------------------------------------------------------
+
+/// Serialize via `writer` into `path + ".tmp"`, then rename over `path`.
+/// The temp file is removed on any failure; readers of `path` never see a
+/// partial write. Streams handed to `writer` have max round-trip float
+/// precision set.
+Status AtomicSave(const std::string& path,
+                  const std::function<Status(std::ostream*)>& writer);
+
+// ---- retry ------------------------------------------------------------------
+
+struct RetryOptions {
+  int max_attempts = 3;
+  int base_delay_ms = 1;  ///< doubles per attempt: 1ms, 2ms, 4ms, ...
+};
+
+/// Run `op`, retrying on kIoError with exponential backoff. Other error
+/// codes (and success) return immediately.
+Status RetryIo(const std::function<Status()>& op,
+               const RetryOptions& options = RetryOptions());
+
+/// Round-trip-exact printing for the text formats ('%.17g' territory);
+/// applied to every v2 writer stream so checkpointed doubles restore to
+/// the same bits and resumed runs serialize byte-identically.
+void SetMaxPrecision(std::ostream* out);
+
+}  // namespace gvex

@@ -81,6 +81,8 @@ class Status {
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsInfeasible() const { return code() == StatusCode::kInfeasible; }
   bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
 
   std::string ToString() const;
 

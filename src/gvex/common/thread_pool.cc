@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cassert>
 
+#include "gvex/common/failpoint.h"
+
 namespace gvex {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -35,10 +37,14 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   return fut;
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             const CancellationToken* cancel) {
   if (n == 0) return;
   if (workers_.size() == 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      fn(i);
+    }
     return;
   }
   std::atomic<size_t> next{0};
@@ -48,6 +54,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   for (size_t t = 0; t < launchers; ++t) {
     futures.push_back(Submit([&] {
       for (;;) {
+        if (cancel != nullptr && cancel->cancelled()) return;
         size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
         fn(i);
@@ -70,6 +77,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    // Delay/ordering injection for scheduler-dependent tests ("thread_pool
+    // .task" is a void site: error specs count but cannot propagate).
+    GVEX_FAILPOINT_NOTIFY("thread_pool.task");
     task();
   }
 }

@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "gvex/common/cancellation.h"
+
 namespace gvex {
 
 /// \brief A minimal work-stealing-free task pool.
@@ -34,7 +36,14 @@ class ThreadPool {
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
   /// With a single-thread pool this degrades to a serial loop (no
   /// thread-hop overhead), which keeps benches honest on 1-core boxes.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  ///
+  /// When `cancel` is given, no *new* index is dispatched once the token
+  /// is cancelled (indices already running finish normally) — the first
+  /// non-recoverable worker error stops the fan-out instead of letting
+  /// the pool run to completion. Indices never dispatched are simply not
+  /// invoked; the caller inspects the token's cause().
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   const CancellationToken* cancel = nullptr);
 
  private:
   void WorkerLoop();

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "gvex/common/failpoint.h"
 #include "gvex/common/logging.h"
+#include "gvex/common/string_util.h"
 #include "gvex/explain/psum.h"
 #include "gvex/influence/influence.h"
 
@@ -21,6 +23,7 @@ Result<ExplanationSubgraph> ApproxGvex::ExplainGraph(const Graph& g,
                                                      size_t graph_index,
                                                      ClassLabel l) {
   ++stats_.graphs_attempted;
+  GVEX_FAILPOINT_RETURN("approx.explain_graph");
   if (g.num_nodes() == 0) {
     return Status::InvalidArgument("cannot explain an empty graph");
   }
@@ -209,22 +212,41 @@ Result<ExplanationSubgraph> ApproxGvex::ExplainGraph(const Graph& g,
 
 Result<ExplanationView> ApproxGvex::ExplainLabel(
     const GraphDatabase& db, const std::vector<ClassLabel>& assigned,
-    ClassLabel l, const Deadline* deadline) {
+    ClassLabel l, const Deadline* deadline, ExplanationCheckpoint* checkpoint) {
   ExplanationView view;
   view.label = l;
   std::vector<size_t> group = GraphDatabase::LabelGroup(assigned, l);
+  size_t done = 0;
   for (size_t gi : group) {
     if (deadline != nullptr && deadline->Expired()) {
-      return Status::Timeout("label explanation exceeded time budget");
+      std::string note = StrFormat(
+          "label explanation exceeded time budget (%zu/%zu graphs done", done,
+          group.size());
+      note += checkpoint != nullptr ? ", progress journaled)" : ")";
+      return Status::Timeout(std::move(note));
+    }
+    if (checkpoint != nullptr) {
+      if (const ExplanationSubgraph* saved = checkpoint->Find(l, gi)) {
+        ++stats_.graphs_resumed;
+        ++done;
+        view.explainability += saved->explainability;
+        view.subgraphs.push_back(*saved);
+        continue;
+      }
     }
     Result<ExplanationSubgraph> sub = ExplainGraph(db.graph(gi), gi, l);
     if (!sub.ok()) {
       if (sub.status().IsInfeasible()) {
         GVEX_LOG(Debug) << "graph " << gi << " infeasible for label " << l;
+        ++done;
         continue;  // Alg. 1 line 17: this graph contributes no subgraph
       }
       return sub.status();
     }
+    if (checkpoint != nullptr) {
+      GVEX_RETURN_NOT_OK(checkpoint->Append(l, *sub));
+    }
+    ++done;
     view.explainability += sub->explainability;
     view.subgraphs.push_back(std::move(*sub));
   }
@@ -241,11 +263,12 @@ Result<ExplanationView> ApproxGvex::ExplainLabel(
 
 Result<ExplanationViewSet> ApproxGvex::Explain(
     const GraphDatabase& db, const std::vector<ClassLabel>& assigned,
-    const std::vector<ClassLabel>& labels, const Deadline* deadline) {
+    const std::vector<ClassLabel>& labels, const Deadline* deadline,
+    ExplanationCheckpoint* checkpoint) {
   ExplanationViewSet set;
   for (ClassLabel l : labels) {
     GVEX_ASSIGN_OR_RETURN(ExplanationView view,
-                          ExplainLabel(db, assigned, l, deadline));
+                          ExplainLabel(db, assigned, l, deadline, checkpoint));
     set.views.push_back(std::move(view));
   }
   return set;

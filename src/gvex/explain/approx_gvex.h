@@ -24,6 +24,7 @@
 
 #include "gvex/common/result.h"
 #include "gvex/common/stopwatch.h"
+#include "gvex/explain/checkpoint.h"
 #include "gvex/explain/config.h"
 #include "gvex/explain/everify.h"
 #include "gvex/explain/view.h"
@@ -37,6 +38,7 @@ struct ApproxGvexStats {
   size_t graphs_attempted = 0;
   size_t graphs_explained = 0;
   size_t graphs_infeasible = 0;
+  size_t graphs_resumed = 0;  ///< taken from a checkpoint, not recomputed
   size_t everify_calls = 0;
   size_t greedy_rounds = 0;
 };
@@ -59,16 +61,24 @@ class ApproxGvex {
   /// Assemble the explanation view for one label group: run ExplainGraph
   /// on every graph the model assigned label l, then summarize with Psum.
   /// Graphs with no feasible explanation are skipped (counted in stats).
+  ///
+  /// With a `checkpoint`, each completed subgraph is journaled and graphs
+  /// already in the journal are restored instead of recomputed, so a
+  /// killed run resumes where it stopped.
   Result<ExplanationView> ExplainLabel(const GraphDatabase& db,
                                        const std::vector<ClassLabel>& assigned,
                                        ClassLabel l,
-                                       const Deadline* deadline = nullptr);
+                                       const Deadline* deadline = nullptr,
+                                       ExplanationCheckpoint* checkpoint =
+                                           nullptr);
 
   /// Views for every label of interest.
   Result<ExplanationViewSet> Explain(const GraphDatabase& db,
                                      const std::vector<ClassLabel>& assigned,
                                      const std::vector<ClassLabel>& labels,
-                                     const Deadline* deadline = nullptr);
+                                     const Deadline* deadline = nullptr,
+                                     ExplanationCheckpoint* checkpoint =
+                                         nullptr);
 
  private:
   const GcnClassifier* model_;

@@ -1,10 +1,15 @@
 #include "gvex/explain/everify.h"
 
+#include "gvex/common/failpoint.h"
+
 namespace gvex {
 
 EVerifyResult EVerify::Verify(const Graph& g,
                               const std::vector<NodeId>& nodes,
                               ClassLabel l) const {
+  // Inference is the hot spot of every solver; a delay armed here makes
+  // deadline expiry and slow-worker orderings reproducible in tests.
+  GVEX_FAILPOINT_NOTIFY("everify.verify");
   EVerifyResult result;
   if (nodes.empty() || l < 0) return result;
 

@@ -1,13 +1,24 @@
 // Parallel view generation (appendix A.7): the per-graph explain phase is
 // embarrassingly parallel, so graphs are distributed over a thread pool and
 // the per-label summarize phase runs once the subgraphs are in.
+//
+// The parallel driver is also the fault-tolerance front door for long
+// jobs: it honors the caller's Deadline inside the fan-out, cancels
+// outstanding work on the first non-recoverable error, journals each
+// completed subgraph to an append-only checkpoint (and skips journaled
+// graphs on resume), and aggregates *every* per-item failure into the
+// returned Status instead of surfacing only the first.
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <vector>
 
+#include "gvex/common/cancellation.h"
 #include "gvex/common/result.h"
+#include "gvex/common/stopwatch.h"
 #include "gvex/explain/approx_gvex.h"
+#include "gvex/explain/checkpoint.h"
 #include "gvex/explain/config.h"
 #include "gvex/explain/view.h"
 #include "gvex/gnn/model.h"
@@ -15,9 +26,48 @@
 
 namespace gvex {
 
-/// Run ApproxGVEX's explain phase across `num_threads` workers, then Psum
-/// per label. Equivalent output to ApproxGvex::Explain up to subgraph
-/// ordering; deterministic given the configuration.
+/// Per-label accounting of what happened to each graph in the group.
+/// Infeasible / invalid-argument graphs contribute no subgraph by design
+/// (Alg. 1 line 17) but are counted and logged instead of vanishing.
+struct PerViewBuildStats {
+  size_t attempted = 0;
+  size_t explained = 0;
+  size_t infeasible = 0;
+  size_t invalid = 0;
+  size_t resumed = 0;  ///< restored from the checkpoint journal
+};
+
+struct ParallelExplainReport {
+  std::map<ClassLabel, PerViewBuildStats> per_view;
+  /// Work items never dispatched because the run was cancelled.
+  size_t not_attempted = 0;
+};
+
+struct ParallelExplainOptions {
+  size_t num_threads = 1;
+  /// Checked before each per-graph solve; expiry cancels outstanding work
+  /// and the call returns kTimeout with partial progress noted.
+  const Deadline* deadline = nullptr;
+  /// Optional external token; cancelling it stops the fan-out. A local
+  /// token is used when null (errors/deadline still cancel).
+  CancellationToken* cancel = nullptr;
+  /// Journal of completed subgraphs for checkpoint/resume.
+  ExplanationCheckpoint* checkpoint = nullptr;
+  /// Filled with per-view accounting when non-null.
+  ParallelExplainReport* report = nullptr;
+};
+
+/// Run ApproxGVEX's explain phase across `options.num_threads` workers,
+/// then Psum per label. Equivalent output to ApproxGvex::Explain up to
+/// subgraph ordering; deterministic given the configuration — a resumed
+/// run therefore reproduces the uninterrupted result byte-for-byte.
+Result<ExplanationViewSet> ParallelApproxExplain(
+    const GcnClassifier& model, const GraphDatabase& db,
+    const std::vector<ClassLabel>& assigned,
+    const std::vector<ClassLabel>& labels, const Configuration& config,
+    const ParallelExplainOptions& options);
+
+/// Back-compat convenience overload.
 Result<ExplanationViewSet> ParallelApproxExplain(
     const GcnClassifier& model, const GraphDatabase& db,
     const std::vector<ClassLabel>& assigned,

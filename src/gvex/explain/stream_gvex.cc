@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "gvex/common/bitset.h"
+#include "gvex/common/failpoint.h"
 #include "gvex/common/logging.h"
 #include "gvex/common/rng.h"
 #include "gvex/influence/influence.h"
@@ -83,6 +84,12 @@ Result<ExplanationSubgraph> StreamGvex::ExplainGraphStream(
   std::vector<NodeId> vu;  // rejected/evicted candidates, for the top-up
 
   for (NodeId v : stream) {
+    // IncUpdateVS (Procedure 4) is the per-arrival hot path of the
+    // streaming solver; an armed failpoint interrupts a run mid-graph.
+    // All pattern-state mutation happens after the loop, so an injected
+    // error leaves `patterns`/`codes` untouched and the graph replays
+    // cleanly on resume.
+    GVEX_FAILPOINT_RETURN("stream.inc_update_vs");
     ++stats_.nodes_processed;
     if (vs.size() < cc.upper) {
       // Case (a): budget available, accept.
@@ -542,13 +549,26 @@ PatternReduction ReducePatterns(const std::vector<Graph>& patterns,
 Result<ExplanationView> StreamGvex::ExplainLabel(
     const GraphDatabase& db, const std::vector<ClassLabel>& assigned,
     ClassLabel l, const Deadline* deadline, uint64_t order_seed) {
-  ExplanationView view;
-  view.label = l;
-  std::vector<Graph> patterns;
-  std::unordered_set<std::string> codes;
+  // Start fresh unless we are resuming this exact label (after a deadline
+  // expiry or injected fault, possibly via Snapshot()/Restore()).
+  if (!label_in_progress_ || resume_label_ != l) {
+    label_in_progress_ = true;
+    resume_label_ = l;
+    group_pos_ = 0;
+    partial_view_ = ExplanationView{};
+    partial_view_.label = l;
+    label_patterns_.clear();
+    label_codes_.clear();
+    committed_stats_ = stats_;
+  } else {
+    // Roll back stats of the half-processed graph; it replays in full, so
+    // a resumed run ends with straight-through stats.
+    stats_ = committed_stats_;
+  }
 
   std::vector<size_t> group = GraphDatabase::LabelGroup(assigned, l);
-  for (size_t gi : group) {
+  for (; group_pos_ < group.size(); ++group_pos_) {
+    size_t gi = group[group_pos_];
     if (deadline != nullptr && deadline->Expired()) {
       return Status::Timeout("stream label explanation exceeded time budget");
     }
@@ -560,14 +580,25 @@ Result<ExplanationView> StreamGvex::ExplainLabel(
       rng.Shuffle(&order);
     }
     Result<ExplanationSubgraph> sub =
-        ExplainGraphStream(g, gi, l, &patterns, &codes, &order);
+        ExplainGraphStream(g, gi, l, &label_patterns_, &label_codes_, &order);
     if (!sub.ok()) {
-      if (sub.status().IsInfeasible()) continue;
-      return sub.status();
+      if (sub.status().IsInfeasible()) {
+        committed_stats_ = stats_;
+        continue;
+      }
+      return sub.status();  // resume state retained for Snapshot()
     }
-    view.explainability += sub->explainability;
-    view.subgraphs.push_back(std::move(*sub));
+    partial_view_.explainability += sub->explainability;
+    partial_view_.subgraphs.push_back(std::move(*sub));
+    committed_stats_ = stats_;
   }
+
+  ExplanationView view = std::move(partial_view_);
+  std::vector<Graph> patterns = std::move(label_patterns_);
+  label_in_progress_ = false;
+  partial_view_ = ExplanationView{};
+  label_patterns_.clear();
+  label_codes_.clear();
 
   // Batched Procedure 5 swap: drop patterns that stopped contributing.
   std::vector<Graph> raw;
@@ -576,6 +607,30 @@ Result<ExplanationView> StreamGvex::ExplainLabel(
   PatternReduction reduction = ReducePatterns(patterns, raw, config_);
   view.patterns = std::move(reduction.patterns);
   return view;
+}
+
+StreamGvexSnapshot StreamGvex::Snapshot() const {
+  StreamGvexSnapshot snap;
+  snap.in_progress = label_in_progress_;
+  snap.label = resume_label_;
+  snap.graphs_done = group_pos_;
+  snap.partial = partial_view_;
+  snap.patterns = label_patterns_;
+  snap.codes.assign(label_codes_.begin(), label_codes_.end());
+  snap.stats = committed_stats_;
+  return snap;
+}
+
+void StreamGvex::Restore(const StreamGvexSnapshot& snapshot) {
+  label_in_progress_ = snapshot.in_progress;
+  resume_label_ = snapshot.label;
+  group_pos_ = snapshot.graphs_done;
+  partial_view_ = snapshot.partial;
+  label_patterns_ = snapshot.patterns;
+  label_codes_.clear();
+  label_codes_.insert(snapshot.codes.begin(), snapshot.codes.end());
+  stats_ = snapshot.stats;
+  committed_stats_ = snapshot.stats;
 }
 
 Result<ExplanationViewSet> StreamGvex::Explain(

@@ -45,6 +45,23 @@ struct StreamGvexStats {
   size_t graphs_infeasible = 0;
 };
 
+/// \brief Resumable state of an interrupted ExplainLabel call, committed
+/// at graph boundaries: the finished subgraphs, the incremental pattern
+/// state (patterns + canonical codes), and the stats as of the last
+/// completed graph. Because each graph's node cache is rebuilt from its
+/// own stream on resume, the restored run preserves Algorithm 3's anytime
+/// 1/4-approximation on the seen prefix, and a resumed run finishes with
+/// the same view and stats as a straight-through one.
+struct StreamGvexSnapshot {
+  bool in_progress = false;
+  ClassLabel label = -1;
+  size_t graphs_done = 0;  ///< position within the label group
+  ExplanationView partial;
+  std::vector<Graph> patterns;
+  std::vector<std::string> codes;
+  StreamGvexStats stats;
+};
+
 /// \brief The streaming solver. One instance may process many graphs;
 /// pattern state accumulates per label within an Explain* call.
 class StreamGvex {
@@ -78,11 +95,30 @@ class StreamGvex {
                                      const Deadline* deadline = nullptr,
                                      uint64_t order_seed = 0);
 
+  /// Capture the resumable state of an ExplainLabel call that returned an
+  /// error (deadline expiry, injected fault, ...). State is committed per
+  /// completed graph; a half-processed graph is rolled back and replayed.
+  StreamGvexSnapshot Snapshot() const;
+
+  /// Restore a snapshot (possibly into a fresh solver). The next
+  /// ExplainLabel call for the snapshot's label continues after the last
+  /// completed graph instead of starting over.
+  void Restore(const StreamGvexSnapshot& snapshot);
+
  private:
   const GcnClassifier* model_;
   EVerify verifier_;
   Configuration config_;
   StreamGvexStats stats_;
+
+  // Resume state for the in-flight ExplainLabel (see StreamGvexSnapshot).
+  bool label_in_progress_ = false;
+  ClassLabel resume_label_ = -1;
+  size_t group_pos_ = 0;
+  ExplanationView partial_view_;
+  std::vector<Graph> label_patterns_;
+  std::unordered_set<std::string> label_codes_;
+  StreamGvexStats committed_stats_;
 };
 
 /// Reduce a pattern set to a coverage-minimal subset over `subgraphs`

@@ -2,6 +2,10 @@
 // shipped to analysts, and queried later without re-running the solvers
 // (views are materialized structures — the database-views heritage of the
 // paper).
+//
+// Writers emit the v2 format (per-view CRC32 sections + end marker);
+// readers accept v2 and legacy v1. SaveViewSet is atomic (temp + rename)
+// and retries transient IO errors.
 #pragma once
 
 #include <iosfwd>
@@ -15,7 +19,16 @@ namespace gvex {
 Status WriteViewSet(const ExplanationViewSet& set, std::ostream* out);
 Result<ExplanationViewSet> ReadViewSet(std::istream* in);
 
+/// Legacy v1 stream writer (migration tooling and compat tests).
+Status WriteViewSetV1(const ExplanationViewSet& set, std::ostream* out);
+
 Status SaveViewSet(const ExplanationViewSet& set, const std::string& path);
 Result<ExplanationViewSet> LoadViewSet(const std::string& path);
+
+/// One "sub ..." record (node list + induced subgraph). Shared with the
+/// checkpoint journal so a journaled subgraph restores bit-exactly.
+Status WriteExplanationSubgraph(const ExplanationSubgraph& sub,
+                                std::ostream* out);
+Result<ExplanationSubgraph> ReadExplanationSubgraph(std::istream* in);
 
 }  // namespace gvex

@@ -2,6 +2,7 @@
 // the full gen -> train -> explain -> verify -> fidelity -> query pipeline
 // through artifact files in a temp directory.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -20,13 +21,25 @@ namespace fs = std::filesystem;
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "gvex_cli_test";
+    // Unique per test AND per process: ctest runs test binaries in
+    // parallel, and a shared directory makes fixtures race.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           ("gvex_cli_test_" + std::string(info->name()) + "_" +
+            std::to_string(static_cast<long>(::getpid())));
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }
 
   std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::string Bytes(const std::string& name) {
+    std::ifstream in(Path(name), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
 
   fs::path dir_;
 };
@@ -118,6 +131,69 @@ TEST_F(CliTest, TrainSupportsAggregators) {
   EXPECT_NE(cli::Run({"train", "--db", Path("db.txt"), "--out",
                       Path("m.txt"), "--aggregator", "transformer"}),
             0);
+}
+
+TEST_F(CliTest, ExitCodesMapStatusCodes) {
+  // IoError (missing file) -> 8.
+  EXPECT_EQ(cli::Run({"stats", "--db", Path("does_not_exist.txt")}), 8);
+  // Usage / InvalidArgument -> 2.
+  EXPECT_EQ(cli::Run({"explain", "--labels"}), 2);
+  EXPECT_EQ(cli::Run({"gen", "--dataset", "MUT"}), 2);  // missing --out
+  // Bad --fail spec -> 2.
+  EXPECT_EQ(cli::Run({"stats", "--db", Path("x"), "--fail", "nonsense"}), 2);
+}
+
+TEST_F(CliTest, FailFlagInjectsFaults) {
+  // The injected write failure survives the retry loop and surfaces as the
+  // IoError exit code; nothing is left under the final path.
+  EXPECT_EQ(cli::Run({"gen", "--dataset", "MUT", "--scale", "0.1", "--out",
+                      Path("db.txt"), "--fail",
+                      "graph_io.write_db=error(io)"}),
+            8);
+  EXPECT_FALSE(fs::exists(Path("db.txt")));
+  // Failpoints are cleared when Run returns: the same command now works.
+  EXPECT_EQ(cli::Run({"gen", "--dataset", "MUT", "--scale", "0.1", "--out",
+                      Path("db.txt")}),
+            0);
+  EXPECT_TRUE(fs::exists(Path("db.txt")));
+}
+
+TEST_F(CliTest, CheckpointResumeProducesIdenticalViews) {
+  ASSERT_EQ(cli::Run({"gen", "--dataset", "MUT", "--scale", "0.15", "--out",
+                      Path("db.txt")}),
+            0);
+  ASSERT_EQ(cli::Run({"train", "--db", Path("db.txt"), "--out",
+                      Path("model.txt"), "--epochs", "40"}),
+            0);
+  // Reference: uninterrupted explain.
+  ASSERT_EQ(cli::Run({"explain", "--db", Path("db.txt"), "--model",
+                      Path("model.txt"), "--labels", "1", "--ul", "12",
+                      "--threads", "2", "--out", Path("views_plain.txt")}),
+            0);
+  // --resume without --checkpoint is a usage error.
+  EXPECT_EQ(cli::Run({"explain", "--db", Path("db.txt"), "--model",
+                      Path("model.txt"), "--labels", "1", "--ul", "12",
+                      "--resume", "--out", Path("v.txt")}),
+            2);
+  // A checkpointed run killed partway by an injected fault -> kInternal.
+  EXPECT_EQ(cli::Run({"explain", "--db", Path("db.txt"), "--model",
+                      Path("model.txt"), "--labels", "1", "--ul", "12",
+                      "--checkpoint", Path("run.ckpt"), "--fail",
+                      "approx.explain_graph=error(internal),skip(2),limit(1)",
+                      "--out", Path("views_resumed.txt")}),
+            7);
+  // Resume completes and writes byte-identical views.
+  ASSERT_EQ(cli::Run({"explain", "--db", Path("db.txt"), "--model",
+                      Path("model.txt"), "--labels", "1", "--ul", "12",
+                      "--checkpoint", Path("run.ckpt"), "--resume",
+                      "--threads", "2", "--out", Path("views_resumed.txt")}),
+            0);
+  EXPECT_EQ(Bytes("views_resumed.txt"), Bytes("views_plain.txt"));
+  // An absurdly small budget times out -> 9.
+  EXPECT_EQ(cli::Run({"explain", "--db", Path("db.txt"), "--model",
+                      Path("model.txt"), "--labels", "1", "--ul", "12",
+                      "--budget", "0.000000001", "--out", Path("v.txt")}),
+            9);
 }
 
 TEST(ViewIoTest, RoundTripPreservesStructure) {

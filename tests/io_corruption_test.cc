@@ -1,0 +1,303 @@
+// Corruption-injection tests for the hardened v2 on-disk formats: every
+// truncation point and every single-bit flip of a serialized database /
+// view set / model must either be detected (error Status, never a crash)
+// or be provably benign (the bytes re-serialize identically — e.g. a
+// whitespace flip in the outer frame). Also covers v1 compatibility.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "gvex/common/io_util.h"
+#include "gvex/explain/view_io.h"
+#include "gvex/gnn/serialize.h"
+#include "gvex/graph/graph_io.h"
+
+namespace gvex {
+namespace {
+
+// ---- tiny fixtures (kept small: the tests reparse O(bytes) variants) --------
+
+GraphDatabase SmallDb() {
+  GraphDatabase db;
+  for (int k = 0; k < 3; ++k) {
+    Graph g;
+    for (NodeType t = 0; t < 4; ++t) g.AddNode(t);
+    EXPECT_TRUE(g.AddEdge(0, 1, 0).ok());
+    EXPECT_TRUE(g.AddEdge(1, 2, 1).ok());
+    EXPECT_TRUE(g.AddEdge(2, 3, 0).ok());
+    if (k > 0) EXPECT_TRUE(g.AddEdge(0, 3, 1).ok());
+    g.SetDefaultFeatures(2, 0.5f + 0.25f * static_cast<float>(k));
+    db.Add(std::move(g), k % 2, "g" + std::to_string(k));
+  }
+  return db;
+}
+
+ExplanationViewSet SmallViews() {
+  GraphDatabase db = SmallDb();
+  ExplanationViewSet set;
+  for (ClassLabel l = 0; l < 2; ++l) {
+    ExplanationView view;
+    view.label = l;
+    for (size_t gi = 0; gi < db.size(); ++gi) {
+      if (db.label(gi) != l) continue;
+      ExplanationSubgraph sub;
+      sub.graph_index = gi;
+      sub.nodes = {0, 1, 2};
+      sub.subgraph = db.graph(gi).InducedSubgraph(sub.nodes);
+      sub.explainability = 0.125 + 0.001953125 * static_cast<double>(gi);
+      view.explainability += sub.explainability;
+      view.subgraphs.push_back(std::move(sub));
+    }
+    view.patterns.push_back(db.graph(0).InducedSubgraph({0, 1}));
+    set.views.push_back(std::move(view));
+  }
+  return set;
+}
+
+GcnClassifier SmallModel() {
+  GcnConfig config;
+  config.input_dim = 2;
+  config.hidden_dim = 4;
+  config.num_layers = 2;
+  config.num_classes = 2;
+  auto model = GcnClassifier::Create(config);
+  EXPECT_TRUE(model.ok());
+  return std::move(model).ValueOrDie();
+}
+
+// Parse `bytes`, and on success re-serialize so the caller can tell a
+// benign mutation (identical re-serialization) from silent corruption.
+using RoundTripFn = std::function<Result<std::string>(const std::string&)>;
+
+Result<std::string> RoundTripDb(const std::string& bytes) {
+  std::istringstream in(bytes);
+  GVEX_ASSIGN_OR_RETURN(GraphDatabase db, ReadDatabase(&in));
+  std::ostringstream out;
+  GVEX_RETURN_NOT_OK(WriteDatabase(db, &out));
+  return out.str();
+}
+
+Result<std::string> RoundTripViews(const std::string& bytes) {
+  std::istringstream in(bytes);
+  GVEX_ASSIGN_OR_RETURN(ExplanationViewSet set, ReadViewSet(&in));
+  std::ostringstream out;
+  GVEX_RETURN_NOT_OK(WriteViewSet(set, &out));
+  return out.str();
+}
+
+Result<std::string> RoundTripModel(const std::string& bytes) {
+  std::istringstream in(bytes);
+  GVEX_ASSIGN_OR_RETURN(GcnClassifier model, GcnSerializer::Read(&in));
+  std::ostringstream out;
+  GVEX_RETURN_NOT_OK(GcnSerializer::Write(model, &out));
+  return out.str();
+}
+
+// Every strict prefix must fail to load, except when dropping trailing
+// outer-frame whitespace leaves the parse unchanged.
+void ExpectTruncationDetected(const std::string& bytes,
+                              const RoundTripFn& round_trip) {
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    Result<std::string> loaded = round_trip(bytes.substr(0, cut));
+    if (loaded.ok()) {
+      EXPECT_EQ(*loaded, bytes) << "undetected truncation at byte " << cut;
+    }
+  }
+}
+
+// Every single-bit flip must be detected or provably benign. Flipping the
+// low bit of every byte covers the magic, counts, section frames, CRC hex
+// field, and every payload byte.
+void ExpectBitFlipsDetected(const std::string& bytes,
+                            const RoundTripFn& round_trip) {
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+    Result<std::string> loaded = round_trip(mutated);
+    if (loaded.ok()) {
+      EXPECT_EQ(*loaded, bytes) << "undetected bit flip at byte " << i
+                                << " ('" << bytes[i] << "')";
+    }
+  }
+}
+
+std::string Serialize(const std::function<Status(std::ostream*)>& writer) {
+  std::ostringstream out;
+  SetMaxPrecision(&out);
+  EXPECT_TRUE(writer(&out).ok());
+  return out.str();
+}
+
+// ---- section framing --------------------------------------------------------
+
+TEST(IoCorruptionTest, SectionRoundTrip) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteSection(&out, "hello\nworld").ok());
+  std::istringstream in(out.str());
+  auto payload = ReadSection(&in);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, "hello\nworld");
+}
+
+TEST(IoCorruptionTest, SectionRejectsBadFrame) {
+  {
+    std::istringstream in("nonsense 11 deadbeef\nhello");
+    EXPECT_TRUE(ReadSection(&in).status().IsIoError());
+  }
+  {
+    // CRC field must be exactly 8 lowercase hex digits.
+    std::istringstream in("sec 5 zzzzzzzz\nhello");
+    EXPECT_TRUE(ReadSection(&in).status().IsIoError());
+  }
+  {
+    // Declared length larger than the remaining bytes: truncation.
+    std::istringstream in("sec 500 00000000\nhello");
+    EXPECT_TRUE(ReadSection(&in).status().IsIoError());
+  }
+  {
+    // Valid frame, wrong checksum.
+    std::istringstream in("sec 5 00000000\nhello");
+    EXPECT_TRUE(ReadSection(&in).status().IsIoError());
+  }
+}
+
+// ---- database ---------------------------------------------------------------
+
+TEST(IoCorruptionTest, DatabaseV2RoundTrip) {
+  GraphDatabase db = SmallDb();
+  std::string bytes =
+      Serialize([&](std::ostream* out) { return WriteDatabase(db, out); });
+  auto loaded = RoundTripDb(bytes);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, bytes);
+}
+
+TEST(IoCorruptionTest, DatabaseTruncationDetected) {
+  GraphDatabase db = SmallDb();
+  std::string bytes =
+      Serialize([&](std::ostream* out) { return WriteDatabase(db, out); });
+  ExpectTruncationDetected(bytes, RoundTripDb);
+}
+
+TEST(IoCorruptionTest, DatabaseBitFlipsDetected) {
+  GraphDatabase db = SmallDb();
+  std::string bytes =
+      Serialize([&](std::ostream* out) { return WriteDatabase(db, out); });
+  ExpectBitFlipsDetected(bytes, RoundTripDb);
+}
+
+TEST(IoCorruptionTest, DatabaseV1StillLoads) {
+  GraphDatabase db = SmallDb();
+  std::string v1 =
+      Serialize([&](std::ostream* out) { return WriteDatabaseV1(db, out); });
+  std::istringstream in(v1);
+  auto loaded = ReadDatabase(&in);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), db.size());
+  // The reloaded database serializes to the same v2 bytes as the original.
+  std::string from_v1 = Serialize(
+      [&](std::ostream* out) { return WriteDatabase(*loaded, out); });
+  std::string from_orig =
+      Serialize([&](std::ostream* out) { return WriteDatabase(db, out); });
+  EXPECT_EQ(from_v1, from_orig);
+}
+
+// ---- view sets --------------------------------------------------------------
+
+TEST(IoCorruptionTest, ViewSetV2RoundTrip) {
+  ExplanationViewSet set = SmallViews();
+  std::string bytes =
+      Serialize([&](std::ostream* out) { return WriteViewSet(set, out); });
+  auto loaded = RoundTripViews(bytes);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, bytes);
+}
+
+TEST(IoCorruptionTest, ViewSetTruncationDetected) {
+  ExplanationViewSet set = SmallViews();
+  std::string bytes =
+      Serialize([&](std::ostream* out) { return WriteViewSet(set, out); });
+  ExpectTruncationDetected(bytes, RoundTripViews);
+}
+
+TEST(IoCorruptionTest, ViewSetBitFlipsDetected) {
+  ExplanationViewSet set = SmallViews();
+  std::string bytes =
+      Serialize([&](std::ostream* out) { return WriteViewSet(set, out); });
+  ExpectBitFlipsDetected(bytes, RoundTripViews);
+}
+
+TEST(IoCorruptionTest, ViewSetV1StillLoads) {
+  ExplanationViewSet set = SmallViews();
+  std::string v1 =
+      Serialize([&](std::ostream* out) { return WriteViewSetV1(set, out); });
+  std::istringstream in(v1);
+  auto loaded = ReadViewSet(&in);
+  ASSERT_TRUE(loaded.ok());
+  std::string from_v1 = Serialize(
+      [&](std::ostream* out) { return WriteViewSet(*loaded, out); });
+  std::string from_orig =
+      Serialize([&](std::ostream* out) { return WriteViewSet(set, out); });
+  EXPECT_EQ(from_v1, from_orig);
+}
+
+// ---- models -----------------------------------------------------------------
+
+TEST(IoCorruptionTest, ModelV2RoundTrip) {
+  GcnClassifier model = SmallModel();
+  std::string bytes = Serialize(
+      [&](std::ostream* out) { return GcnSerializer::Write(model, out); });
+  auto loaded = RoundTripModel(bytes);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, bytes);
+}
+
+TEST(IoCorruptionTest, ModelTruncationDetected) {
+  GcnClassifier model = SmallModel();
+  std::string bytes = Serialize(
+      [&](std::ostream* out) { return GcnSerializer::Write(model, out); });
+  ExpectTruncationDetected(bytes, RoundTripModel);
+}
+
+TEST(IoCorruptionTest, ModelBitFlipsDetected) {
+  GcnClassifier model = SmallModel();
+  std::string bytes = Serialize(
+      [&](std::ostream* out) { return GcnSerializer::Write(model, out); });
+  ExpectBitFlipsDetected(bytes, RoundTripModel);
+}
+
+TEST(IoCorruptionTest, ModelV1StillLoads) {
+  GcnClassifier model = SmallModel();
+  std::string v1 = Serialize(
+      [&](std::ostream* out) { return GcnSerializer::WriteV1(model, out); });
+  std::istringstream in(v1);
+  auto loaded = GcnSerializer::Read(&in);
+  ASSERT_TRUE(loaded.ok());
+  std::string from_v1 = Serialize(
+      [&](std::ostream* out) { return GcnSerializer::Write(*loaded, out); });
+  std::string from_orig = Serialize(
+      [&](std::ostream* out) { return GcnSerializer::Write(model, out); });
+  EXPECT_EQ(from_v1, from_orig);
+}
+
+// ---- whole-file corruption of saved artifacts -------------------------------
+
+TEST(IoCorruptionTest, EmptyAndGarbageStreamsAreErrors) {
+  {
+    std::istringstream in("");
+    EXPECT_FALSE(ReadDatabase(&in).ok());
+  }
+  {
+    std::istringstream in("not a gvex file at all\n1 2 3\n");
+    EXPECT_FALSE(ReadViewSet(&in).ok());
+  }
+  {
+    std::istringstream in("gvexgcn-v9\n");
+    EXPECT_FALSE(GcnSerializer::Read(&in).ok());
+  }
+}
+
+}  // namespace
+}  // namespace gvex

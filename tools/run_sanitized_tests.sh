@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build and run the test suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# The corruption/fuzz tests (io_corruption_test, robustness_test) feed
+# truncated and bit-flipped inputs to every loader; running them under
+# ASan/UBSan is the acceptance gate for the hardened v2 serialization:
+# loaders must return error Statuses, never crash or read out of bounds.
+#
+# Usage: tools/run_sanitized_tests.sh [ctest-args...]
+#   e.g. tools/run_sanitized_tests.sh -R IoCorruption
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)" "$@"
