@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gvex/baselines/gcf_explainer.cc" "src/CMakeFiles/gvex.dir/gvex/baselines/gcf_explainer.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/baselines/gcf_explainer.cc.o.d"
+  "/root/repo/src/gvex/baselines/gnn_explainer.cc" "src/CMakeFiles/gvex.dir/gvex/baselines/gnn_explainer.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/baselines/gnn_explainer.cc.o.d"
+  "/root/repo/src/gvex/baselines/gstarx.cc" "src/CMakeFiles/gvex.dir/gvex/baselines/gstarx.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/baselines/gstarx.cc.o.d"
+  "/root/repo/src/gvex/baselines/subgraphx.cc" "src/CMakeFiles/gvex.dir/gvex/baselines/subgraphx.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/baselines/subgraphx.cc.o.d"
+  "/root/repo/src/gvex/cli/cli.cc" "src/CMakeFiles/gvex.dir/gvex/cli/cli.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/cli/cli.cc.o.d"
+  "/root/repo/src/gvex/common/cancellation.cc" "src/CMakeFiles/gvex.dir/gvex/common/cancellation.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/common/cancellation.cc.o.d"
+  "/root/repo/src/gvex/common/checksum.cc" "src/CMakeFiles/gvex.dir/gvex/common/checksum.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/common/checksum.cc.o.d"
+  "/root/repo/src/gvex/common/failpoint.cc" "src/CMakeFiles/gvex.dir/gvex/common/failpoint.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/common/failpoint.cc.o.d"
+  "/root/repo/src/gvex/common/io_util.cc" "src/CMakeFiles/gvex.dir/gvex/common/io_util.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/common/io_util.cc.o.d"
+  "/root/repo/src/gvex/common/logging.cc" "src/CMakeFiles/gvex.dir/gvex/common/logging.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/common/logging.cc.o.d"
+  "/root/repo/src/gvex/common/rng.cc" "src/CMakeFiles/gvex.dir/gvex/common/rng.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/common/rng.cc.o.d"
+  "/root/repo/src/gvex/common/status.cc" "src/CMakeFiles/gvex.dir/gvex/common/status.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/common/status.cc.o.d"
+  "/root/repo/src/gvex/common/string_util.cc" "src/CMakeFiles/gvex.dir/gvex/common/string_util.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/common/string_util.cc.o.d"
+  "/root/repo/src/gvex/common/thread_pool.cc" "src/CMakeFiles/gvex.dir/gvex/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/common/thread_pool.cc.o.d"
+  "/root/repo/src/gvex/datasets/ba_motif.cc" "src/CMakeFiles/gvex.dir/gvex/datasets/ba_motif.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/datasets/ba_motif.cc.o.d"
+  "/root/repo/src/gvex/datasets/enzymes.cc" "src/CMakeFiles/gvex.dir/gvex/datasets/enzymes.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/datasets/enzymes.cc.o.d"
+  "/root/repo/src/gvex/datasets/generator_util.cc" "src/CMakeFiles/gvex.dir/gvex/datasets/generator_util.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/datasets/generator_util.cc.o.d"
+  "/root/repo/src/gvex/datasets/malnet.cc" "src/CMakeFiles/gvex.dir/gvex/datasets/malnet.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/datasets/malnet.cc.o.d"
+  "/root/repo/src/gvex/datasets/mutagenicity.cc" "src/CMakeFiles/gvex.dir/gvex/datasets/mutagenicity.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/datasets/mutagenicity.cc.o.d"
+  "/root/repo/src/gvex/datasets/pcqm.cc" "src/CMakeFiles/gvex.dir/gvex/datasets/pcqm.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/datasets/pcqm.cc.o.d"
+  "/root/repo/src/gvex/datasets/products.cc" "src/CMakeFiles/gvex.dir/gvex/datasets/products.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/datasets/products.cc.o.d"
+  "/root/repo/src/gvex/datasets/reddit.cc" "src/CMakeFiles/gvex.dir/gvex/datasets/reddit.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/datasets/reddit.cc.o.d"
+  "/root/repo/src/gvex/datasets/registry.cc" "src/CMakeFiles/gvex.dir/gvex/datasets/registry.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/datasets/registry.cc.o.d"
+  "/root/repo/src/gvex/explain/approx_gvex.cc" "src/CMakeFiles/gvex.dir/gvex/explain/approx_gvex.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/explain/approx_gvex.cc.o.d"
+  "/root/repo/src/gvex/explain/checkpoint.cc" "src/CMakeFiles/gvex.dir/gvex/explain/checkpoint.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/explain/checkpoint.cc.o.d"
+  "/root/repo/src/gvex/explain/everify.cc" "src/CMakeFiles/gvex.dir/gvex/explain/everify.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/explain/everify.cc.o.d"
+  "/root/repo/src/gvex/explain/node_classification.cc" "src/CMakeFiles/gvex.dir/gvex/explain/node_classification.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/explain/node_classification.cc.o.d"
+  "/root/repo/src/gvex/explain/parallel.cc" "src/CMakeFiles/gvex.dir/gvex/explain/parallel.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/explain/parallel.cc.o.d"
+  "/root/repo/src/gvex/explain/psum.cc" "src/CMakeFiles/gvex.dir/gvex/explain/psum.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/explain/psum.cc.o.d"
+  "/root/repo/src/gvex/explain/query.cc" "src/CMakeFiles/gvex.dir/gvex/explain/query.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/explain/query.cc.o.d"
+  "/root/repo/src/gvex/explain/stream_gvex.cc" "src/CMakeFiles/gvex.dir/gvex/explain/stream_gvex.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/explain/stream_gvex.cc.o.d"
+  "/root/repo/src/gvex/explain/verifier.cc" "src/CMakeFiles/gvex.dir/gvex/explain/verifier.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/explain/verifier.cc.o.d"
+  "/root/repo/src/gvex/explain/view.cc" "src/CMakeFiles/gvex.dir/gvex/explain/view.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/explain/view.cc.o.d"
+  "/root/repo/src/gvex/explain/view_io.cc" "src/CMakeFiles/gvex.dir/gvex/explain/view_io.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/explain/view_io.cc.o.d"
+  "/root/repo/src/gvex/gnn/model.cc" "src/CMakeFiles/gvex.dir/gvex/gnn/model.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/gnn/model.cc.o.d"
+  "/root/repo/src/gvex/gnn/optimizer.cc" "src/CMakeFiles/gvex.dir/gvex/gnn/optimizer.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/gnn/optimizer.cc.o.d"
+  "/root/repo/src/gvex/gnn/serialize.cc" "src/CMakeFiles/gvex.dir/gvex/gnn/serialize.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/gnn/serialize.cc.o.d"
+  "/root/repo/src/gvex/gnn/trainer.cc" "src/CMakeFiles/gvex.dir/gvex/gnn/trainer.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/gnn/trainer.cc.o.d"
+  "/root/repo/src/gvex/graph/graph.cc" "src/CMakeFiles/gvex.dir/gvex/graph/graph.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/graph/graph.cc.o.d"
+  "/root/repo/src/gvex/graph/graph_db.cc" "src/CMakeFiles/gvex.dir/gvex/graph/graph_db.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/graph/graph_db.cc.o.d"
+  "/root/repo/src/gvex/graph/graph_io.cc" "src/CMakeFiles/gvex.dir/gvex/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/graph/graph_io.cc.o.d"
+  "/root/repo/src/gvex/influence/influence.cc" "src/CMakeFiles/gvex.dir/gvex/influence/influence.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/influence/influence.cc.o.d"
+  "/root/repo/src/gvex/matching/vf2.cc" "src/CMakeFiles/gvex.dir/gvex/matching/vf2.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/matching/vf2.cc.o.d"
+  "/root/repo/src/gvex/metrics/metrics.cc" "src/CMakeFiles/gvex.dir/gvex/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/metrics/metrics.cc.o.d"
+  "/root/repo/src/gvex/mining/canonical.cc" "src/CMakeFiles/gvex.dir/gvex/mining/canonical.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/mining/canonical.cc.o.d"
+  "/root/repo/src/gvex/mining/pgen.cc" "src/CMakeFiles/gvex.dir/gvex/mining/pgen.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/mining/pgen.cc.o.d"
+  "/root/repo/src/gvex/tensor/csr.cc" "src/CMakeFiles/gvex.dir/gvex/tensor/csr.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/tensor/csr.cc.o.d"
+  "/root/repo/src/gvex/tensor/matrix.cc" "src/CMakeFiles/gvex.dir/gvex/tensor/matrix.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/tensor/matrix.cc.o.d"
+  "/root/repo/src/gvex/tensor/ops.cc" "src/CMakeFiles/gvex.dir/gvex/tensor/ops.cc.o" "gcc" "src/CMakeFiles/gvex.dir/gvex/tensor/ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregator_test.cc" "tests/CMakeFiles/gvex_tests.dir/aggregator_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/aggregator_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/gvex_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/canonical_oracle_test.cc" "tests/CMakeFiles/gvex_tests.dir/canonical_oracle_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/canonical_oracle_test.cc.o.d"
+  "/root/repo/tests/cli_test.cc" "tests/CMakeFiles/gvex_tests.dir/cli_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/cli_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/gvex_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/datasets_test.cc" "tests/CMakeFiles/gvex_tests.dir/datasets_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/datasets_test.cc.o.d"
+  "/root/repo/tests/edge_weight_test.cc" "tests/CMakeFiles/gvex_tests.dir/edge_weight_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/edge_weight_test.cc.o.d"
+  "/root/repo/tests/explain_test.cc" "tests/CMakeFiles/gvex_tests.dir/explain_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/explain_test.cc.o.d"
+  "/root/repo/tests/gnn_test.cc" "tests/CMakeFiles/gvex_tests.dir/gnn_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/gnn_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/gvex_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/influence_test.cc" "tests/CMakeFiles/gvex_tests.dir/influence_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/influence_test.cc.o.d"
+  "/root/repo/tests/io_corruption_test.cc" "tests/CMakeFiles/gvex_tests.dir/io_corruption_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/io_corruption_test.cc.o.d"
+  "/root/repo/tests/matching_test.cc" "tests/CMakeFiles/gvex_tests.dir/matching_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/matching_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/gvex_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/mining_test.cc" "tests/CMakeFiles/gvex_tests.dir/mining_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/mining_test.cc.o.d"
+  "/root/repo/tests/node_classification_test.cc" "tests/CMakeFiles/gvex_tests.dir/node_classification_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/node_classification_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/gvex_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/gvex_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/gvex_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/stream_invariant_test.cc" "tests/CMakeFiles/gvex_tests.dir/stream_invariant_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/stream_invariant_test.cc.o.d"
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/gvex_tests.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/tensor_test.cc.o.d"
+  "/root/repo/tests/verifier_test.cc" "tests/CMakeFiles/gvex_tests.dir/verifier_test.cc.o" "gcc" "tests/CMakeFiles/gvex_tests.dir/verifier_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/gvex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

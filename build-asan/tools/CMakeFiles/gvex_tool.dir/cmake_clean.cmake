@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvex_tool.dir/gvex_tool.cc.o"
+  "CMakeFiles/gvex_tool.dir/gvex_tool.cc.o.d"
+  "gvex_tool"
+  "gvex_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvex_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
