@@ -40,6 +40,9 @@ void Report(const char* tag, const Workbench& wb, const Configuration& config) {
 
 int main(int argc, char** argv) {
   double scale = argc > 1 ? std::atof(argv[1]) : 0.4;
+  BenchReport report("ablation");
+  report.SetParam("scale", scale);
+  Stopwatch total;
   Workbench wb = PrepareWorkbench("MUT", scale);
   std::printf("Ablations on MUT (test acc %.2f, %zu graphs), label 1, "
               "u_l = 12\n\n",
@@ -134,5 +137,6 @@ int main(int argc, char** argv) {
       Report(tag, wb2, DefaultConfig(12));
     }
   }
+  report.AddTiming("total", total.ElapsedSeconds());
   return 0;
 }

@@ -40,6 +40,9 @@ void DescribeSelection(const Graph& g, const std::vector<NodeId>& nodes) {
 
 int main(int argc, char** argv) {
   double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  BenchReport bench_report("case_drug");
+  bench_report.SetParam("scale", scale);
+  Stopwatch total;
   Workbench wb = PrepareWorkbench("MUT", scale);
   Graph nitro = datasets::NitroGroupPattern();
   MatchOptions loose;
@@ -137,5 +140,6 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
   }
+  bench_report.AddTiming("total", total.ElapsedSeconds());
   return 0;
 }

@@ -29,6 +29,9 @@ const char* SseName(NodeType t) {
 
 int main(int argc, char** argv) {
   double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  BenchReport report("case_enzymes");
+  report.SetParam("scale", scale);
+  Stopwatch total;
   Workbench wb = PrepareWorkbench("ENZ", scale);
   std::printf("Fig. 13 — ENZYMES explanation views (test acc %.2f)\n",
               wb.test_accuracy);
@@ -66,5 +69,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nheadline: %zu/3 class pairs have distinct pattern sets\n",
               distinct_pairs);
+  report.AddTiming("total", total.ElapsedSeconds());
   return 0;
 }

@@ -57,6 +57,9 @@ void DescribeView(const ExplanationView& view) {
 
 int main(int argc, char** argv) {
   double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  BenchReport report("case_social");
+  report.SetParam("scale", scale);
+  Stopwatch total;
   Workbench wb = PrepareWorkbench("RED", scale);
   std::printf("Case study 2 — social analysis (test acc %.2f, %zu threads)\n",
               wb.test_accuracy, wb.db.size());
@@ -127,5 +130,6 @@ int main(int argc, char** argv) {
                 "Q&A = %s\n",
                 ShapeOf(d0), ShapeOf(d1));
   }
+  report.AddTiming("total", total.ElapsedSeconds());
   return 0;
 }

@@ -13,6 +13,9 @@ using namespace gvex::bench;
 
 int main(int argc, char** argv) {
   double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  BenchReport report("fig12_node_order");
+  report.SetParam("scale", scale);
+  Stopwatch total;
   Workbench wb = PrepareWorkbench("MUT", scale);
   std::printf("Fig. 12 — StreamGVEX node-order robustness on MUT\n\n");
   std::printf("%-10s%10s%12s%12s%10s\n", "order", "time(s)", "#patterns",
@@ -28,6 +31,7 @@ int main(int argc, char** argv) {
     auto view = solver.ExplainLabel(wb.db, wb.assigned, 1, nullptr, seed);
     double secs = w.ElapsedSeconds();
     times.push_back(secs);
+    report.AddTiming("order" + std::to_string(seed), secs);
     std::set<std::string> codes;
     if (view.ok()) {
       for (const Graph& p : view->patterns) codes.insert(CanonicalCode(p));
@@ -69,5 +73,6 @@ int main(int argc, char** argv) {
   std::printf("headline: minimum pattern-set Jaccard across orders = %.2f; "
               "runtimes are order-insensitive\n",
               min_j);
+  report.AddTiming("total", total.ElapsedSeconds());
   return 0;
 }

@@ -15,6 +15,11 @@ int main(int argc, char** argv) {
   const size_t kUls[] = {5, 10, 15, 20};
   const char* kDatasets[] = {"MUT", "RED", "ENZ", "MAL"};
 
+  BenchReport report("fig6_fidelity_minus");
+  report.SetParam("scale", scale);
+  report.SetParam("budget_seconds", kBudgetSeconds);
+  Stopwatch total;
+
   std::printf("Fig. 6 — Fidelity- vs u_l (lower = more consistent)\n");
   for (const char* code : kDatasets) {
     Workbench wb = PrepareWorkbench(code, scale);
@@ -27,6 +32,9 @@ int main(int argc, char** argv) {
       std::printf("%-6zu", u_l);
       for (const ExplainerRun& run :
            RunAllExplainers(wb, label, u_l, kBudgetSeconds)) {
+        report.AddTiming(std::string(code) + ".ul" + std::to_string(u_l) +
+                             "." + run.name,
+                         run.seconds);
         if (run.timed_out || run.explanations.empty()) {
           std::printf("%9s", "absent");
           continue;
@@ -38,5 +46,6 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
   }
+  report.AddTiming("total", total.ElapsedSeconds());
   return 0;
 }

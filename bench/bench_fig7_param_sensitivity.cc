@@ -35,6 +35,9 @@ void RunOne(const Workbench& wb, float theta, float radius, float gamma) {
 
 int main(int argc, char** argv) {
   double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  BenchReport report("fig7_param_sensitivity");
+  report.SetParam("scale", scale);
+  Stopwatch total;
   Workbench wb = PrepareWorkbench("MUT", scale);
   std::printf("Parameter sensitivity on MUT (test acc %.2f)\n",
               wb.test_accuracy);
@@ -51,5 +54,6 @@ int main(int argc, char** argv) {
   for (float gamma : {0.0f, 0.25f, 0.5f, 0.75f, 1.0f}) {
     RunOne(wb, 0.08f, 0.25f, gamma);
   }
+  report.AddTiming("total", total.ElapsedSeconds());
   return 0;
 }

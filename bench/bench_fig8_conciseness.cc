@@ -15,6 +15,11 @@ int main(int argc, char** argv) {
   const double kBudgetSeconds = 120.0;
   const char* kDatasets[] = {"MUT", "RED", "ENZ", "MAL"};
 
+  BenchReport report("fig8_conciseness");
+  report.SetParam("scale", scale);
+  report.SetParam("budget_seconds", kBudgetSeconds);
+  Stopwatch total;
+
   std::printf("Fig. 8(a) — Sparsity (higher = more concise), u_l = 15\n");
   std::printf("%-8s%9s%9s%9s%9s%9s%9s\n", "dataset", "AG", "SG", "GE", "SX",
               "GX", "GCF");
@@ -78,5 +83,6 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
   }
+  report.AddTiming("total", total.ElapsedSeconds());
   return 0;
 }

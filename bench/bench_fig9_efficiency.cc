@@ -14,6 +14,11 @@ int main(int argc, char** argv) {
   double scale = argc > 1 ? std::atof(argv[1]) : 0.4;
   const double kBudgetSeconds = 120.0;
 
+  BenchReport report("fig9_efficiency");
+  report.SetParam("scale", scale);
+  report.SetParam("budget_seconds", kBudgetSeconds);
+  Stopwatch total;
+
   std::printf("Fig. 9(a,b) — running time (seconds) vs u_l\n");
   for (const char* code : {"MUT", "ENZ"}) {
     Workbench wb = PrepareWorkbench(code, scale);
@@ -24,6 +29,9 @@ int main(int argc, char** argv) {
       std::printf("%-6zu", u_l);
       for (const ExplainerRun& run :
            RunAllExplainers(wb, 1, u_l, kBudgetSeconds)) {
+        report.AddTiming(std::string(code) + ".ul" + std::to_string(u_l) +
+                             "." + run.name,
+                         run.seconds);
         if (run.timed_out) {
           std::printf("%9s", ">budget");
         } else {
@@ -43,6 +51,8 @@ int main(int argc, char** argv) {
     std::printf("%-8s", code);
     for (const ExplainerRun& run :
          RunAllExplainers(wb, 1, 15, kBudgetSeconds)) {
+      report.AddTiming(std::string(code) + ".datasets." + run.name,
+                       run.seconds);
       if (run.timed_out) {
         std::printf("%9s", ">budget");
       } else {
@@ -112,5 +122,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  report.AddTiming("total", total.ElapsedSeconds());
   return 0;
 }

@@ -16,6 +16,10 @@ using namespace gvex::bench;
 int main(int argc, char** argv) {
   double scale = argc > 1 ? std::atof(argv[1]) : 0.6;
 
+  BenchReport report("fig9_scalability");
+  report.SetParam("scale", scale);
+  Stopwatch total;
+
   std::printf("Fig. 9(d) — runtime (s) vs #input graphs (PCQ)\n");
   std::printf("%-10s%10s%10s\n", "#graphs", "AG", "SG");
   for (double frac : {0.125, 0.25, 0.5, 1.0}) {
@@ -40,6 +44,10 @@ int main(int argc, char** argv) {
 
     ExplainerRun ag = RunApprox(wb, 1, 12);
     ExplainerRun sg = RunStream(wb, 1, 12);
+    report.AddTiming("pcq" + std::to_string(po.num_graphs) + ".AG",
+                     ag.seconds);
+    report.AddTiming("pcq" + std::to_string(po.num_graphs) + ".SG",
+                     sg.seconds);
     std::printf("%-10zu%10.2f%10.2f\n", po.num_graphs, ag.seconds,
                 sg.seconds);
   }
@@ -61,6 +69,7 @@ int main(int argc, char** argv) {
         continue;
       }
       if (threads == 1) base = secs;
+      report.AddTiming("parallel.threads" + std::to_string(threads), secs);
       std::printf("%-10zu%10.2f%10.2f\n", threads, secs,
                   base > 0 ? base / secs : 1.0);
     }
@@ -88,5 +97,6 @@ int main(int argc, char** argv) {
                   view.ok() ? view->subgraphs.size() : 0);
     }
   }
+  report.AddTiming("total", total.ElapsedSeconds());
   return 0;
 }

@@ -13,6 +13,9 @@ using namespace gvex;
 using namespace gvex::bench;
 
 int main() {
+  BenchReport report("table1_capabilities");
+  report.SetParam("scale", 0.25);
+  Stopwatch total;
   // Exercise GVEX's claimed properties on a live model.
   Workbench wb = PrepareWorkbench("MUT", 0.25);
   bool label_specific = false;
@@ -79,5 +82,6 @@ int main() {
       false);
   row("GVEX (ours)", "no", "GC/NC", "Views(Pattern+Subg)", true,
       label_specific, size_bound, coverage, configurable, queryable);
+  report.AddTiming("total", total.ElapsedSeconds());
   return 0;
 }

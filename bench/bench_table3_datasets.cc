@@ -3,12 +3,16 @@
 // DESIGN.md.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "gvex/datasets/datasets.h"
 
 using namespace gvex;
 
 int main(int argc, char** argv) {
   double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  bench::BenchReport report("table3_datasets");
+  report.SetParam("scale", scale);
+  Stopwatch total;
   std::printf("Table 3 — dataset statistics (synthetic stand-ins, scale=%.2f)\n\n",
               scale);
   std::printf("%-10s%16s%16s%12s%10s%10s\n", "Dataset", "Avg#Edges/graph",
@@ -25,5 +29,6 @@ int main(int argc, char** argv) {
                 s.avg_edges, s.avg_nodes, s.feature_dim, s.num_graphs,
                 s.num_classes);
   }
+  report.AddTiming("total", total.ElapsedSeconds());
   return 0;
 }

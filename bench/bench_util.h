@@ -20,9 +20,45 @@
 #include "gvex/explain/stream_gvex.h"
 #include "gvex/gnn/trainer.h"
 #include "gvex/metrics/metrics.h"
+#include "gvex/obs/report.h"
 
 namespace gvex {
 namespace bench {
+
+/// Per-binary perf report: each bench creates one of these at the top of
+/// main() and records params/timings as it goes; the destructor writes
+/// BENCH_<name>.json into $GVEX_BENCH_DIR (default: cwd). Registry-wide
+/// counters and histograms are captured automatically at write time.
+/// Emission is best-effort — a failed write warns without changing the
+/// bench's exit code (the numbers were already printed to stdout).
+class BenchReport {
+ public:
+  explicit BenchReport(const std::string& name) : name_(name), report_(name) {}
+
+  ~BenchReport() {
+    const std::string path = obs::BenchReportPath(name_);
+    Status saved = report_.WriteJson(path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "warning: bench report %s skipped: %s\n",
+                   path.c_str(), saved.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "bench report -> %s\n", path.c_str());
+    }
+  }
+
+  template <typename T>
+  void SetParam(const std::string& key, T value) {
+    report_.SetParam(key, value);
+  }
+
+  void AddTiming(const std::string& name, double seconds) {
+    report_.AddTiming(name, seconds);
+  }
+
+ private:
+  std::string name_;
+  obs::PerfReport report_;
+};
 
 /// A dataset with a trained model and its assigned labels.
 struct Workbench {

@@ -22,6 +22,8 @@
 #include "gvex/gnn/trainer.h"
 #include "gvex/graph/graph_io.h"
 #include "gvex/metrics/metrics.h"
+#include "gvex/obs/obs.h"
+#include "gvex/obs/report.h"
 
 namespace gvex {
 namespace cli {
@@ -84,6 +86,8 @@ void Usage() {
   std::fprintf(stderr,
                "usage: gvex_tool <gen|stats|train|explain|verify|fidelity|"
                "query> [--flags]\n"
+               "observability: --metrics-out <file> (PerfReport JSON), "
+               "--trace-out <file> (chrome://tracing)\n"
                "see src/gvex/cli/cli.h for the full synopsis\n");
 }
 
@@ -357,6 +361,12 @@ int Run(const std::vector<std::string>& argv) {
     }
   }
 
+  // Span collection costs nothing until someone asks for the trace.
+  const auto trace_out = flags.Get("trace-out");
+  const auto metrics_out = flags.Get("metrics-out");
+  if (trace_out) obs::SetTraceEnabled(true);
+  Stopwatch command_watch;
+
   Status st;
   if (command == "gen") {
     st = CmdGen(flags);
@@ -376,10 +386,32 @@ int Run(const std::vector<std::string>& argv) {
     Usage();
     return 2;
   }
-  if (armed_failpoints) failpoint::DisarmAll();
+  const double command_seconds = command_watch.ElapsedSeconds();
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
   }
+  // Metrics/trace emission is best-effort: a failed write warns but never
+  // changes the exit code, which reports the command outcome alone.
+  if (metrics_out) {
+    obs::PerfReport report(command);
+    report.SetParam("command", command);
+    report.AddTiming("command", command_seconds);
+    Status saved = report.WriteJson(*metrics_out);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "warning: metrics report skipped: %s\n",
+                   saved.ToString().c_str());
+    }
+  }
+  if (trace_out) {
+    Status saved = obs::WriteChromeTrace(*trace_out);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "warning: trace export skipped: %s\n",
+                   saved.ToString().c_str());
+    }
+  }
+  // Disarm last so --fail also covers the best-effort emission above
+  // (and embedded callers are never left with live failpoints).
+  if (armed_failpoints) failpoint::DisarmAll();
   return ExitCodeForStatus(st);
 }
 

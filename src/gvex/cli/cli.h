@@ -15,7 +15,11 @@
 //   gvex_tool query   --views views.txt --label 1 --pattern pattern.txt
 //
 // Every subcommand accepts --fail "site=spec[;site=spec...]" to arm
-// fault-injection failpoints (see gvex/common/failpoint.h). Exit codes
+// fault-injection failpoints (see gvex/common/failpoint.h), plus
+// --metrics-out FILE to dump a PerfReport JSON (counters, histograms,
+// command wall time) and --trace-out FILE to dump a chrome://tracing
+// span file (see docs/OBSERVABILITY.md). Both are best-effort: an I/O
+// failure warns on stderr without changing the exit code. Exit codes
 // map StatusCodes one-to-one; see README.md "Exit codes".
 #pragma once
 

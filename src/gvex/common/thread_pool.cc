@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "gvex/common/failpoint.h"
+#include "gvex/obs/obs.h"
 
 namespace gvex {
 
@@ -28,11 +29,15 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> fut = packaged.get_future();
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     assert(!shutting_down_);
     tasks_.push(std::move(packaged));
+    depth = tasks_.size();
   }
+  GVEX_COUNTER_INC("pool.tasks");
+  GVEX_HISTOGRAM_RECORD("pool.queue_depth", depth);
   cv_.notify_one();
   return fut;
 }
@@ -80,6 +85,7 @@ void ThreadPool::WorkerLoop() {
     // Delay/ordering injection for scheduler-dependent tests ("thread_pool
     // .task" is a void site: error specs count but cannot propagate).
     GVEX_FAILPOINT_NOTIFY("thread_pool.task");
+    GVEX_SPAN("pool.task");
     task();
   }
 }

@@ -8,6 +8,7 @@
 #include "gvex/common/string_util.h"
 #include "gvex/explain/psum.h"
 #include "gvex/influence/influence.h"
+#include "gvex/obs/obs.h"
 
 namespace gvex {
 namespace {
@@ -27,6 +28,8 @@ Result<ExplanationSubgraph> ApproxGvex::ExplainGraph(const Graph& g,
   if (g.num_nodes() == 0) {
     return Status::InvalidArgument("cannot explain an empty graph");
   }
+  GVEX_SPAN("approx.explain_graph");
+  GVEX_COUNTER_INC("approx.graphs");
   CoverageConstraint cc = config_.ConstraintFor(l);
   if (cc.lower > cc.upper || cc.upper == 0) {
     return Status::InvalidArgument("invalid coverage constraint");
@@ -213,6 +216,7 @@ Result<ExplanationSubgraph> ApproxGvex::ExplainGraph(const Graph& g,
 Result<ExplanationView> ApproxGvex::ExplainLabel(
     const GraphDatabase& db, const std::vector<ClassLabel>& assigned,
     ClassLabel l, const Deadline* deadline, ExplanationCheckpoint* checkpoint) {
+  GVEX_SPAN("approx.explain_label");
   ExplanationView view;
   view.label = l;
   std::vector<size_t> group = GraphDatabase::LabelGroup(assigned, l);

@@ -7,6 +7,7 @@
 #include "gvex/common/io_util.h"
 #include "gvex/common/logging.h"
 #include "gvex/explain/view_io.h"
+#include "gvex/obs/obs.h"
 
 namespace gvex {
 
@@ -93,6 +94,8 @@ Status ExplanationCheckpoint::Append(ClassLabel label,
   // Fires *before* any bytes reach the file: a simulated crash leaves the
   // journal valid, exactly like a real kill between records.
   GVEX_FAILPOINT_RETURN("checkpoint.append");
+  GVEX_COUNTER_INC("checkpoint.appends");
+  GVEX_LATENCY_US("checkpoint.append_us");
   std::ostringstream rec;
   SetMaxPrecision(&rec);
   rec << "rec " << label << "\n";

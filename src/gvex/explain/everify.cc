@@ -1,6 +1,7 @@
 #include "gvex/explain/everify.h"
 
 #include "gvex/common/failpoint.h"
+#include "gvex/obs/obs.h"
 
 namespace gvex {
 
@@ -10,6 +11,8 @@ EVerifyResult EVerify::Verify(const Graph& g,
   // Inference is the hot spot of every solver; a delay armed here makes
   // deadline expiry and slow-worker orderings reproducible in tests.
   GVEX_FAILPOINT_NOTIFY("everify.verify");
+  GVEX_COUNTER_INC("everify.calls");
+  GVEX_LATENCY_US("everify.verify_us");
   EVerifyResult result;
   if (nodes.empty() || l < 0) return result;
 

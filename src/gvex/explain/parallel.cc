@@ -8,6 +8,7 @@
 #include "gvex/common/string_util.h"
 #include "gvex/common/thread_pool.h"
 #include "gvex/explain/psum.h"
+#include "gvex/obs/obs.h"
 
 namespace gvex {
 
@@ -33,6 +34,7 @@ Result<ExplanationViewSet> ParallelApproxExplain(
     const std::vector<ClassLabel>& assigned,
     const std::vector<ClassLabel>& labels, const Configuration& config,
     const ParallelExplainOptions& options) {
+  GVEX_SPAN("parallel.explain");
   // Flatten (label, graph) work items.
   std::vector<WorkItem> items;
   for (ClassLabel l : labels) {
@@ -40,6 +42,7 @@ Result<ExplanationViewSet> ParallelApproxExplain(
       items.push_back({l, gi});
     }
   }
+  GVEX_COUNTER_ADD("parallel.items", items.size());
 
   CancellationToken local_cancel;
   CancellationToken* cancel =

@@ -5,6 +5,7 @@
 
 #include "gvex/common/bitset.h"
 #include "gvex/matching/vf2.h"
+#include "gvex/obs/obs.h"
 
 namespace gvex {
 namespace {
@@ -26,6 +27,8 @@ PsumResult Psum(const std::vector<Graph>& subgraphs,
     result.full_node_coverage = true;
     return result;
   }
+  GVEX_SPAN("psum.summarize");
+  GVEX_COUNTER_INC("psum.calls");
 
   // Flatten node and edge index spaces across subgraphs.
   size_t total_nodes = 0;

@@ -11,6 +11,7 @@
 #include "gvex/matching/vf2.h"
 #include "gvex/mining/canonical.h"
 #include "gvex/mining/pgen.h"
+#include "gvex/obs/obs.h"
 
 namespace gvex {
 namespace {
@@ -51,6 +52,8 @@ Result<ExplanationSubgraph> StreamGvex::ExplainGraphStream(
   if (g.num_nodes() == 0) {
     return Status::InvalidArgument("cannot explain an empty graph");
   }
+  GVEX_SPAN("stream.explain_graph");
+  GVEX_COUNTER_INC("stream.graphs");
   CoverageConstraint cc = config_.ConstraintFor(l);
   if (cc.lower > cc.upper || cc.upper == 0) {
     return Status::InvalidArgument("invalid coverage constraint");
@@ -91,11 +94,13 @@ Result<ExplanationSubgraph> StreamGvex::ExplainGraphStream(
     // cleanly on resume.
     GVEX_FAILPOINT_RETURN("stream.inc_update_vs");
     ++stats_.nodes_processed;
+    GVEX_COUNTER_INC("stream.nodes");
     if (vs.size() < cc.upper) {
       // Case (a): budget available, accept.
       vs.push_back(v);
       acc.Add(v);
       ++stats_.accepts;
+      GVEX_COUNTER_INC("stream.accepts");
       continue;
     }
     // Case (b): does v contribute new pattern structure? IncPGen over its
@@ -119,6 +124,7 @@ Result<ExplanationSubgraph> StreamGvex::ExplainGraphStream(
     if (!contributes) {
       vu.push_back(v);
       ++stats_.skips;
+      GVEX_COUNTER_INC("stream.skips");
       continue;
     }
     // Case (c): Procedure 4 swap. Find the cached node whose removal
@@ -148,9 +154,11 @@ Result<ExplanationSubgraph> StreamGvex::ExplainGraphStream(
       acc.Rebuild(vs);
       vu.push_back(victim);
       ++stats_.swaps;
+      GVEX_COUNTER_INC("stream.swaps");
     } else {
       vu.push_back(v);
       ++stats_.skips;
+      GVEX_COUNTER_INC("stream.skips");
     }
   }
 
@@ -549,6 +557,7 @@ PatternReduction ReducePatterns(const std::vector<Graph>& patterns,
 Result<ExplanationView> StreamGvex::ExplainLabel(
     const GraphDatabase& db, const std::vector<ClassLabel>& assigned,
     ClassLabel l, const Deadline* deadline, uint64_t order_seed) {
+  GVEX_SPAN("stream.explain_label");
   // Start fresh unless we are resuming this exact label (after a deadline
   // expiry or injected fault, possibly via Snapshot()/Restore()).
   if (!label_in_progress_ || resume_label_ != l) {

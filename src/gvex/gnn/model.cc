@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "gvex/common/string_util.h"
+#include "gvex/obs/obs.h"
 #include "gvex/tensor/ops.h"
 
 namespace gvex {
@@ -70,6 +71,8 @@ GcnTrace GcnClassifier::ForwardWithPropagation(const Matrix& x0,
   GcnTrace trace;
   if (x0.rows() == 0) return trace;
   assert(x0.rows() == s.n());
+  GVEX_COUNTER_INC("gnn.forward_calls");
+  GVEX_LATENCY_US("gnn.forward_us");
   trace.s = s;
   trace.x.push_back(x0);
   trace.pre.reserve(config_.num_layers);
@@ -145,6 +148,7 @@ float CrossEntropyGrad(const std::vector<float>& probs, ClassLabel y,
 float GcnClassifier::BackwardFromLabel(const GcnTrace& trace, ClassLabel y,
                                        GcnGradients* grads) const {
   assert(!trace.logits.empty());
+  GVEX_COUNTER_INC("gnn.backward_calls");
   std::vector<float> dlogits;
   float loss = CrossEntropyGrad(trace.probs, y, &dlogits);
 

@@ -4,6 +4,7 @@
 
 #include "gvex/common/logging.h"
 #include "gvex/common/rng.h"
+#include "gvex/obs/obs.h"
 
 namespace gvex {
 
@@ -11,6 +12,7 @@ TrainReport Trainer::Fit(GcnClassifier* model, const GraphDatabase& db,
                          const DataSplit& split) const {
   TrainReport report;
   if (split.train.empty()) return report;
+  GVEX_SPAN("trainer.fit");
 
   AdamOptimizer optimizer(config_.adam);
   Rng rng(config_.shuffle_seed);
@@ -58,6 +60,7 @@ TrainReport Trainer::Fit(GcnClassifier* model, const GraphDatabase& db,
         optimizer.Step(params, slots);
       }
     }
+    GVEX_COUNTER_INC("trainer.epochs");
     report.epochs_run = epoch + 1;
     report.final_train_loss =
         seen > 0 ? epoch_loss / static_cast<float>(seen) : 0.0f;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "gvex/common/string_util.h"
+#include "gvex/obs/obs.h"
 #include "gvex/tensor/ops.h"
 
 namespace gvex {
@@ -72,6 +73,9 @@ Result<InfluenceAnalyzer> InfluenceAnalyzer::Build(
   if (graph.num_nodes() > 0 && !graph.has_features()) {
     return Status::InvalidArgument("graph lacks features");
   }
+  GVEX_SPAN("influence.build");
+  GVEX_COUNTER_INC("influence.builds");
+  GVEX_LATENCY_US("influence.build_us");
   InfluenceAnalyzer a;
   a.n_ = graph.num_nodes();
   a.options_ = options;

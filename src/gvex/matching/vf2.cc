@@ -4,6 +4,8 @@
 #include <cassert>
 #include <map>
 
+#include "gvex/obs/obs.h"
+
 namespace gvex {
 namespace {
 
@@ -32,10 +34,16 @@ class Vf2State {
   }
 
   size_t Run() {
+    GVEX_SPAN("vf2.match");
+    GVEX_COUNTER_INC("vf2.calls");
     if (order_.empty() || pattern_.num_nodes() > target_.num_nodes()) {
       return 0;
     }
     Extend(0);
+    // The recursion keeps its tallies in locals and flushes once per run:
+    // a sharded-atomic add inside Extend would still be per-node work.
+    GVEX_COUNTER_ADD("vf2.steps", steps_);
+    GVEX_COUNTER_ADD("vf2.matches", delivered_);
     return delivered_;
   }
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "gvex/mining/canonical.h"
+#include "gvex/obs/obs.h"
 
 namespace gvex {
 namespace {
@@ -102,8 +103,12 @@ bool EnumerateConnectedSubgraphs(
     bool keep_going = driver.Extend(&sub, std::move(ext), v);
     driver.in_sub[v] = false;
     for (NodeId u : flagged) driver.in_neighborhood[u] = false;
-    if (!keep_going) return !driver.aborted;
+    if (!keep_going) {
+      GVEX_COUNTER_ADD("pgen.enumerated", driver.emitted);
+      return !driver.aborted;
+    }
   }
+  GVEX_COUNTER_ADD("pgen.enumerated", driver.emitted);
   return !driver.aborted;
 }
 
@@ -122,6 +127,8 @@ Graph ToPattern(const Graph& g) {
 
 std::vector<PatternCandidate> GeneratePatternCandidates(
     const std::vector<Graph>& subgraphs, const PgenOptions& options) {
+  GVEX_SPAN("pgen.generate");
+  GVEX_COUNTER_INC("pgen.calls");
   struct Entry {
     PatternCandidate candidate;
     std::set<size_t> sources;

@@ -1,0 +1,80 @@
+// Minimal JSON support for the observability exporters: a streaming
+// writer (used to emit trace files and BENCH_*.json) and a strict
+// recursive-descent parser (used by tests to round-trip the exporters'
+// output and by tools/bench_diff to compare benchmark reports). Not a
+// general-purpose JSON library — no comments, no trailing commas, and
+// numbers are parsed as double.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gvex/common/result.h"
+
+namespace gvex {
+namespace obs {
+
+// ---- writer -----------------------------------------------------------------
+
+/// Streaming JSON writer with automatic comma placement. Produces compact
+/// single-line output; values print round-trip exact ('%.17g' doubles).
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& key);
+  void String(const std::string& value);
+  void Uint(uint64_t value);
+  void Int(int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  std::string Take() && { return std::move(out_); }
+  const std::string& str() const { return out_; }
+
+ private:
+  void Comma();
+
+  std::string out_;
+  // One entry per open container: true once the first element is written.
+  std::vector<bool> wrote_element_;
+  bool pending_key_ = false;
+};
+
+/// JSON string escaping (quotes not included).
+std::string EscapeJson(const std::string& s);
+
+// ---- parser -----------------------------------------------------------------
+
+/// Parsed JSON value (object keys keep file order; duplicate keys are
+/// preserved, Find returns the first).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;                             // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;   // kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// First member with `key`, or nullptr (also nullptr on non-objects).
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Strict parse of a complete JSON document; trailing non-whitespace is an
+/// error. Returns InvalidArgument with a byte offset on malformed input.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace obs
+}  // namespace gvex

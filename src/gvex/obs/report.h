@@ -1,0 +1,73 @@
+// PerfReport — the machine-readable measurement artifact of the repo.
+// Every bench binary writes one (`BENCH_<name>.json`, schema
+// "gvex-bench-v1", see docs/OBSERVABILITY.md) and the CLI emits one per
+// run via --metrics-out. A report carries:
+//
+//   * identity: report name, git revision, unix timestamp, schema tag;
+//   * params:  free-form key/value workload knobs (scale, u_l, dataset);
+//   * timings: named wall-clock sections in seconds;
+//   * the full registry snapshot: every counter and histogram (with
+//     mean/min/max and p50/p90/p99 bucket quantiles).
+//
+// Reports are diffable: tools/bench_diff compares two of them with a
+// relative tolerance gate (tools/run_benchmarks.sh wires this into a
+// regression check against checked-in baselines).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gvex/common/result.h"
+
+namespace gvex {
+namespace obs {
+
+/// Git revision compiled into the library (CMake passes -DGVEX_GIT_REV;
+/// "unknown" when built outside a checkout).
+std::string GitRevision();
+
+class PerfReport {
+ public:
+  explicit PerfReport(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Workload parameters (stringified; numbers keep %.17g precision).
+  void SetParam(const std::string& key, const std::string& value);
+  void SetParam(const std::string& key, const char* value);
+  void SetParam(const std::string& key, double value);
+  void SetParam(const std::string& key, int64_t value);
+  void SetParam(const std::string& key, uint64_t value);
+
+  /// Record a named wall-clock section. Duplicate names are kept in
+  /// order (bench tables legitimately repeat a name per row).
+  void AddTiming(const std::string& name, double seconds);
+
+  /// Serialize: identity + params + timings + a fresh snapshot of every
+  /// registry counter/histogram, taken at call time.
+  std::string ToJson() const;
+
+  /// Atomic write of ToJson() to `path`. Failpoint: "obs.report_save".
+  Status WriteJson(const std::string& path) const;
+
+  const std::vector<std::pair<std::string, double>>& timings() const {
+    return timings_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::vector<std::pair<std::string, double>> timings_;
+};
+
+/// Directory benchmark reports are written to: $GVEX_BENCH_DIR if set
+/// (created by tools/run_benchmarks.sh), else the current directory.
+std::string BenchOutputDir();
+
+/// `<BenchOutputDir()>/BENCH_<name>.json`.
+std::string BenchReportPath(const std::string& name);
+
+}  // namespace obs
+}  // namespace gvex

@@ -1,0 +1,112 @@
+// Compare two PerfReport JSON files (gvex-bench-v1) timing-by-timing and
+// fail when current timings drift beyond a relative tolerance of the
+// baseline. Used by tools/run_benchmarks.sh as the regression gate.
+//
+//   bench_diff <baseline.json> <current.json> [tolerance]
+//
+// tolerance is the allowed relative drift (default 0.30 = +/-30%).
+// A timing is skipped when either side is below the absolute floor
+// (250 ms): sub-floor rows — budget-bounded anytime searches, scheduler
+// quanta — jitter well past any sane tolerance run-to-run, and a row
+// oscillating across the floor must not flake the gate. Regressions in
+// small rows still surface through the per-report `total` aggregates,
+// which are seconds-scale and stable. Timings present in only
+// one file are reported but do not fail the gate (bench presets may
+// legitimately add or drop rows).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gvex/obs/json.h"
+
+namespace {
+
+constexpr double kAbsoluteFloorSeconds = 0.25;
+
+const gvex::obs::JsonValue* FindTiming(const gvex::obs::JsonValue& report,
+                                       const std::string& name) {
+  const gvex::obs::JsonValue* timings = report.Find("timings");
+  if (timings == nullptr) return nullptr;
+  for (const auto& t : timings->items) {
+    const gvex::obs::JsonValue* n = t.Find("name");
+    if (n != nullptr && n->string_value == name) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <baseline.json> <current.json> "
+                 "[tolerance=0.30]\n");
+    return 2;
+  }
+  const double tolerance = argc > 3 ? std::atof(argv[3]) : 0.30;
+
+  gvex::obs::JsonValue parsed[2];
+  for (int i = 0; i < 2; ++i) {
+    std::ifstream in(argv[1 + i]);
+    if (!in.is_open()) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1 + i]);
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto value = gvex::obs::ParseJson(buf.str());
+    if (!value.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[1 + i],
+                   value.status().ToString().c_str());
+      return 2;
+    }
+    parsed[i] = std::move(*value);
+  }
+  const gvex::obs::JsonValue& baseline = parsed[0];
+  const gvex::obs::JsonValue& current = parsed[1];
+
+  const gvex::obs::JsonValue* base_timings = baseline.Find("timings");
+  if (base_timings == nullptr) {
+    std::fprintf(stderr, "%s has no timings array\n", argv[1]);
+    return 2;
+  }
+
+  int compared = 0;
+  int failed = 0;
+  int skipped = 0;
+  for (const auto& bt : base_timings->items) {
+    const gvex::obs::JsonValue* name = bt.Find("name");
+    const gvex::obs::JsonValue* base_s = bt.Find("seconds");
+    if (name == nullptr || base_s == nullptr) continue;
+    const gvex::obs::JsonValue* ct = FindTiming(current, name->string_value);
+    if (ct == nullptr) {
+      std::printf("  ~ %-40s only in baseline\n", name->string_value.c_str());
+      continue;
+    }
+    const gvex::obs::JsonValue* cur_s = ct->Find("seconds");
+    if (cur_s == nullptr) continue;
+    const double base_v = base_s->number;
+    const double cur_v = cur_s->number;
+    if (base_v < kAbsoluteFloorSeconds || cur_v < kAbsoluteFloorSeconds) {
+      ++skipped;
+      continue;
+    }
+    ++compared;
+    const double drift =
+        base_v > 0.0 ? (cur_v - base_v) / base_v
+                     : (cur_v > 0.0 ? 1e9 : 0.0);
+    const bool ok = std::fabs(drift) <= tolerance;
+    if (!ok) ++failed;
+    std::printf("  %s %-40s base %10.4fs cur %10.4fs drift %+7.1f%%\n",
+                ok ? "." : "!", name->string_value.c_str(), base_v, cur_v,
+                100.0 * drift);
+  }
+  std::printf("%d compared, %d failed, %d below %.0fms floor "
+              "(tolerance +/-%.0f%%)\n",
+              compared, failed, skipped, 1e3 * kAbsoluteFloorSeconds,
+              100.0 * tolerance);
+  return failed == 0 ? 0 : 1;
+}

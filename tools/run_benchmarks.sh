@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Build Release, run every bench binary with its small preset, collect the
+# BENCH_<name>.json PerfReports into bench/results/, and gate key timings
+# against the checked-in baselines in bench/baselines/ with tools/bench_diff
+# (default tolerance +/-30%; rows under the 250 ms floor are skipped, so
+# the gate reads the substantial rows — per-report totals above all — and
+# ignores scheduler noise on budget-bounded sub-second rows).
+#
+# Usage: tools/run_benchmarks.sh [--update-baselines] [--tolerance <frac>]
+#
+#   --update-baselines  copy this run's reports over bench/baselines/
+#                       (do this on the reference machine after a deliberate
+#                       performance change, then commit the new baselines)
+#   --tolerance <frac>  relative drift allowed before the gate fails
+#                       (default 0.30)
+#
+# Small presets keep the full sweep to a couple of minutes on one core;
+# see docs/BENCHMARKS.md for the paper-scale commands.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TOLERANCE=0.30
+UPDATE_BASELINES=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --update-baselines) UPDATE_BASELINES=1; shift ;;
+    --tolerance) TOLERANCE="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+
+RESULTS=bench/results
+BASELINES=bench/baselines
+rm -rf "$RESULTS"
+mkdir -p "$RESULTS"
+export GVEX_BENCH_DIR="$RESULTS"
+
+# bench name -> small-preset arguments. Every scaled bench runs at
+# scale 0.15 (enough graphs to exercise each code path); table3 only
+# computes dataset statistics so it keeps a larger scale, and
+# micro_kernels takes google-benchmark flags instead of a scale.
+run_bench() {
+  local name="$1"; shift
+  echo "== bench_${name} $*"
+  ./build/bench/"bench_${name}" "$@" > "$RESULTS/bench_${name}.out"
+  if [[ ! -f "$RESULTS/BENCH_${name}.json" ]]; then
+    echo "bench_${name} did not write $RESULTS/BENCH_${name}.json" >&2
+    exit 1
+  fi
+}
+
+run_bench table1_capabilities
+run_bench table3_datasets 0.5
+run_bench fig5_fidelity_plus 0.15
+run_bench fig6_fidelity_minus 0.15
+run_bench fig7_param_sensitivity 0.15
+run_bench fig8_conciseness 0.15
+run_bench fig9_efficiency 0.15
+run_bench fig9_scalability 0.15
+run_bench fig12_node_order 0.15
+run_bench ablation 0.15
+run_bench case_drug 0.15
+run_bench case_enzymes 0.15
+run_bench case_social 0.15
+run_bench micro_kernels --benchmark_min_time=0.05
+
+echo
+echo "reports collected in $RESULTS/:"
+ls "$RESULTS"/BENCH_*.json
+
+if [[ "$UPDATE_BASELINES" -eq 1 ]]; then
+  mkdir -p "$BASELINES"
+  cp "$RESULTS"/BENCH_*.json "$BASELINES"/
+  echo "baselines updated in $BASELINES/ — review and commit them"
+  exit 0
+fi
+
+echo
+echo "== diffing against $BASELINES/ (tolerance +/-$(awk "BEGIN{print 100*$TOLERANCE}")%)"
+FAILED=0
+for report in "$RESULTS"/BENCH_*.json; do
+  base="$BASELINES/$(basename "$report")"
+  if [[ ! -f "$base" ]]; then
+    echo "-- $(basename "$report"): no baseline (run with --update-baselines to create)"
+    continue
+  fi
+  echo "-- $(basename "$report")"
+  if ! ./build/tools/bench_diff "$base" "$report" "$TOLERANCE"; then
+    FAILED=1
+  fi
+done
+
+if [[ "$FAILED" -ne 0 ]]; then
+  echo "benchmark regression gate FAILED (drift beyond +/-$(awk "BEGIN{print 100*$TOLERANCE}")%)" >&2
+  exit 1
+fi
+echo "benchmark regression gate passed"
