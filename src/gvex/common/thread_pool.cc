@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
+#include <cstdlib>
 
 #include "gvex/common/failpoint.h"
 #include "gvex/obs/obs.h"
@@ -43,30 +45,89 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                             const CancellationToken* cancel) {
+                             const CancellationToken* cancel, size_t grain) {
   if (n == 0) return;
-  if (workers_.size() == 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) {
+  grain = std::max<size_t>(1, grain);
+  const size_t chunks = (n + grain - 1) / grain;
+  auto run_chunk = [&](size_t c) {
+    const size_t begin = c * grain;
+    const size_t end = std::min(n, begin + grain);
+    for (size_t i = begin; i < end; ++i) fn(i);
+  };
+  if (workers_.size() == 1 || chunks == 1) {
+    for (size_t c = 0; c < chunks; ++c) {
       if (cancel != nullptr && cancel->cancelled()) return;
-      fn(i);
+      run_chunk(c);
     }
     return;
   }
   std::atomic<size_t> next{0};
-  std::vector<std::future<void>> futures;
-  size_t launchers = std::min(workers_.size(), n);
-  futures.reserve(launchers);
-  for (size_t t = 0; t < launchers; ++t) {
-    futures.push_back(Submit([&] {
-      for (;;) {
-        if (cancel != nullptr && cancel->cancelled()) return;
-        size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        fn(i);
+  auto drain_chunks = [&] {
+    for (;;) {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      const size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      run_chunk(c);
+    }
+  };
+  // The caller claims chunks too, so helpers never carry the whole loop
+  // and a queued-but-never-started helper costs nothing but its no-op run.
+  const size_t helpers = std::min(workers_.size(), chunks - 1);
+  std::atomic<size_t> remaining{helpers};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  for (size_t t = 0; t < helpers; ++t) {
+    Submit([&] {
+      drain_chunks();
+      {
+        std::lock_guard<std::mutex> lock(done_mu);
+        remaining.fetch_sub(1, std::memory_order_acq_rel);
       }
-    }));
+      done_cv.notify_all();
+    });
   }
-  for (auto& f : futures) f.get();
+  drain_chunks();
+  // Help-drain: instead of blocking on helper futures (which deadlocks
+  // when every worker is itself parked inside a nested ParallelFor), the
+  // caller keeps executing queued tasks until its helpers have retired.
+  while (remaining.load(std::memory_order_acquire) != 0) {
+    if (RunOneQueuedTask()) continue;
+    std::unique_lock<std::mutex> lock(done_mu);
+    if (remaining.load(std::memory_order_acquire) == 0) break;
+    done_cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+bool ThreadPool::RunOneQueuedTask() {
+  std::packaged_task<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  GVEX_FAILPOINT_NOTIFY("thread_pool.task");
+  GVEX_SPAN("pool.task");
+  task();
+  return true;
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    size_t n = 0;
+    if (const char* env = std::getenv("GVEX_NUM_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) n = static_cast<size_t>(v);
+    }
+    if (n == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      n = hw == 0 ? 1 : hw;
+    }
+    // Leaky on purpose, like the obs registry: kernels may run during
+    // static destruction and must never touch a joined pool.
+    return new ThreadPool(n);
+  }();
+  return *pool;
 }
 
 void ThreadPool::WorkerLoop() {

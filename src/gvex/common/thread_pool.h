@@ -37,16 +37,37 @@ class ThreadPool {
   /// With a single-thread pool this degrades to a serial loop (no
   /// thread-hop overhead), which keeps benches honest on 1-core boxes.
   ///
-  /// When `cancel` is given, no *new* index is dispatched once the token
+  /// `grain` dispatches contiguous chunks of `grain` indices per claim of
+  /// the shared work counter, so fine-grained loops (coverage cells,
+  /// influence sources, GEMM rows) don't serialize on one atomic. The
+  /// default grain of 1 preserves the historical per-index dispatch.
+  ///
+  /// When `cancel` is given, no *new* chunk is dispatched once the token
   /// is cancelled (indices already running finish normally) — the first
   /// non-recoverable worker error stops the fan-out instead of letting
   /// the pool run to completion. Indices never dispatched are simply not
   /// invoked; the caller inspects the token's cause().
+  ///
+  /// Nesting-safe: the calling thread claims chunks itself and, while
+  /// helper tasks finish, executes other queued pool tasks instead of
+  /// sleeping. A ParallelFor issued from inside a pool task therefore
+  /// always makes progress, even when every worker is blocked in its own
+  /// ParallelFor (see the hot-path parallelism notes, DESIGN.md §8).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                   const CancellationToken* cancel = nullptr);
+                   const CancellationToken* cancel = nullptr,
+                   size_t grain = 1);
+
+  /// Process-wide pool shared by the intra-operator parallel kernels
+  /// (Psum coverage, PGen enumeration, Jacobian influence, large GEMMs).
+  /// Sized by $GVEX_NUM_THREADS when set (>0), else hardware concurrency.
+  /// Per-operator fan-out (ParallelApproxExplain) keeps its own pool; the
+  /// nesting-safe ParallelFor makes the two compose.
+  static ThreadPool& Shared();
 
  private:
   void WorkerLoop();
+  /// Pop-and-run one queued task if any; returns false when idle.
+  bool RunOneQueuedTask();
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> tasks_;

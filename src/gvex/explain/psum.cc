@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "gvex/common/bitset.h"
+#include "gvex/common/thread_pool.h"
+#include "gvex/matching/match_cache.h"
 #include "gvex/matching/vf2.h"
 #include "gvex/obs/obs.h"
 
@@ -50,14 +52,19 @@ PsumResult Psum(const std::vector<Graph>& subgraphs,
   pgen.min_pattern_nodes = std::max<size_t>(pgen.min_pattern_nodes, 2);
   std::vector<PatternCandidate> candidates =
       GeneratePatternCandidates(subgraphs, pgen);
+  // The candidate×subgraph coverage matrix is the Psum hot loop: each cell
+  // is a full VF2 enumeration. Cells hit the MatchCache (the same pairs
+  // recur across labels and stream repair rounds) and candidates fan out
+  // over the shared pool — each iteration writes only coverage[ci], and
+  // the greedy selection below stays serial and deterministic.
   std::vector<CandidateCoverage> coverage(candidates.size());
-  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+  ThreadPool::Shared().ParallelFor(candidates.size(), [&](size_t ci) {
     CandidateCoverage& cov = coverage[ci];
     cov.nodes = DynamicBitset(total_nodes);
     cov.edges = DynamicBitset(total_edges);
     for (size_t gi = 0; gi < subgraphs.size(); ++gi) {
-      CoverageResult local = ComputeCoverage({candidates[ci].pattern},
-                                             subgraphs[gi], config.match);
+      CoverageResult local = MatchCache::Global().Coverage(
+          candidates[ci].pattern, subgraphs[gi], config.match);
       for (size_t v : local.covered_nodes.ToVector()) {
         cov.nodes.Set(node_base[gi] + v);
       }
@@ -69,7 +76,7 @@ PsumResult Psum(const std::vector<Graph>& subgraphs,
                      ? 0.0
                      : 1.0 - static_cast<double>(cov.edges.Count()) /
                                  static_cast<double>(total_edges);
-  }
+  });
 
   // Greedy weighted set cover: maximize newly covered nodes per unit
   // weight until all nodes are covered or candidates are exhausted.

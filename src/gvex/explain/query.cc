@@ -1,12 +1,15 @@
 #include "gvex/explain/query.h"
 
+#include "gvex/matching/match_cache.h"
+
 namespace gvex {
 
 std::vector<size_t> ViewQuery::SubgraphsContaining(
     const ExplanationView& view, const Graph& pattern) const {
   std::vector<size_t> hits;
   for (size_t i = 0; i < view.subgraphs.size(); ++i) {
-    if (Vf2Matcher::HasMatch(pattern, view.subgraphs[i].subgraph, options_)) {
+    if (MatchCache::Global().HasMatch(pattern, view.subgraphs[i].subgraph,
+                                      options_)) {
       hits.push_back(i);
     }
   }
@@ -24,7 +27,7 @@ std::vector<Graph> ViewQuery::DiscriminativePatterns(
   for (const Graph& p : of.patterns) {
     bool found_in_other = false;
     for (const auto& s : against.subgraphs) {
-      if (Vf2Matcher::HasMatch(p, s.subgraph, options_)) {
+      if (MatchCache::Global().HasMatch(p, s.subgraph, options_)) {
         found_in_other = true;
         break;
       }
@@ -52,7 +55,7 @@ std::vector<ViewQuery::Hit> ViewQuery::FindHits(
   capped.max_matches = max_embeddings_per_graph;
   for (const auto& s : view.subgraphs) {
     size_t count =
-        Vf2Matcher::FindMatches(pattern, s.subgraph, capped).size();
+        MatchCache::Global().CountMatches(pattern, s.subgraph, capped);
     if (count > 0) {
       hits.push_back({s.graph_index, count});
     }

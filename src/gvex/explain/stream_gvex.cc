@@ -7,7 +7,9 @@
 #include "gvex/common/failpoint.h"
 #include "gvex/common/logging.h"
 #include "gvex/common/rng.h"
+#include "gvex/common/thread_pool.h"
 #include "gvex/influence/influence.h"
+#include "gvex/matching/match_cache.h"
 #include "gvex/matching/vf2.h"
 #include "gvex/mining/canonical.h"
 #include "gvex/mining/pgen.h"
@@ -405,7 +407,7 @@ Result<ExplanationSubgraph> StreamGvex::ExplainGraphStream(
       if (codes->count(cand.canonical) > 0) continue;
       if (++evaluated > 12) break;
       CoverageResult c1 =
-          ComputeCoverage({cand.pattern}, subgraph, config_.match);
+          MatchCache::Global().Coverage(cand.pattern, subgraph, config_.match);
       if (!c1.covered_nodes.Test(local)) continue;
       size_t e = c1.covered_edges.Count();
       size_t n = c1.covered_nodes.Count();
@@ -497,13 +499,16 @@ PatternReduction ReducePatterns(const std::vector<Graph>& patterns,
     DynamicBitset edges;
     double weight;
   };
+  // Same pattern×subgraph coverage matrix as Psum: independent cells, so
+  // cached lookups (the stream re-reduces the same pairs every round) fan
+  // out across the shared pool; the greedy pass below stays serial.
   std::vector<Cov> covs(patterns.size());
-  for (size_t pi = 0; pi < patterns.size(); ++pi) {
+  ThreadPool::Shared().ParallelFor(patterns.size(), [&](size_t pi) {
     covs[pi].nodes = DynamicBitset(total_nodes);
     covs[pi].edges = DynamicBitset(total_edges);
     for (size_t gi = 0; gi < subgraphs.size(); ++gi) {
-      CoverageResult local =
-          ComputeCoverage({patterns[pi]}, subgraphs[gi], config.match);
+      CoverageResult local = MatchCache::Global().Coverage(
+          patterns[pi], subgraphs[gi], config.match);
       for (size_t v : local.covered_nodes.ToVector()) {
         covs[pi].nodes.Set(node_base[gi] + v);
       }
@@ -516,7 +521,7 @@ PatternReduction ReducePatterns(const std::vector<Graph>& patterns,
             ? 0.0
             : 1.0 - static_cast<double>(covs[pi].edges.Count()) /
                         static_cast<double>(total_edges);
-  }
+  });
 
   DynamicBitset covered_nodes(total_nodes);
   DynamicBitset covered_edges(total_edges);

@@ -1,9 +1,13 @@
 #include "gvex/influence/influence.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "gvex/common/string_util.h"
+#include "gvex/common/thread_pool.h"
 #include "gvex/obs/obs.h"
 #include "gvex/tensor/ops.h"
 
@@ -26,21 +30,44 @@ Matrix ExactJacobianInfluence(const GcnClassifier& model, const Graph& g,
   // `layers` parameter tensors are the conv weights (see GcnClassifier).
   std::vector<const Matrix*> params = model.Parameters();
 
-  for (NodeId u = 0; u < n; ++u) {
+  // Column view of S, built once: the seed loop needs S[*, u], and probing
+  // trace.s.At(v, u) densely costs a per-cell row scan (O(n * nnz) over
+  // the whole backend). One CSR pass yields each column's nonzeros in
+  // ascending v, matching the dense loop's visit order exactly.
+  std::vector<std::vector<std::pair<uint32_t, float>>> columns(n);
+  {
+    const std::vector<size_t>& row_ptr = trace.s.row_ptr();
+    const std::vector<size_t>& col_idx = trace.s.col_idx();
+    const std::vector<float>& values = trace.s.values();
+    for (size_t v = 0; v < n; ++v) {
+      for (size_t p = row_ptr[v]; p < row_ptr[v + 1]; ++p) {
+        if (values[p] == 0.0f) continue;
+        columns[col_idx[p]].emplace_back(static_cast<uint32_t>(v), values[p]);
+      }
+    }
+  }
+
+  // Source nodes are independent: each iteration reads shared inputs and
+  // writes only column u of i1, so they fan out over the shared pool. The
+  // layer-0 tangent buffer is hoisted out of the j loop (zeroed per j)
+  // instead of reallocated n*d_in times.
+  ThreadPool::Shared().ParallelFor(n, [&](size_t u) {
+    const Matrix& w0 = *params[0];
+    Matrix t0(n, w0.cols());
     for (size_t j = 0; j < d_in; ++j) {
       // Layer 0 applied to T^0 = e_u e_j^T: (S T^0 W)[v, :] = S[v,u] * W[j, :].
-      const Matrix& w0 = *params[0];
-      Matrix t(n, w0.cols());
-      for (size_t v = 0; v < n; ++v) {
-        float s_vu = trace.s.At(v, u);
-        if (s_vu == 0.0f) continue;
-        for (size_t c = 0; c < w0.cols(); ++c) t.At(v, c) = s_vu * w0.At(j, c);
+      std::fill(t0.data(), t0.data() + t0.size(), 0.0f);
+      for (const auto& [v, s_vu] : columns[u]) {
+        for (size_t c = 0; c < w0.cols(); ++c) {
+          t0.At(v, c) = s_vu * w0.At(j, c);
+        }
       }
       // Gate through layer 0's pre-activation.
-      for (size_t idx = 0; idx < t.size(); ++idx) {
-        if (trace.pre[0].data()[idx] <= 0.0f) t.data()[idx] = 0.0f;
+      for (size_t idx = 0; idx < t0.size(); ++idx) {
+        if (trace.pre[0].data()[idx] <= 0.0f) t0.data()[idx] = 0.0f;
       }
       // Remaining layers.
+      Matrix t = t0;
       for (size_t layer = 1; layer < layers; ++layer) {
         Matrix agg = trace.s.MultiplyDense(t);
         t = MatMul(agg, *params[layer]);
@@ -52,7 +79,7 @@ Matrix ExactJacobianInfluence(const GcnClassifier& model, const Graph& g,
         i1.At(v, u) += t.RowL1Norm(v);
       }
     }
-  }
+  });
   return i1;
 }
 
@@ -115,20 +142,29 @@ Result<InfluenceAnalyzer> InfluenceAnalyzer::Build(
 }
 
 void InfluenceAnalyzer::FinalizeSets() {
+  // Both loops write disjoint per-index bitsets from shared read-only
+  // inputs, so they parallelize directly. The ball loop is the expensive
+  // one (pairwise embedding distances).
   influenced_.assign(n_, DynamicBitset(n_));
-  for (NodeId u = 0; u < n_; ++u) {
-    for (NodeId v = 0; v < n_; ++v) {
-      if (i2_.At(v, u) >= options_.theta) influenced_[u].Set(v);
-    }
-  }
+  ThreadPool::Shared().ParallelFor(
+      n_,
+      [&](size_t u) {
+        for (NodeId v = 0; v < n_; ++v) {
+          if (i2_.At(v, u) >= options_.theta) influenced_[u].Set(v);
+        }
+      },
+      /*cancel=*/nullptr, /*grain=*/16);
   ball_.assign(n_, DynamicBitset(n_));
-  for (NodeId v = 0; v < n_; ++v) {
-    for (NodeId w = 0; w < n_; ++w) {
-      if (NormalizedRowDistance(embeddings_, v, w) <= options_.radius) {
-        ball_[v].Set(w);
-      }
-    }
-  }
+  ThreadPool::Shared().ParallelFor(
+      n_,
+      [&](size_t v) {
+        for (NodeId w = 0; w < n_; ++w) {
+          if (NormalizedRowDistance(embeddings_, v, w) <= options_.radius) {
+            ball_[v].Set(w);
+          }
+        }
+      },
+      /*cancel=*/nullptr, /*grain=*/16);
 }
 
 size_t InfluenceAnalyzer::InfluenceScore(const std::vector<NodeId>& vs) const {

@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
+#include <unordered_map>
 
 #include "gvex/obs/obs.h"
 
 namespace gvex {
 namespace {
 
-// Search state for one (pattern, target) matching run.
+// Search state for one (pattern, target) matching run — the indexed fast
+// path (see vf2.h and docs/PERFORMANCE.md for the index design).
 class Vf2State {
  public:
   Vf2State(const Graph& pattern, const Graph& target,
@@ -31,6 +32,8 @@ class Vf2State {
       }
     }
     BuildOrder();
+    if (order_.empty()) return;  // disconnected: Run() rejects
+    BuildIndex();
   }
 
   size_t Run() {
@@ -39,15 +42,76 @@ class Vf2State {
     if (order_.empty() || pattern_.num_nodes() > target_.num_nodes()) {
       return 0;
     }
+    if (label_infeasible_) {
+      // The pattern asks for more nodes of some label than the target
+      // owns: no assignment can exist. One O(target) pass serves most
+      // negative HasMatch probes without entering the search at all.
+      GVEX_COUNTER_INC("vf2.label_rejects");
+      return 0;
+    }
     Extend(0);
     // The recursion keeps its tallies in locals and flushes once per run:
     // a sharded-atomic add inside Extend would still be per-node work.
     GVEX_COUNTER_ADD("vf2.steps", steps_);
     GVEX_COUNTER_ADD("vf2.matches", delivered_);
+    GVEX_COUNTER_ADD("vf2.candidates_pruned", pruned_);
     return delivered_;
   }
 
  private:
+  // One pass over the target builds everything the search needs: the
+  // root's label bucket (ascending node order — a subsequence of the
+  // reference's full node scan), a per-pattern-label count for the
+  // histogram subsumption test, and — for directed targets — a reverse
+  // adjacency list. Patterns have few distinct labels, so the histogram
+  // is a small linear-scan table rather than a hash map.
+  void BuildIndex() {
+    struct LabelNeed {
+      NodeType label;
+      size_t need = 0;
+      size_t have = 0;
+    };
+    std::vector<LabelNeed> hist;
+    for (NodeId v = 0; v < pattern_.num_nodes(); ++v) {
+      NodeType t = pattern_.node_type(v);
+      bool found = false;
+      for (auto& e : hist) {
+        if (e.label == t) {
+          ++e.need;
+          found = true;
+          break;
+        }
+      }
+      if (!found) hist.push_back({t, 1, 0});
+    }
+    const NodeType root_label = pattern_.node_type(order_[0]);
+    root_candidates_.reserve(target_.num_nodes() / (hist.size() + 1) + 1);
+    for (NodeId v = 0; v < target_.num_nodes(); ++v) {
+      NodeType t = target_.node_type(v);
+      for (auto& e : hist) {
+        if (e.label == t) {
+          ++e.have;
+          break;
+        }
+      }
+      if (t == root_label) root_candidates_.push_back(v);
+    }
+    for (const auto& e : hist) {
+      if (e.have < e.need) {
+        label_infeasible_ = true;
+        return;
+      }
+    }
+    if (target_.directed()) {
+      reverse_adj_.resize(target_.num_nodes());
+      for (NodeId u = 0; u < target_.num_nodes(); ++u) {
+        for (const auto& nb : target_.neighbors(u)) {
+          reverse_adj_[nb.node].push_back(u);
+        }
+      }
+    }
+  }
+
   // Match pattern nodes in a connectivity-respecting order, starting from
   // the highest-degree node: each subsequent node (except roots of new
   // components, which we disallow — patterns must be connected) has at
@@ -90,12 +154,24 @@ class Vf2State {
     }
   }
 
-  bool Feasible(NodeId pv, NodeId tv) {
-    if (pattern_.node_type(pv) != target_.node_type(tv)) return false;
-    if (target_.degree(tv) < pattern_.degree(pv) &&
-        options_.semantics == MatchSemantics::kSubgraph) {
+  // O(1) prefilter applied before the adjacency-consistency check. Label
+  // inequality implies the reference Feasible() rejects; degree(t) <
+  // degree(p) means the candidate can never close a match under either
+  // semantics (every pattern edge at pv must map to a distinct target
+  // edge at tv), so pruning it preserves the delivered match sequence.
+  bool QuickFeasible(NodeId pv, NodeId tv) {
+    if (pattern_.node_type(pv) != target_.node_type(tv) ||
+        target_.degree(tv) < pattern_.degree(pv)) {
+      ++pruned_;
       return false;
     }
+    return true;
+  }
+
+  // The adjacency-consistency half of the reference Feasible(); the
+  // type/degree half has already been established by the caller (root
+  // bucket + degree filter at depth 0, QuickFeasible beyond).
+  bool Consistent(NodeId pv, NodeId tv) {
     // Check consistency against all already-assigned pattern nodes. For
     // directed graphs each direction is verified independently.
     auto check_direction = [&](NodeId pa, NodeId pb, NodeId ta,
@@ -135,8 +211,183 @@ class Vf2State {
       return true;
     }
     NodeId pv = order_[depth];
-    // Restrict candidates to neighbors of an already-matched pattern
-    // neighbor when possible (always possible beyond the root).
+    if (depth == 0) {
+      // Root candidates come straight from the label bucket (ascending
+      // node order, a subsequence of the reference's full node scan).
+      const size_t need = pattern_.degree(pv);
+      for (NodeId tv : root_candidates_) {
+        if (target_.degree(tv) < need) {
+          ++pruned_;
+          continue;
+        }
+        if (!TryAssign(pv, tv, depth)) return false;
+      }
+    } else {
+      // Restrict candidates to neighbors of an already-matched pattern
+      // neighbor (always possible beyond the root).
+      NodeId anchor_p = kInvalidNode;
+      for (NodeId u : pattern_undirected_[pv]) {
+        if (assignment_[u] != kInvalidNode) {
+          anchor_p = u;
+          break;
+        }
+      }
+      assert(anchor_p != kInvalidNode);
+      NodeId anchor_t = assignment_[anchor_p];
+      for (const auto& nb : target_.neighbors(anchor_t)) {
+        if (!QuickFeasible(pv, nb.node)) continue;
+        if (!TryAssign(pv, nb.node, depth)) return false;
+      }
+      // Directed targets store out-edges at the source; if the pattern edge
+      // may be realized as an in-edge of anchor_t, scan its sources too
+      // (prebuilt reverse adjacency instead of an all-node HasEdge scan).
+      if (target_.directed()) {
+        for (NodeId tu : reverse_adj_[anchor_t]) {
+          if (!QuickFeasible(pv, tu)) continue;
+          if (!TryAssign(pv, tu, depth)) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool TryAssign(NodeId pv, NodeId tv, size_t depth) {
+    if (used_[tv]) return true;
+    if (!Consistent(pv, tv)) return true;
+    assignment_[pv] = tv;
+    used_[tv] = true;
+    bool keep_going = Extend(depth + 1);
+    assignment_[pv] = kInvalidNode;
+    used_[tv] = false;
+    return keep_going;
+  }
+
+  const Graph& pattern_;
+  const Graph& target_;
+  const MatchOptions& options_;
+  const std::function<bool(const Match&)>& cb_;
+  std::vector<std::vector<NodeId>> pattern_undirected_;
+  std::vector<NodeId> order_;
+  Match assignment_;
+  std::vector<bool> used_;
+  std::vector<NodeId> root_candidates_;  // the root label's bucket
+  std::vector<std::vector<NodeId>> reverse_adj_;  // directed targets only
+  bool label_infeasible_ = false;
+  size_t steps_ = 0;
+  size_t delivered_ = 0;
+  size_t pruned_ = 0;
+};
+
+// The original unindexed search, kept verbatim (minus obs instrumentation)
+// as the reference oracle behind Vf2ReferenceMatcher.
+class ReferenceVf2State {
+ public:
+  ReferenceVf2State(const Graph& pattern, const Graph& target,
+                    const MatchOptions& options,
+                    const std::function<bool(const Match&)>& cb)
+      : pattern_(pattern),
+        target_(target),
+        options_(options),
+        cb_(cb),
+        assignment_(pattern.num_nodes(), kInvalidNode),
+        used_(target.num_nodes(), false) {
+    pattern_undirected_.resize(pattern.num_nodes());
+    for (NodeId u = 0; u < pattern.num_nodes(); ++u) {
+      for (const auto& nb : pattern.neighbors(u)) {
+        pattern_undirected_[u].push_back(nb.node);
+        if (pattern.directed()) pattern_undirected_[nb.node].push_back(u);
+      }
+    }
+    BuildOrder();
+  }
+
+  size_t Run() {
+    if (order_.empty() || pattern_.num_nodes() > target_.num_nodes()) {
+      return 0;
+    }
+    Extend(0);
+    return delivered_;
+  }
+
+ private:
+  void BuildOrder() {
+    const size_t np = pattern_.num_nodes();
+    if (np == 0) return;
+    std::vector<bool> placed(np, false);
+    NodeId root = 0;
+    for (NodeId v = 1; v < np; ++v) {
+      if (pattern_undirected_[v].size() > pattern_undirected_[root].size()) {
+        root = v;
+      }
+    }
+    order_.push_back(root);
+    placed[root] = true;
+    while (order_.size() < np) {
+      NodeId best = kInvalidNode;
+      size_t best_links = 0;
+      for (NodeId v = 0; v < np; ++v) {
+        if (placed[v]) continue;
+        size_t links = 0;
+        for (NodeId u : pattern_undirected_[v]) {
+          if (placed[u]) ++links;
+        }
+        if (links > best_links ||
+            (best == kInvalidNode && links > 0 && best_links == 0)) {
+          best = v;
+          best_links = links;
+        }
+      }
+      if (best == kInvalidNode || best_links == 0) {
+        order_.clear();
+        return;
+      }
+      order_.push_back(best);
+      placed[best] = true;
+    }
+  }
+
+  bool Feasible(NodeId pv, NodeId tv) {
+    if (pattern_.node_type(pv) != target_.node_type(tv)) return false;
+    if (target_.degree(tv) < pattern_.degree(pv) &&
+        options_.semantics == MatchSemantics::kSubgraph) {
+      return false;
+    }
+    auto check_direction = [&](NodeId pa, NodeId pb, NodeId ta,
+                               NodeId tb) -> bool {
+      bool p_edge = pattern_.HasEdge(pa, pb);
+      bool t_edge = target_.HasEdge(ta, tb);
+      if (p_edge) {
+        if (!t_edge) return false;
+        if (pattern_.GetEdgeType(pa, pb) != target_.GetEdgeType(ta, tb)) {
+          return false;
+        }
+      } else if (options_.semantics == MatchSemantics::kInduced && t_edge) {
+        return false;
+      }
+      return true;
+    };
+    for (NodeId pu = 0; pu < pattern_.num_nodes(); ++pu) {
+      NodeId tu = assignment_[pu];
+      if (tu == kInvalidNode || pu == pv) continue;
+      if (!check_direction(pu, pv, tu, tv)) return false;
+      if (pattern_.directed() && !check_direction(pv, pu, tv, tu)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Extend(size_t depth) {
+    if (options_.max_steps > 0 && ++steps_ > options_.max_steps) return false;
+    if (depth == order_.size()) {
+      ++delivered_;
+      if (!cb_(assignment_)) return false;
+      if (options_.max_matches > 0 && delivered_ >= options_.max_matches) {
+        return false;
+      }
+      return true;
+    }
+    NodeId pv = order_[depth];
     if (depth == 0) {
       for (NodeId tv = 0; tv < target_.num_nodes(); ++tv) {
         if (!TryAssign(pv, tv, depth)) return false;
@@ -154,8 +405,6 @@ class Vf2State {
       for (const auto& nb : target_.neighbors(anchor_t)) {
         if (!TryAssign(pv, nb.node, depth)) return false;
       }
-      // Directed targets store out-edges at the source; if the pattern edge
-      // may be realized as an in-edge of anchor_t, scan sources too.
       if (target_.directed()) {
         for (NodeId tu = 0; tu < target_.num_nodes(); ++tu) {
           if (target_.HasEdge(tu, anchor_t)) {
@@ -219,6 +468,32 @@ bool Vf2Matcher::HasMatch(const Graph& pattern, const Graph& target,
                           [](const Match&) { return false; }) > 0;
 }
 
+size_t Vf2ReferenceMatcher::EnumerateMatches(
+    const Graph& pattern, const Graph& target, const MatchOptions& options,
+    const std::function<bool(const Match&)>& cb) {
+  if (pattern.num_nodes() == 0) return 0;
+  ReferenceVf2State state(pattern, target, options, cb);
+  return state.Run();
+}
+
+std::vector<Match> Vf2ReferenceMatcher::FindMatches(
+    const Graph& pattern, const Graph& target, const MatchOptions& options) {
+  std::vector<Match> matches;
+  EnumerateMatches(pattern, target, options, [&](const Match& m) {
+    matches.push_back(m);
+    return true;
+  });
+  return matches;
+}
+
+bool Vf2ReferenceMatcher::HasMatch(const Graph& pattern, const Graph& target,
+                                   const MatchOptions& options) {
+  MatchOptions first_only = options;
+  first_only.max_matches = 1;
+  return EnumerateMatches(pattern, target, first_only,
+                          [](const Match&) { return false; }) > 0;
+}
+
 std::vector<std::pair<NodeId, NodeId>> EdgeList(const Graph& g) {
   std::vector<std::pair<NodeId, NodeId>> edges;
   edges.reserve(g.num_edges());
@@ -240,11 +515,17 @@ CoverageResult ComputeCoverage(const std::vector<Graph>& patterns,
   result.covered_edges = DynamicBitset(edges.size());
 
   // Edge -> index lookup for marking covered edges during enumeration.
-  std::map<std::pair<NodeId, NodeId>, size_t> edge_index;
-  for (size_t i = 0; i < edges.size(); ++i) edge_index[edges[i]] = i;
+  std::unordered_map<uint64_t, size_t> edge_index;
+  edge_index.reserve(edges.size());
+  auto edge_key = [](NodeId u, NodeId v) {
+    return (static_cast<uint64_t>(u) << 32) | v;
+  };
+  for (size_t i = 0; i < edges.size(); ++i) {
+    edge_index[edge_key(edges[i].first, edges[i].second)] = i;
+  }
   auto edge_id = [&](NodeId u, NodeId v) -> size_t {
     if (!target.directed() && u > v) std::swap(u, v);
-    auto it = edge_index.find({u, v});
+    auto it = edge_index.find(edge_key(u, v));
     return it == edge_index.end() ? static_cast<size_t>(-1) : it->second;
   };
 

@@ -39,6 +39,20 @@ struct MatchOptions {
 using Match = std::vector<NodeId>;
 
 /// \brief Backtracking matcher for connected patterns.
+///
+/// This is the indexed fast path: one pass over the target builds the
+/// root's label→nodes bucket plus a label histogram, rejects in
+/// O(target) when the pattern's label multiset is not subsumed by the
+/// target's, restricts root candidates to the root's label bucket, and
+/// prefilters every anchored candidate by label and degree before the
+/// adjacency-consistency check (degree(t) >= degree(p) is sound under
+/// both semantics: every pattern edge must map to a distinct target
+/// edge).
+/// Directed targets additionally get a reverse-adjacency index so
+/// in-edge anchors don't scan all nodes. Pruning never changes the
+/// delivered match sequence — every pruned candidate would have failed
+/// the reference feasibility check — which Vf2ReferenceMatcher-vs-
+/// Vf2Matcher property tests pin down byte-for-byte.
 class Vf2Matcher {
  public:
   /// All (or up to options.max_matches) matches of `pattern` in `target`.
@@ -53,6 +67,25 @@ class Vf2Matcher {
 
   /// Enumerate matches through a callback; return false from the callback
   /// to stop. Returns the number of matches delivered.
+  static size_t EnumerateMatches(const Graph& pattern, const Graph& target,
+                                 const MatchOptions& options,
+                                 const std::function<bool(const Match&)>& cb);
+};
+
+/// \brief The pre-index reference matcher, kept verbatim as the
+/// correctness oracle: equivalence property tests assert byte-identical
+/// match lists against Vf2Matcher, and bench_micro_kernels reports the
+/// indexed-vs-reference speedup. Not instrumented (no obs counters), so
+/// A/B timing probes measure pure matching work.
+class Vf2ReferenceMatcher {
+ public:
+  static std::vector<Match> FindMatches(const Graph& pattern,
+                                        const Graph& target,
+                                        const MatchOptions& options = {});
+
+  static bool HasMatch(const Graph& pattern, const Graph& target,
+                       const MatchOptions& options = {});
+
   static size_t EnumerateMatches(const Graph& pattern, const Graph& target,
                                  const MatchOptions& options,
                                  const std::function<bool(const Match&)>& cb);

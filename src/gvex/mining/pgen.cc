@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "gvex/common/thread_pool.h"
 #include "gvex/mining/canonical.h"
 #include "gvex/obs/obs.h"
 
@@ -135,28 +136,49 @@ std::vector<PatternCandidate> GeneratePatternCandidates(
   };
   std::unordered_map<std::string, Entry> by_code;
 
-  for (size_t gi = 0; gi < subgraphs.size(); ++gi) {
+  // Per-graph ESU enumeration + canonicalization is independent across
+  // graphs, so it fans out over the shared pool into per-graph maps. The
+  // merge below runs serially in ascending gi order, which reproduces the
+  // serial loop exactly: embedding sums and source sets are
+  // order-independent, and the first occurrence in gi order supplies the
+  // representative pattern for each canonical code.
+  struct LocalMined {
+    std::unordered_map<std::string, Entry> by_code;
+  };
+  std::vector<LocalMined> mined(subgraphs.size());
+  ThreadPool::Shared().ParallelFor(subgraphs.size(), [&](size_t gi) {
     const Graph& g = subgraphs[gi];
+    std::unordered_map<std::string, Entry>& local = mined[gi].by_code;
     EnumerateConnectedSubgraphs(
         g, options.min_pattern_nodes, options.max_pattern_nodes,
         options.max_enumerated_per_graph,
         [&](const std::vector<NodeId>& nodes) {
           Graph piece = ToPattern(g.InducedSubgraph(nodes));
           std::string code = CanonicalCode(piece);
-          auto it = by_code.find(code);
-          if (it == by_code.end()) {
+          auto it = local.find(code);
+          if (it == local.end()) {
             Entry e;
             e.candidate.pattern = std::move(piece);
             e.candidate.canonical = code;
             e.candidate.embeddings = 1;
             e.sources.insert(gi);
-            by_code.emplace(std::move(code), std::move(e));
+            local.emplace(std::move(code), std::move(e));
           } else {
             it->second.candidate.embeddings += 1;
-            it->second.sources.insert(gi);
           }
           return true;
         });
+  });
+  for (size_t gi = 0; gi < subgraphs.size(); ++gi) {
+    for (auto& [code, entry] : mined[gi].by_code) {
+      auto it = by_code.find(code);
+      if (it == by_code.end()) {
+        by_code.emplace(code, std::move(entry));
+      } else {
+        it->second.candidate.embeddings += entry.candidate.embeddings;
+        it->second.sources.insert(gi);
+      }
+    }
   }
 
   std::vector<PatternCandidate> out;

@@ -1,12 +1,158 @@
 #include "gvex/tensor/ops.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
 
+#include "gvex/common/thread_pool.h"
+
 namespace gvex {
+namespace {
+
+// k-panel height: a 64-row panel of B (64 * n floats) stays resident in
+// L1/L2 while every C row in the block accumulates against it.
+constexpr size_t kBlockK = 64;
+// Rows handed to one pool task in the parallel path.
+constexpr size_t kRowBlock = 32;
+// Below ~8M flops the fork/join overhead beats the parallel win.
+constexpr size_t kParallelFlops = size_t{1} << 23;
+
+// Runs `body(i0, i1)` over [0, m) — serially when the product is small,
+// otherwise as kRowBlock row slabs on the shared pool. Row partitions
+// write disjoint C rows, so any split is bit-identical to the serial run.
+template <typename Body>
+void ForRowBlocks(size_t m, size_t flops, const Body& body) {
+  if (flops < kParallelFlops || m < 2 * kRowBlock) {
+    body(0, m);
+    return;
+  }
+  const size_t blocks = (m + kRowBlock - 1) / kRowBlock;
+  ThreadPool::Shared().ParallelFor(blocks, [&](size_t bi) {
+    body(bi * kRowBlock, std::min(m, (bi + 1) * kRowBlock));
+  });
+}
+
+// The av == 0.0f skips below are load-bearing for bit-identity with the
+// reference kernels, not just a speed hack: 0 * inf and 0 * NaN are NaN,
+// so dropping the skip would change outputs on non-finite inputs.
+
+void MatMulRows(const Matrix& a, const Matrix& b, Matrix* c, size_t i0,
+                size_t i1) {
+  const size_t k = a.cols(), n = b.cols();
+  for (size_t p0 = 0; p0 < k; p0 += kBlockK) {
+    const size_t p1 = std::min(k, p0 + kBlockK);
+    for (size_t i = i0; i < i1; ++i) {
+      const float* ar = a.RowPtr(i);
+      float* cr = c->RowPtr(i);
+      // Ascending p within the panel and ascending panels: each C(i, j)
+      // accumulates over p in exactly the reference order.
+      for (size_t p = p0; p < p1; ++p) {
+        const float av = ar[p];
+        if (av == 0.0f) continue;
+        const float* br = b.RowPtr(p);
+        size_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+          cr[j] += av * br[j];
+          cr[j + 1] += av * br[j + 1];
+          cr[j + 2] += av * br[j + 2];
+          cr[j + 3] += av * br[j + 3];
+        }
+        for (; j < n; ++j) cr[j] += av * br[j];
+      }
+    }
+  }
+}
+
+void MatMulTransARows(const Matrix& a, const Matrix& b, Matrix* c, size_t i0,
+                      size_t i1) {
+  const size_t k = a.rows(), n = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const float* ar = a.RowPtr(p);
+    const float* br = b.RowPtr(p);
+    for (size_t i = i0; i < i1; ++i) {
+      const float av = ar[i];
+      if (av == 0.0f) continue;
+      float* cr = c->RowPtr(i);
+      size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        cr[j] += av * br[j];
+        cr[j + 1] += av * br[j + 1];
+        cr[j + 2] += av * br[j + 2];
+        cr[j + 3] += av * br[j + 3];
+      }
+      for (; j < n; ++j) cr[j] += av * br[j];
+    }
+  }
+}
+
+void MatMulTransBRows(const Matrix& a, const Matrix& b, Matrix* c, size_t i0,
+                      size_t i1) {
+  const size_t k = a.cols(), n = b.rows();
+  for (size_t i = i0; i < i1; ++i) {
+    const float* ar = a.RowPtr(i);
+    float* cr = c->RowPtr(i);
+    size_t j = 0;
+    // Four output dot products at once share each ar[p] load; every
+    // accumulator still sums over ascending p, as in the reference.
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b.RowPtr(j);
+      const float* b1 = b.RowPtr(j + 1);
+      const float* b2 = b.RowPtr(j + 2);
+      const float* b3 = b.RowPtr(j + 3);
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      for (size_t p = 0; p < k; ++p) {
+        const float av = ar[p];
+        acc0 += av * b0[p];
+        acc1 += av * b1[p];
+        acc2 += av * b2[p];
+        acc3 += av * b3[p];
+      }
+      cr[j] = acc0;
+      cr[j + 1] = acc1;
+      cr[j + 2] = acc2;
+      cr[j + 3] = acc3;
+    }
+    for (; j < n; ++j) {
+      const float* br = b.RowPtr(j);
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += ar[p] * br[p];
+      cr[j] = acc;
+    }
+  }
+}
+
+}  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  ForRowBlocks(a.rows(), a.rows() * a.cols() * b.cols(),
+               [&](size_t i0, size_t i1) { MatMulRows(a, b, &c, i0, i1); });
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  ForRowBlocks(a.cols(), a.rows() * a.cols() * b.cols(),
+               [&](size_t i0, size_t i1) {
+                 MatMulTransARows(a, b, &c, i0, i1);
+               });
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  ForRowBlocks(a.rows(), a.rows() * a.cols() * b.rows(),
+               [&](size_t i0, size_t i1) {
+                 MatMulTransBRows(a, b, &c, i0, i1);
+               });
+  return c;
+}
+
+Matrix MatMulReference(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
@@ -23,7 +169,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+Matrix MatMulTransAReference(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows());
   Matrix c(a.cols(), b.cols());
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
@@ -40,7 +186,7 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+Matrix MatMulTransBReference(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.cols());
   Matrix c(a.rows(), b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();

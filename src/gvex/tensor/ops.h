@@ -9,13 +9,28 @@
 namespace gvex {
 
 /// C = A * B. Shapes must agree ((m x k) * (k x n) -> (m x n)).
+///
+/// Cache-blocked over k with an unrolled inner loop, and row-partitioned
+/// over the shared ThreadPool above a flop threshold. Every variant
+/// accumulates each C(i, j) over ascending p exactly like the reference
+/// kernel, so results are bit-identical to MatMulReference (pinned by
+/// tensor_test's equivalence suite; see docs/PERFORMANCE.md).
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
 /// C = A^T * B ((k x m)^T * (k x n) -> (m x n)), without materializing A^T.
+/// Bit-identical to MatMulTransAReference (see MatMul).
 Matrix MatMulTransA(const Matrix& a, const Matrix& b);
 
 /// C = A * B^T ((m x k) * (n x k)^T -> (m x n)).
+/// Bit-identical to MatMulTransBReference (see MatMul).
 Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// Reference (naive) kernels: the pre-optimization implementations, kept
+/// as the correctness oracle for the optimized paths above. Used by the
+/// equivalence tests and the micro-kernel benches; not for hot paths.
+Matrix MatMulReference(const Matrix& a, const Matrix& b);
+Matrix MatMulTransAReference(const Matrix& a, const Matrix& b);
+Matrix MatMulTransBReference(const Matrix& a, const Matrix& b);
 
 /// C = A + B (element-wise).
 Matrix Add(const Matrix& a, const Matrix& b);

@@ -195,6 +195,44 @@ TEST(ThreadPoolTest, SingleThreadDegradesToSerial) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(ThreadPoolTest, ParallelForGrainCoversRangeOnce) {
+  ThreadPool pool(3);
+  // A grain that doesn't divide the range evenly must still visit every
+  // index exactly once (the last chunk is short).
+  std::vector<std::atomic<int>> hits(101);
+  pool.ParallelFor(
+      101, [&](size_t i) { hits[i].fetch_add(1); },
+      /*cancel=*/nullptr, /*grain=*/7);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Grain larger than the range degenerates to one serial chunk.
+  std::vector<int> order;
+  pool.ParallelFor(
+      4, [&](size_t i) { order.push_back(static_cast<int>(i)); },
+      /*cancel=*/nullptr, /*grain=*/64);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Outer iterations saturate every worker, then each issues an inner
+  // ParallelFor on the same pool. The caller-participation + help-drain
+  // design must make progress even with all workers parked in inner waits.
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(16, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsUsableAndStable) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> total{0};
+  a.ParallelFor(32, [&](size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 32);
+}
+
 TEST(StopwatchTest, DeadlineSemantics) {
   Deadline none(0.0);
   EXPECT_FALSE(none.Expired());

@@ -1,0 +1,244 @@
+// Equivalence property tests for the indexed VF2 fast path and the
+// MatchCache: both must be observationally identical to the reference
+// matcher. The indexed matcher is pinned byte-for-byte (same match
+// vectors in the same order), not just count-equal — the pruning is only
+// allowed to skip candidates the reference search would also reject.
+//
+// Budgeted searches (max_steps > 0) are deliberately excluded: pruning
+// changes how many backtracking steps a search consumes, so a truncated
+// indexed search may legally stop at a different prefix. The cache
+// likewise bypasses budgeted searches (see match_cache.h).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gvex/common/rng.h"
+#include "gvex/matching/match_cache.h"
+#include "gvex/matching/vf2.h"
+#include "gvex/obs/obs.h"
+
+namespace gvex {
+namespace {
+
+Graph RandomTarget(Rng& rng, bool directed, size_t n, double edge_prob,
+                   int num_types, int num_edge_types) {
+  Graph g(directed);
+  for (size_t i = 0; i < n; ++i) {
+    g.AddNode(static_cast<NodeType>(rng.NextBounded(num_types)));
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = directed ? 0 : u + 1; v < n; ++v) {
+      if (u == v || g.HasEdge(u, v)) continue;
+      if (rng.NextBool(edge_prob)) {
+        EdgeType et = static_cast<EdgeType>(rng.NextBounded(num_edge_types));
+        EXPECT_TRUE(g.AddEdge(u, v, et).ok());
+      }
+    }
+  }
+  return g;
+}
+
+// A connected pattern sampled from the target itself (so matches usually
+// exist), falling back to a fresh 2-node pattern when the target is too
+// sparse to yield one.
+Graph SampleConnectedPattern(Rng& rng, const Graph& target, size_t size) {
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    std::vector<NodeId> nodes;
+    while (nodes.size() < size) {
+      NodeId v = static_cast<NodeId>(rng.NextBounded(target.num_nodes()));
+      bool dup = false;
+      for (NodeId u : nodes) dup |= (u == v);
+      if (!dup) nodes.push_back(v);
+    }
+    Graph cand = target.InducedSubgraph(nodes);
+    if (cand.IsConnected()) return cand;
+  }
+  Graph p(target.directed());
+  p.AddNode(0);
+  p.AddNode(1);
+  EXPECT_TRUE(p.AddEdge(0, 1).ok());
+  return p;
+}
+
+class MatchEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatchEquivalenceTest, IndexedMatcherIsByteIdentical) {
+  Rng rng(GetParam());
+  for (bool directed : {false, true}) {
+    Graph target = RandomTarget(rng, directed, 10, directed ? 0.22 : 0.3,
+                                /*num_types=*/3, /*num_edge_types=*/2);
+    for (size_t psize : {2u, 3u, 4u}) {
+      Graph pattern = SampleConnectedPattern(rng, target, psize);
+      for (MatchSemantics sem :
+           {MatchSemantics::kInduced, MatchSemantics::kSubgraph}) {
+        MatchOptions opts;
+        opts.semantics = sem;
+        std::vector<Match> fast =
+            Vf2Matcher::FindMatches(pattern, target, opts);
+        std::vector<Match> ref =
+            Vf2ReferenceMatcher::FindMatches(pattern, target, opts);
+        ASSERT_EQ(fast, ref)
+            << "directed=" << directed << " psize=" << psize
+            << " semantics=" << static_cast<int>(sem);
+
+        // Because the full sequences agree, every capped prefix must too.
+        MatchOptions capped = opts;
+        capped.max_matches = 3;
+        EXPECT_EQ(Vf2Matcher::FindMatches(pattern, target, capped),
+                  Vf2ReferenceMatcher::FindMatches(pattern, target, capped));
+      }
+    }
+  }
+}
+
+TEST_P(MatchEquivalenceTest, CacheAgreesWithReference) {
+  Rng rng(GetParam() + 1000);
+  MatchCache cache;
+  for (bool directed : {false, true}) {
+    Graph target = RandomTarget(rng, directed, 9, 0.3, 3, 2);
+    Graph pattern = SampleConnectedPattern(rng, target, 3);
+    for (MatchSemantics sem :
+         {MatchSemantics::kInduced, MatchSemantics::kSubgraph}) {
+      MatchOptions opts;
+      opts.semantics = sem;
+      bool ref_has = Vf2ReferenceMatcher::HasMatch(pattern, target, opts);
+      size_t ref_count =
+          Vf2ReferenceMatcher::FindMatches(pattern, target, opts).size();
+      // Cold (miss + store) and warm (hit) must both agree.
+      EXPECT_EQ(cache.HasMatch(pattern, target, opts), ref_has);
+      EXPECT_EQ(cache.HasMatch(pattern, target, opts), ref_has);
+      EXPECT_EQ(cache.CountMatches(pattern, target, opts), ref_count);
+      EXPECT_EQ(cache.CountMatches(pattern, target, opts), ref_count);
+
+      // Capped counts are keyed by the cap and clamp exactly.
+      MatchOptions capped = opts;
+      capped.max_matches = 2;
+      size_t want = std::min<size_t>(2, ref_count);
+      EXPECT_EQ(cache.CountMatches(pattern, target, capped), want);
+      EXPECT_EQ(cache.CountMatches(pattern, target, capped), want);
+
+      // Coverage round-trips through the cached representation.
+      CoverageResult direct = ComputeCoverage({pattern}, target, opts);
+      for (int round = 0; round < 2; ++round) {
+        CoverageResult cached = cache.Coverage(pattern, target, opts);
+        EXPECT_EQ(cached.num_matches, direct.num_matches);
+        EXPECT_EQ(cached.covered_nodes.ToVector(),
+                  direct.covered_nodes.ToVector());
+        EXPECT_EQ(cached.covered_edges.ToVector(),
+                  direct.covered_edges.ToVector());
+      }
+    }
+  }
+  EXPECT_GT(cache.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(MatchCacheTest, IsomorphicUndirectedPatternsShareEntries) {
+  // Two relabelings of the same undirected path pattern must map to one
+  // canonical cache entry.
+  Graph p1;
+  p1.AddNode(0);
+  p1.AddNode(1);
+  ASSERT_TRUE(p1.AddEdge(0, 1).ok());
+  Graph p2;
+  p2.AddNode(1);
+  p2.AddNode(0);
+  ASSERT_TRUE(p2.AddEdge(0, 1).ok());
+  Graph target;
+  target.AddNode(0);
+  target.AddNode(1);
+  target.AddNode(0);
+  ASSERT_TRUE(target.AddEdge(0, 1).ok());
+  ASSERT_TRUE(target.AddEdge(1, 2).ok());
+
+  MatchCache cache;
+  MatchOptions opts;
+  EXPECT_TRUE(cache.HasMatch(p1, target, opts));
+  size_t after_first = cache.size();
+  EXPECT_TRUE(cache.HasMatch(p2, target, opts));
+  EXPECT_EQ(cache.size(), after_first) << "isomorphic pattern missed the "
+                                          "shared canonical entry";
+}
+
+TEST(MatchCacheTest, InvalidateTargetDropsOnlyThatTarget) {
+  Graph pattern;
+  pattern.AddNode(0);
+  pattern.AddNode(0);
+  ASSERT_TRUE(pattern.AddEdge(0, 1).ok());
+
+  Graph t1;
+  t1.AddNode(0);
+  t1.AddNode(0);
+  ASSERT_TRUE(t1.AddEdge(0, 1).ok());
+  Graph t2;
+  t2.AddNode(0);
+  t2.AddNode(0);
+  t2.AddNode(0);
+  ASSERT_TRUE(t2.AddEdge(0, 1).ok());
+  ASSERT_TRUE(t2.AddEdge(1, 2).ok());
+
+  MatchCache cache;
+  MatchOptions opts;
+  (void)cache.HasMatch(pattern, t1, opts);
+  (void)cache.HasMatch(pattern, t2, opts);
+  ASSERT_EQ(cache.size(), 2u);
+
+  cache.InvalidateTarget(t1);
+  EXPECT_EQ(cache.size(), 1u);
+  // The surviving entry still answers for t2; t1 repopulates on demand.
+  EXPECT_TRUE(cache.HasMatch(pattern, t2, opts));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.HasMatch(pattern, t1, opts));
+  EXPECT_EQ(cache.size(), 2u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(MatchCacheTest, BudgetedSearchesBypassTheCache) {
+  Graph pattern;
+  pattern.AddNode(0);
+  pattern.AddNode(0);
+  ASSERT_TRUE(pattern.AddEdge(0, 1).ok());
+  Graph target;
+  target.AddNode(0);
+  target.AddNode(0);
+  ASSERT_TRUE(target.AddEdge(0, 1).ok());
+
+  MatchCache cache;
+  MatchOptions budgeted;
+  budgeted.max_steps = 5;
+  (void)cache.HasMatch(pattern, target, budgeted);
+  EXPECT_EQ(cache.size(), 0u) << "a truncated search is not a cacheable fact";
+}
+
+TEST(MatchCacheTest, CountersFlowIntoObsRegistry) {
+  Graph pattern;
+  pattern.AddNode(0);
+  pattern.AddNode(0);
+  ASSERT_TRUE(pattern.AddEdge(0, 1).ok());
+  Graph target;
+  target.AddNode(0);
+  target.AddNode(0);
+  target.AddNode(0);
+  ASSERT_TRUE(target.AddEdge(0, 1).ok());
+  ASSERT_TRUE(target.AddEdge(1, 2).ok());
+
+  auto& hits = obs::Registry::Global().GetCounter("match_cache.hits");
+  auto& misses = obs::Registry::Global().GetCounter("match_cache.misses");
+  uint64_t hits_before = hits.Value();
+  uint64_t misses_before = misses.Value();
+
+  MatchCache cache;
+  MatchOptions opts;
+  (void)cache.HasMatch(pattern, target, opts);
+  (void)cache.HasMatch(pattern, target, opts);
+
+  EXPECT_GE(misses.Value(), misses_before + 1);
+  EXPECT_GE(hits.Value(), hits_before + 1);
+}
+
+}  // namespace
+}  // namespace gvex

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 
 #include "gvex/common/rng.h"
 #include "gvex/tensor/csr.h"
@@ -91,6 +92,69 @@ TEST(OpsTest, TransposedMatMulsAgree) {
   for (size_t i = 0; i < got2.size(); ++i) {
     EXPECT_NEAR(got2.data()[i], expected2.data()[i], 1e-4f);
   }
+}
+
+// A matrix with Gaussian entries and a sprinkling of exact zeros, to
+// exercise the av == 0.0f skip shared by the optimized and reference
+// kernels.
+Matrix RandomSparseMatrix(size_t r, size_t c, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] =
+        rng.NextBool(0.25) ? 0.0f : static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+void ExpectBitIdentical(const Matrix& got, const Matrix& want) {
+  ASSERT_TRUE(got.SameShape(want));
+  for (size_t i = 0; i < got.size(); ++i) {
+    // Exact equality on purpose: the blocked/unrolled/parallel kernels
+    // preserve the reference accumulation order, so results must be
+    // bit-identical, not merely close.
+    ASSERT_EQ(got.data()[i], want.data()[i]) << "flat index " << i;
+  }
+}
+
+TEST(OpsTest, BlockedMatMulBitIdenticalToReference) {
+  // Odd shapes exercise the unroll tails; 70 and 130 straddle the k-block
+  // boundary (kBlockK = 64) without dividing evenly.
+  for (auto [m, k, n] : {std::tuple<size_t, size_t, size_t>{1, 1, 1},
+                         {3, 70, 5},
+                         {17, 130, 9},
+                         {33, 64, 31}}) {
+    Matrix a = RandomSparseMatrix(m, k, 100 + m);
+    Matrix b = RandomSparseMatrix(k, n, 200 + n);
+    ExpectBitIdentical(MatMul(a, b), MatMulReference(a, b));
+  }
+}
+
+TEST(OpsTest, BlockedTransKernelsBitIdenticalToReference) {
+  Matrix a = RandomSparseMatrix(70, 17, 7);
+  Matrix b = RandomSparseMatrix(70, 13, 8);
+  ExpectBitIdentical(MatMulTransA(a, b), MatMulTransAReference(a, b));
+
+  Matrix lhs = RandomSparseMatrix(19, 33, 9);
+  Matrix rhs = RandomSparseMatrix(23, 33, 10);
+  ExpectBitIdentical(MatMulTransB(lhs, rhs), MatMulTransBReference(lhs, rhs));
+}
+
+TEST(OpsTest, ParallelPathBitIdenticalToReference) {
+  // Above the ~8M-flop threshold with >= 64 output rows, so the blocked
+  // kernels take the ThreadPool row-partitioned path. Row partitions write
+  // disjoint rows, so the result must still be bit-identical.
+  Matrix a = RandomSparseMatrix(96, 512, 11);
+  Matrix b = RandomSparseMatrix(512, 256, 12);
+  ExpectBitIdentical(MatMul(a, b), MatMulReference(a, b));
+
+  Matrix ta = RandomSparseMatrix(512, 96, 13);
+  Matrix tb = RandomSparseMatrix(512, 256, 14);
+  ExpectBitIdentical(MatMulTransA(ta, tb), MatMulTransAReference(ta, tb));
+
+  Matrix ba = RandomSparseMatrix(96, 512, 15);
+  Matrix bb = RandomSparseMatrix(256, 512, 16);
+  ExpectBitIdentical(MatMulTransB(ba, bb), MatMulTransBReference(ba, bb));
 }
 
 TEST(OpsTest, ReluForwardBackward) {

@@ -6,11 +6,14 @@
 # the gate reads the substantial rows — per-report totals above all — and
 # ignores scheduler noise on budget-bounded sub-second rows).
 #
-# Usage: tools/run_benchmarks.sh [--update-baselines] [--tolerance <frac>]
+# Usage: tools/run_benchmarks.sh [--update-baselines|--refresh-baselines]
+#                                [--tolerance <frac>]
 #
 #   --update-baselines  copy this run's reports over bench/baselines/
 #                       (do this on the reference machine after a deliberate
 #                       performance change, then commit the new baselines)
+#   --refresh-baselines alias of --update-baselines, for the workflow in
+#                       docs/PERFORMANCE.md
 #   --tolerance <frac>  relative drift allowed before the gate fails
 #                       (default 0.30)
 #
@@ -24,7 +27,7 @@ TOLERANCE=0.30
 UPDATE_BASELINES=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
-    --update-baselines) UPDATE_BASELINES=1; shift ;;
+    --update-baselines|--refresh-baselines) UPDATE_BASELINES=1; shift ;;
     --tolerance) TOLERANCE="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
