@@ -5,6 +5,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstdlib>
+#include <memory>
 
 #include "gvex/common/failpoint.h"
 #include "gvex/obs/obs.h"
@@ -73,28 +74,40 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   // The caller claims chunks too, so helpers never carry the whole loop
   // and a queued-but-never-started helper costs nothing but its no-op run.
   const size_t helpers = std::min(workers_.size(), chunks - 1);
-  std::atomic<size_t> remaining{helpers};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  // The completion state is heap-allocated and co-owned by every helper:
+  // the caller may observe remaining == 0 through the lock-free load below
+  // and return while the last helper is still between its decrement and
+  // its notify_all, so stack-local state would be destroyed under it.
+  struct Completion {
+    std::atomic<size_t> remaining;
+    std::mutex mu;
+    std::condition_variable cv;
+    explicit Completion(size_t n) : remaining(n) {}
+  };
+  auto done = std::make_shared<Completion>(helpers);
   for (size_t t = 0; t < helpers; ++t) {
-    Submit([&] {
+    Submit([&, done] {
       drain_chunks();
       {
-        std::lock_guard<std::mutex> lock(done_mu);
-        remaining.fetch_sub(1, std::memory_order_acq_rel);
+        std::lock_guard<std::mutex> lock(done->mu);
+        done->remaining.fetch_sub(1, std::memory_order_acq_rel);
       }
-      done_cv.notify_all();
+      done->cv.notify_all();
     });
   }
   drain_chunks();
   // Help-drain: instead of blocking on helper futures (which deadlocks
   // when every worker is itself parked inside a nested ParallelFor), the
   // caller keeps executing queued tasks until its helpers have retired.
-  while (remaining.load(std::memory_order_acquire) != 0) {
+  // Only then is the frame holding `fn`/`next`/`run_chunk` safe to leave:
+  // every helper has finished drain_chunks before it decrements, and
+  // not-yet-started helpers keep remaining above zero until the caller's
+  // RunOneQueuedTask executes them.
+  while (done->remaining.load(std::memory_order_acquire) != 0) {
     if (RunOneQueuedTask()) continue;
-    std::unique_lock<std::mutex> lock(done_mu);
-    if (remaining.load(std::memory_order_acquire) == 0) break;
-    done_cv.wait_for(lock, std::chrono::milliseconds(1));
+    std::unique_lock<std::mutex> lock(done->mu);
+    if (done->remaining.load(std::memory_order_acquire) == 0) break;
+    done->cv.wait_for(lock, std::chrono::milliseconds(1));
   }
 }
 

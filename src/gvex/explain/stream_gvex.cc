@@ -566,6 +566,15 @@ Result<ExplanationView> StreamGvex::ExplainLabel(
   // Start fresh unless we are resuming this exact label (after a deadline
   // expiry or injected fault, possibly via Snapshot()/Restore()).
   if (!label_in_progress_ || resume_label_ != l) {
+    // Abandoning a half-finished run for a different label retires its
+    // partial subgraphs: they are discarded below and never queried
+    // again, so drop their cache entries eagerly instead of letting
+    // them squat in the shards until an epoch dump (match_cache.h).
+    if (label_in_progress_ && resume_label_ != l) {
+      for (const auto& s : partial_view_.subgraphs) {
+        MatchCache::Global().InvalidateTarget(s.subgraph);
+      }
+    }
     label_in_progress_ = true;
     resume_label_ = l;
     group_pos_ = 0;

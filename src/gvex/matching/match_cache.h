@@ -23,9 +23,14 @@
 // truncated search is not a cacheable fact.
 //
 // Invalidation: fingerprints are content hashes, so a mutated graph
-// simply stops hitting its old entries. InvalidateTarget exists to drop
-// a mutated graph's stale entries eagerly (bounding memory and guarding
-// against the ~2^-128 hash-collision window); Clear() resets everything.
+// simply stops hitting its old entries — correctness never depends on
+// invalidation. InvalidateTarget exists to drop a retired (or mutated)
+// graph's stale entries eagerly; StreamGVEX calls it when it abandons a
+// half-finished label run, whose partial subgraphs can never be queried
+// again. Entries for targets that retire without such a call (e.g.
+// dropped explanation views) linger until their shard hits its entry
+// cap and is dumped wholesale — memory bounding otherwise relies solely
+// on that epoch-style eviction. Clear() resets everything.
 // Hits/misses/bypasses/evictions are exported through the obs registry
 // ("match_cache.*" counters).
 #pragma once

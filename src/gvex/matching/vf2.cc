@@ -159,6 +159,10 @@ class Vf2State {
   // degree(p) means the candidate can never close a match under either
   // semantics (every pattern edge at pv must map to a distinct target
   // edge at tv), so pruning it preserves the delivered match sequence.
+  // The reference only degree-prunes under kSubgraph, though, so under
+  // kInduced it recurses into (and spends steps on) subtrees this filter
+  // skips — budgeted runs diverge in truncation point, not in validity;
+  // see the equivalence contract in vf2.h.
   bool QuickFeasible(NodeId pv, NodeId tv) {
     if (pattern_.node_type(pv) != target_.node_type(tv) ||
         target_.degree(tv) < pattern_.degree(pv)) {

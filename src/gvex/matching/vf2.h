@@ -49,10 +49,23 @@ using Match = std::vector<NodeId>;
 /// both semantics: every pattern edge must map to a distinct target
 /// edge).
 /// Directed targets additionally get a reverse-adjacency index so
-/// in-edge anchors don't scan all nodes. Pruning never changes the
-/// delivered match sequence — every pruned candidate would have failed
-/// the reference feasibility check — which Vf2ReferenceMatcher-vs-
-/// Vf2Matcher property tests pin down byte-for-byte.
+/// in-edge anchors don't scan all nodes.
+///
+/// Equivalence contract: for unbudgeted runs (max_steps == 0) the
+/// delivered match sequence is byte-identical to Vf2ReferenceMatcher —
+/// every pruned candidate's subtree contains no match, and surviving
+/// candidates are visited in the reference's order — which the property
+/// tests pin down byte-for-byte. Under a step budget (max_steps > 0)
+/// the two matchers count different step totals: the reference burns
+/// steps on subtrees the index prunes up front (notably degree-deficient
+/// candidates under kInduced, which its Feasible only degree-prunes
+/// under kSubgraph), so it exhausts the budget earlier. Because the
+/// indexed search tree is a pruned subtree of the reference's with the
+/// same DFS order, the reference's budgeted match list is always a
+/// prefix of the indexed matcher's budgeted list, which in turn is a
+/// prefix of the full unbudgeted sequence (tested in
+/// match_equivalence_test.cc). Budgeted searches also bypass the
+/// MatchCache, so a truncated result is never memoized.
 class Vf2Matcher {
  public:
   /// All (or up to options.max_matches) matches of `pattern` in `target`.

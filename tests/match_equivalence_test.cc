@@ -4,12 +4,17 @@
 // vectors in the same order), not just count-equal — the pruning is only
 // allowed to skip candidates the reference search would also reject.
 //
-// Budgeted searches (max_steps > 0) are deliberately excluded: pruning
-// changes how many backtracking steps a search consumes, so a truncated
-// indexed search may legally stop at a different prefix. The cache
-// likewise bypasses budgeted searches (see match_cache.h).
+// Budgeted searches (max_steps > 0) follow a weaker, explicit contract
+// (see vf2.h): pruning changes how many backtracking steps a search
+// consumes — the reference burns steps on subtrees the index skips, so
+// the two may truncate at different points. What must still hold, and is
+// pinned below, is the prefix relation: the reference's budgeted match
+// list is a prefix of the indexed matcher's budgeted list, which is a
+// prefix of the full unbudgeted sequence. The cache bypasses budgeted
+// searches entirely (see match_cache.h).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "gvex/common/rng.h"
@@ -130,6 +135,54 @@ TEST_P(MatchEquivalenceTest, CacheAgreesWithReference) {
     }
   }
   EXPECT_GT(cache.size(), 0u);
+}
+
+bool IsPrefixOf(const std::vector<Match>& prefix,
+                const std::vector<Match>& full) {
+  if (prefix.size() > full.size()) return false;
+  return std::equal(prefix.begin(), prefix.end(), full.begin());
+}
+
+// The budgeted contract from vf2.h: the indexed search tree is a pruned
+// subtree of the reference's with the same DFS order, so for any step
+// budget the reference delivers a prefix of what the indexed matcher
+// delivers, and both deliver prefixes of the unbudgeted sequence. This
+// covers kInduced specifically, where the reference spends steps on
+// degree-deficient candidates the indexed path rejects up front.
+TEST_P(MatchEquivalenceTest, BudgetedSearchesKeepThePrefixRelation) {
+  Rng rng(GetParam() + 2000);
+  for (bool directed : {false, true}) {
+    Graph target = RandomTarget(rng, directed, 10, directed ? 0.22 : 0.3,
+                                /*num_types=*/3, /*num_edge_types=*/2);
+    for (size_t psize : {2u, 3u, 4u}) {
+      Graph pattern = SampleConnectedPattern(rng, target, psize);
+      for (MatchSemantics sem :
+           {MatchSemantics::kInduced, MatchSemantics::kSubgraph}) {
+        MatchOptions opts;
+        opts.semantics = sem;
+        std::vector<Match> full =
+            Vf2ReferenceMatcher::FindMatches(pattern, target, opts);
+        for (size_t budget : {1u, 3u, 8u, 25u, 200u}) {
+          MatchOptions budgeted = opts;
+          budgeted.max_steps = budget;
+          std::vector<Match> fast =
+              Vf2Matcher::FindMatches(pattern, target, budgeted);
+          std::vector<Match> ref =
+              Vf2ReferenceMatcher::FindMatches(pattern, target, budgeted);
+          EXPECT_TRUE(IsPrefixOf(ref, fast))
+              << "reference outran the indexed matcher: directed="
+              << directed << " psize=" << psize
+              << " semantics=" << static_cast<int>(sem)
+              << " budget=" << budget;
+          EXPECT_TRUE(IsPrefixOf(fast, full))
+              << "truncated run delivered non-prefix matches: directed="
+              << directed << " psize=" << psize
+              << " semantics=" << static_cast<int>(sem)
+              << " budget=" << budget;
+        }
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MatchEquivalenceTest,

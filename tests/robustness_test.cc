@@ -7,7 +7,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <string>
 
 #include "gvex/common/failpoint.h"
 #include "gvex/common/io_util.h"
@@ -19,6 +21,8 @@
 #include "gvex/gnn/optimizer.h"
 #include "gvex/gnn/trainer.h"
 #include "gvex/graph/graph_io.h"
+#include "gvex/matching/match_cache.h"
+#include "gvex/obs/obs.h"
 #include "tests/test_util.h"
 
 namespace gvex {
@@ -536,6 +540,47 @@ TEST(StreamSnapshotTest, InPlaceReentryAlsoResumes) {
   EXPECT_EQ(view->subgraphs.size(), straight_view->subgraphs.size());
   EXPECT_EQ(view->explainability, straight_view->explainability);
   EXPECT_EQ(solver.stats().nodes_processed, straight.stats().nodes_processed);
+}
+
+TEST(StreamSnapshotTest, AbandonedLabelRetiresItsCacheEntries) {
+  const auto& ctx = MutagenicityContext();
+  Configuration config = TestConfig();
+
+  // Interrupt a label-0 run at a point where at least one subgraph has
+  // committed into the partial view (the exact arrival count depends on
+  // the dataset, so probe a few failpoint skips).
+  std::unique_ptr<StreamGvex> solver;
+  for (int skip : {12, 25, 40, 60, 90}) {
+    auto trial = std::make_unique<StreamGvex>(&ctx.model, config);
+    failpoint::ScopedFailpoint fp(
+        "stream.inc_update_vs",
+        "error(internal),skip(" + std::to_string(skip) + "),limit(1)");
+    auto view = trial->ExplainLabel(ctx.db, ctx.assigned, 0);
+    if (!view.ok() && !trial->Snapshot().partial.subgraphs.empty()) {
+      solver = std::move(trial);
+      break;
+    }
+  }
+  ASSERT_NE(solver, nullptr)
+      << "no failpoint skip interrupted after a committed subgraph";
+
+  // Plant a cache entry keyed by a partial subgraph, standing in for the
+  // coverage queries the in-progress run issues against it.
+  StreamGvexSnapshot snap = solver->Snapshot();
+  const Graph& retired = snap.partial.subgraphs[0].subgraph;
+  Graph probe(retired.directed());
+  probe.AddNode(retired.node_type(0));
+  (void)MatchCache::Global().HasMatch(probe, retired, config.match);
+
+  auto& invalidated =
+      obs::Registry::Global().GetCounter("match_cache.invalidated");
+  const uint64_t before = invalidated.Value();
+
+  // Switching labels abandons the partial run; its subgraphs retire and
+  // their cache entries are dropped eagerly.
+  auto other = solver->ExplainLabel(ctx.db, ctx.assigned, 1);
+  ASSERT_TRUE(other.ok());
+  EXPECT_GE(invalidated.Value(), before + 1);
 }
 
 }  // namespace
