@@ -24,6 +24,7 @@
 #include "gvex/metrics/metrics.h"
 #include "gvex/obs/obs.h"
 #include "gvex/obs/report.h"
+#include "gvex/serve/socket.h"
 
 namespace gvex {
 namespace cli {
@@ -85,7 +86,7 @@ class Flags {
 void Usage() {
   std::fprintf(stderr,
                "usage: gvex_tool <gen|stats|train|explain|verify|fidelity|"
-               "query> [--flags]\n"
+               "query|serve|client> [--flags]\n"
                "observability: --metrics-out <file> (PerfReport JSON), "
                "--trace-out <file> (chrome://tracing)\n"
                "see src/gvex/cli/cli.h for the full synopsis\n");
@@ -130,8 +131,11 @@ Status CmdGen(const Flags& flags) {
   GVEX_ASSIGN_OR_RETURN(std::string dataset, flags.Require("dataset"));
   GVEX_ASSIGN_OR_RETURN(std::string out, flags.Require("out"));
   double scale = flags.GetDouble("scale", 1.0);
+  // --seed offsets the generator so repeated runs can produce distinct
+  // but reproducible databases (default 0 keeps historic output).
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
   GVEX_ASSIGN_OR_RETURN(GraphDatabase db,
-                        datasets::MakeByName(dataset, scale));
+                        datasets::MakeByName(dataset, scale, seed));
   GVEX_RETURN_NOT_OK(SaveDatabase(db, out));
   std::printf("wrote %zu graphs to %s\n", db.size(), out.c_str());
   return Status::OK();
@@ -231,9 +235,11 @@ Status CmdExplain(const Flags& flags) {
           "Snapshot/Restore)");
     }
     StreamGvex solver(&model, config);
+    uint64_t order_seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
     GVEX_ASSIGN_OR_RETURN(set, solver.Explain(db, assigned, labels,
                                               budget > 0.0 ? &deadline
-                                                           : nullptr));
+                                                           : nullptr,
+                                              order_seed));
   } else {
     return Status::InvalidArgument("unknown algorithm: " + algorithm);
   }
@@ -307,6 +313,207 @@ Status CmdQuery(const Flags& flags) {
   return Status::OK();
 }
 
+// ---- serving ------------------------------------------------------------------
+
+Result<serve::Endpoint> EndpointFromFlags(const Flags& flags) {
+  if (auto path = flags.Get("socket")) return serve::Endpoint::Unix(*path);
+  if (flags.Has("port")) {
+    return serve::Endpoint::Tcp(
+        static_cast<uint16_t>(flags.GetInt("port", 0)));
+  }
+  return Status::InvalidArgument("need --socket <path> or --port <n>");
+}
+
+Status CmdServe(const Flags& flags) {
+  GVEX_ASSIGN_OR_RETURN(std::string views_path, flags.Require("views"));
+  serve::ViewRegistry registry;
+  GVEX_RETURN_NOT_OK(registry.LoadViews(views_path));
+  if (auto model_path = flags.Get("model")) {
+    GVEX_RETURN_NOT_OK(registry.LoadModel(*model_path));
+  }
+  const size_t warm = registry.WarmMatchCache();
+
+  serve::ServerOptions options;
+  options.num_workers = static_cast<size_t>(flags.GetInt("workers", 4));
+  options.max_queue = static_cast<size_t>(flags.GetInt("queue", 256));
+  options.batch_max = static_cast<size_t>(flags.GetInt("batch", 8));
+  options.default_deadline_ms =
+      static_cast<uint32_t>(flags.GetInt("deadline-ms", 0));
+  serve::ExplanationServer server(&registry, options);
+  GVEX_RETURN_NOT_OK(server.Start());
+
+  GVEX_ASSIGN_OR_RETURN(serve::Endpoint endpoint, EndpointFromFlags(flags));
+  serve::SocketServer socket(&server);
+  Status started = socket.Start(endpoint);
+  if (!started.ok()) {
+    server.Stop();
+    return started;
+  }
+  if (!endpoint.is_unix()) endpoint.tcp_port = socket.bound_port();
+  // Readiness line: smoke scripts poll for it before sending requests.
+  std::printf("serving on %s (generation %llu, %zu workers, %zu warm pairs)\n",
+              endpoint.ToString().c_str(),
+              static_cast<unsigned long long>(registry.generation()),
+              options.num_workers, warm);
+  std::fflush(stdout);
+
+  socket.Wait();
+  socket.Stop();
+  server.Stop();
+  std::printf("server stopped\n");
+  return Status::OK();
+}
+
+Result<Graph> LoadGraphFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  return ReadGraph(&in);
+}
+
+Result<serve::Request> BuildClientRequest(const Flags& flags) {
+  GVEX_ASSIGN_OR_RETURN(std::string type_name, flags.Require("type"));
+  serve::Request req;
+  if (type_name == "ping") {
+    req.type = serve::RequestType::kPing;
+  } else if (type_name == "support") {
+    req.type = serve::RequestType::kSupport;
+  } else if (type_name == "contains") {
+    req.type = serve::RequestType::kSubgraphsContaining;
+  } else if (type_name == "hits") {
+    req.type = serve::RequestType::kFindHits;
+  } else if (type_name == "discriminative") {
+    req.type = serve::RequestType::kDiscriminativePatterns;
+  } else if (type_name == "classify") {
+    req.type = serve::RequestType::kClassifyExplain;
+  } else if (type_name == "stats") {
+    req.type = serve::RequestType::kStats;
+  } else if (type_name == "shutdown") {
+    req.type = serve::RequestType::kShutdown;
+  } else {
+    return Status::InvalidArgument("unknown request type: " + type_name);
+  }
+  req.id = static_cast<uint64_t>(flags.GetInt("id", 1));
+  req.label = static_cast<ClassLabel>(flags.GetInt("label", -1));
+  req.against = static_cast<ClassLabel>(flags.GetInt("against", -1));
+  req.deadline_ms = static_cast<uint32_t>(flags.GetInt("deadline-ms", 0));
+  req.max_embeddings =
+      static_cast<size_t>(flags.GetInt("max-embeddings", 64));
+  std::string semantics = flags.Get("semantics").value_or("subgraph");
+  if (semantics == "induced") {
+    req.semantics = MatchSemantics::kInduced;
+  } else if (semantics != "subgraph") {
+    return Status::InvalidArgument("unknown semantics: " + semantics);
+  }
+  if (auto text = flags.Get("text")) req.text = *text;
+
+  // Pattern queries carry the pattern as the request graph; classify
+  // carries the graph to classify (from a file or a database slot).
+  if (auto pattern_path = flags.Get("pattern")) {
+    GVEX_ASSIGN_OR_RETURN(req.graph, LoadGraphFile(*pattern_path));
+    req.has_graph = true;
+  } else if (auto graph_path = flags.Get("graph")) {
+    GVEX_ASSIGN_OR_RETURN(req.graph, LoadGraphFile(*graph_path));
+    req.has_graph = true;
+  } else if (auto db_path = flags.Get("graph-db")) {
+    GVEX_ASSIGN_OR_RETURN(GraphDatabase db, LoadDatabase(*db_path));
+    const long index = flags.GetInt("graph-index", 0);
+    if (index < 0 || static_cast<size_t>(index) >= db.size()) {
+      return Status::OutOfRange("--graph-index " + std::to_string(index) +
+                                " outside database of " +
+                                std::to_string(db.size()) + " graphs");
+    }
+    req.graph = db.graph(static_cast<size_t>(index));
+    req.has_graph = true;
+  }
+  return req;
+}
+
+// One deterministic output format per request type, shared by the socket
+// and --local paths so the smoke test can diff them byte-for-byte.
+void PrintClientResponse(const serve::Request& req,
+                         const serve::Response& resp) {
+  switch (req.type) {
+    case serve::RequestType::kPing:
+      std::printf("%s\n", resp.text.c_str());
+      return;
+    case serve::RequestType::kSupport:
+      std::printf("support %llu\n",
+                  static_cast<unsigned long long>(resp.support));
+      return;
+    case serve::RequestType::kSubgraphsContaining: {
+      std::printf("subgraphs %zu (support %llu)\n", resp.indices.size(),
+                  static_cast<unsigned long long>(resp.support));
+      for (uint64_t index : resp.indices) {
+        std::printf("  graph %llu\n", static_cast<unsigned long long>(index));
+      }
+      return;
+    }
+    case serve::RequestType::kFindHits: {
+      std::printf("hits %zu\n", resp.hits.size());
+      for (const auto& hit : resp.hits) {
+        std::printf("  graph %llu: %llu embeddings\n",
+                    static_cast<unsigned long long>(hit.graph_index),
+                    static_cast<unsigned long long>(hit.embeddings));
+      }
+      return;
+    }
+    case serve::RequestType::kDiscriminativePatterns: {
+      std::printf("discriminative %zu\n", resp.patterns.size());
+      for (const Graph& pattern : resp.patterns) {
+        std::printf("  pattern: %zu nodes, %zu edges\n", pattern.num_nodes(),
+                    pattern.num_edges());
+      }
+      return;
+    }
+    case serve::RequestType::kClassifyExplain: {
+      std::printf("predicted %d\n", resp.predicted);
+      std::printf("probabilities");
+      for (float p : resp.probabilities) std::printf(" %.6f", p);
+      std::printf("\n");
+      std::printf("explaining patterns %zu\n", resp.patterns.size());
+      for (uint64_t index : resp.indices) {
+        std::printf("  pattern %llu matches\n",
+                    static_cast<unsigned long long>(index));
+      }
+      return;
+    }
+    case serve::RequestType::kStats:
+    case serve::RequestType::kShutdown:
+      std::printf("%s\n", resp.text.c_str());
+      return;
+  }
+}
+
+Status CmdClient(const Flags& flags) {
+  GVEX_ASSIGN_OR_RETURN(serve::Request req, BuildClientRequest(flags));
+
+  serve::Response resp;
+  if (auto local_views = flags.Get("local")) {
+    // In-process mode: the exact same Execute path as a remote server,
+    // minus the wire. The smoke test diffs this against the socket path.
+    serve::ViewRegistry registry;
+    GVEX_RETURN_NOT_OK(registry.LoadViews(*local_views));
+    if (auto model_path = flags.Get("model")) {
+      GVEX_RETURN_NOT_OK(registry.LoadModel(*model_path));
+    }
+    serve::ServerOptions options;
+    options.num_workers = static_cast<size_t>(flags.GetInt("workers", 1));
+    serve::ExplanationServer server(&registry, options);
+    GVEX_RETURN_NOT_OK(server.Start());
+    serve::ServeHandle handle(&server);
+    resp = handle.Call(req);
+    server.Stop();
+  } else {
+    GVEX_ASSIGN_OR_RETURN(serve::Endpoint endpoint, EndpointFromFlags(flags));
+    serve::SocketClient client;
+    GVEX_RETURN_NOT_OK(client.Connect(endpoint));
+    GVEX_ASSIGN_OR_RETURN(resp, client.Call(req));
+  }
+  if (!resp.ok()) return resp.ToStatus();
+  PrintClientResponse(req, resp);
+  return Status::OK();
+}
+
 // Scripts dispatch on the exit code, so each StatusCode maps to a
 // distinct one (documented in README.md "Exit codes"). 1 is reserved
 // for crashes/signals, 2 doubles as usage error in the getopt tradition.
@@ -323,6 +530,7 @@ int ExitCodeForStatus(const Status& st) {
     case StatusCode::kTimeout: return 9;
     case StatusCode::kUnimplemented: return 10;
     case StatusCode::kInfeasible: return 11;
+    case StatusCode::kOverloaded: return 12;
   }
   return 7;
 }
@@ -382,6 +590,10 @@ int Run(const std::vector<std::string>& argv) {
     st = CmdFidelity(flags);
   } else if (command == "query") {
     st = CmdQuery(flags);
+  } else if (command == "serve") {
+    st = CmdServe(flags);
+  } else if (command == "client") {
+    st = CmdClient(flags);
   } else {
     Usage();
     return 2;

@@ -13,6 +13,21 @@
 //   gvex_tool verify  --db db.txt --model model.txt --views views.txt
 //   gvex_tool fidelity --db db.txt --model model.txt --views views.txt
 //   gvex_tool query   --views views.txt --label 1 --pattern pattern.txt
+//   gvex_tool serve   --views views.txt [--model model.txt]
+//                     (--socket /tmp/gvex.sock | --port N)
+//                     [--workers 4 --queue 256 --batch 8 --deadline-ms 0]
+//   gvex_tool client  (--socket PATH | --port N | --local views.txt
+//                      [--model model.txt])
+//                     --type ping|support|contains|hits|discriminative|
+//                            classify|stats|shutdown
+//                     [--label L --against L2 --pattern p.txt
+//                      --graph g.txt | --graph-db db.txt --graph-index I
+//                      --semantics subgraph|induced --max-embeddings 64
+//                      --deadline-ms MS --text STR]
+//
+// `serve` answers explanation queries over a Unix or loopback TCP socket
+// (docs/SERVING.md); `client --local` runs the identical request path
+// in-process, so socket and local outputs diff byte-for-byte.
 //
 // Every subcommand accepts --fail "site=spec[;site=spec...]" to arm
 // fault-injection failpoints (see gvex/common/failpoint.h), plus

@@ -42,6 +42,7 @@ Result<StatusCode> ParseCode(const std::string& name) {
   if (name == "infeasible") return StatusCode::kInfeasible;
   if (name == "failed_precondition") return StatusCode::kFailedPrecondition;
   if (name == "out_of_range") return StatusCode::kOutOfRange;
+  if (name == "overloaded") return StatusCode::kOverloaded;
   return Status::InvalidArgument("unknown failpoint status code: " + name);
 }
 

@@ -22,6 +22,7 @@ enum class StatusCode : int {
   kTimeout = 8,
   kUnimplemented = 9,
   kInfeasible = 10,  // e.g. no explanation view satisfies the configuration
+  kOverloaded = 11,  // admission control shed the request; retry later
 };
 
 /// \brief Outcome of a fallible operation.
@@ -69,6 +70,9 @@ class Status {
   static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -83,6 +87,7 @@ class Status {
   bool IsTimeout() const { return code() == StatusCode::kTimeout; }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
 
   std::string ToString() const;
 

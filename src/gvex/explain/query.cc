@@ -4,58 +4,86 @@
 
 namespace gvex {
 
+namespace {
+
+inline bool Cancelled(const CancellationToken* cancel) {
+  return cancel != nullptr && cancel->cancelled();
+}
+
+}  // namespace
+
+bool ViewQuery::Has(const Graph& pattern, const Graph& target) const {
+  if (use_cache_) {
+    return MatchCache::Global().HasMatch(pattern, target, options_);
+  }
+  return Vf2Matcher::HasMatch(pattern, target, options_);
+}
+
+size_t ViewQuery::Count(const Graph& pattern, const Graph& target,
+                        const MatchOptions& options) const {
+  if (use_cache_) {
+    return MatchCache::Global().CountMatches(pattern, target, options);
+  }
+  return Vf2Matcher::FindMatches(pattern, target, options).size();
+}
+
 std::vector<size_t> ViewQuery::SubgraphsContaining(
-    const ExplanationView& view, const Graph& pattern) const {
+    const ExplanationView& view, const Graph& pattern,
+    const CancellationToken* cancel) const {
   std::vector<size_t> hits;
   for (size_t i = 0; i < view.subgraphs.size(); ++i) {
-    if (MatchCache::Global().HasMatch(pattern, view.subgraphs[i].subgraph,
-                                      options_)) {
+    if (Cancelled(cancel)) break;
+    if (Has(pattern, view.subgraphs[i].subgraph)) {
       hits.push_back(i);
     }
   }
   return hits;
 }
 
-size_t ViewQuery::Support(const ExplanationView& view,
-                          const Graph& pattern) const {
-  return SubgraphsContaining(view, pattern).size();
+size_t ViewQuery::Support(const ExplanationView& view, const Graph& pattern,
+                          const CancellationToken* cancel) const {
+  return SubgraphsContaining(view, pattern, cancel).size();
 }
 
 std::vector<Graph> ViewQuery::DiscriminativePatterns(
-    const ExplanationView& of, const ExplanationView& against) const {
+    const ExplanationView& of, const ExplanationView& against,
+    const CancellationToken* cancel) const {
   std::vector<Graph> discriminative;
   for (const Graph& p : of.patterns) {
+    if (Cancelled(cancel)) break;
     bool found_in_other = false;
     for (const auto& s : against.subgraphs) {
-      if (MatchCache::Global().HasMatch(p, s.subgraph, options_)) {
+      if (Cancelled(cancel)) break;
+      if (Has(p, s.subgraph)) {
         found_in_other = true;
         break;
       }
     }
-    if (!found_in_other) discriminative.push_back(p);
+    if (!found_in_other && !Cancelled(cancel)) discriminative.push_back(p);
   }
   return discriminative;
 }
 
 std::vector<size_t> ViewQuery::PatternSupports(
-    const ExplanationView& view) const {
+    const ExplanationView& view, const CancellationToken* cancel) const {
   std::vector<size_t> supports;
   supports.reserve(view.patterns.size());
   for (const Graph& p : view.patterns) {
-    supports.push_back(Support(view, p));
+    if (Cancelled(cancel)) break;
+    supports.push_back(Support(view, p, cancel));
   }
   return supports;
 }
 
 std::vector<ViewQuery::Hit> ViewQuery::FindHits(
     const ExplanationView& view, const Graph& pattern,
-    size_t max_embeddings_per_graph) const {
+    size_t max_embeddings_per_graph, const CancellationToken* cancel) const {
   std::vector<Hit> hits;
   MatchOptions capped = options_;
   capped.max_matches = max_embeddings_per_graph;
   for (const auto& s : view.subgraphs) {
-    size_t count =
-        MatchCache::Global().CountMatches(pattern, s.subgraph, capped);
+    if (Cancelled(cancel)) break;
+    size_t count = Count(pattern, s.subgraph, capped);
     if (count > 0) {
       hits.push_back({s.graph_index, count});
     }

@@ -3,38 +3,61 @@
 // 1.1 ("which toxicophores occur in mutagens?", "which nonmutagens contain
 // pattern P?") and the discriminativeness analysis behind the paper's P12
 // observation (patterns that cover one label group but not another).
+//
+// Thread safety: a ViewQuery is immutable after construction and every
+// method is const — concurrent queries over the same view are safe (the
+// shared MatchCache is internally sharded and lock-protected), which is
+// what the serving tier (gvex/serve) relies on.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "gvex/common/cancellation.h"
 #include "gvex/explain/view.h"
 #include "gvex/matching/vf2.h"
 
 namespace gvex {
 
 /// \brief Read-only query engine over one or more explanation views.
+///
+/// `use_cache` selects between the process-wide MatchCache (default; the
+/// cache is transparent memoization, so results are identical either way)
+/// and direct Vf2Matcher calls. The serving benchmark disables the cache
+/// so every request performs real matching work.
+///
+/// Every method takes an optional CancellationToken checked between
+/// per-subgraph (or per-pattern) matches: once the token flips, the loop
+/// stops and the partial result accumulated so far is returned. Callers
+/// that need all-or-nothing semantics (the server's deadline handling)
+/// check the token after the call and discard partial results.
 class ViewQuery {
  public:
-  explicit ViewQuery(MatchOptions options = {}) : options_(options) {}
+  explicit ViewQuery(MatchOptions options = {}, bool use_cache = true)
+      : options_(options), use_cache_(use_cache) {}
 
   /// Indices (into view.subgraphs) of explanation subgraphs containing an
   /// embedding of `pattern` ("which mutagens contain this toxicophore?").
-  std::vector<size_t> SubgraphsContaining(const ExplanationView& view,
-                                          const Graph& pattern) const;
+  std::vector<size_t> SubgraphsContaining(
+      const ExplanationView& view, const Graph& pattern,
+      const CancellationToken* cancel = nullptr) const;
 
   /// Number of explanation subgraphs of `view` containing `pattern`.
-  size_t Support(const ExplanationView& view, const Graph& pattern) const;
+  size_t Support(const ExplanationView& view, const Graph& pattern,
+                 const CancellationToken* cancel = nullptr) const;
 
   /// Patterns of `of` that match NO explanation subgraph of `against` —
   /// the substructures that discriminate the two labels (the paper's P12:
   /// "covers all mutagens but does not occur in nonmutagens").
   std::vector<Graph> DiscriminativePatterns(
-      const ExplanationView& of, const ExplanationView& against) const;
+      const ExplanationView& of, const ExplanationView& against,
+      const CancellationToken* cancel = nullptr) const;
 
   /// For every pattern of `view`, its support across the view's own
   /// subgraphs (how representative each pattern is).
-  std::vector<size_t> PatternSupports(const ExplanationView& view) const;
+  std::vector<size_t> PatternSupports(
+      const ExplanationView& view,
+      const CancellationToken* cancel = nullptr) const;
 
   /// Database graphs (by index) whose explanation subgraph in `view`
   /// contains `pattern`, paired with the number of embeddings found.
@@ -44,10 +67,18 @@ class ViewQuery {
   };
   std::vector<Hit> FindHits(const ExplanationView& view,
                             const Graph& pattern,
-                            size_t max_embeddings_per_graph = 64) const;
+                            size_t max_embeddings_per_graph = 64,
+                            const CancellationToken* cancel = nullptr) const;
+
+  const MatchOptions& options() const { return options_; }
 
  private:
+  bool Has(const Graph& pattern, const Graph& target) const;
+  size_t Count(const Graph& pattern, const Graph& target,
+               const MatchOptions& options) const;
+
   MatchOptions options_;
+  bool use_cache_ = true;
 };
 
 }  // namespace gvex

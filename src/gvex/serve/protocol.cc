@@ -1,0 +1,244 @@
+#include "gvex/serve/protocol.h"
+
+#include <sstream>
+
+#include "gvex/common/checksum.h"
+#include "gvex/common/io_util.h"
+#include "gvex/graph/graph_io.h"
+
+namespace gvex {
+namespace serve {
+
+namespace {
+
+constexpr const char* kReqMagic = "gvexserve-v1";
+constexpr const char* kReqTag = "req";
+constexpr const char* kRespTag = "resp";
+
+// Free-form strings (error messages, stats JSON, ping payloads) are
+// length-prefixed so arbitrary bytes survive the line-oriented body:
+//   str <tag> <len>\n<len bytes>\n
+void WriteBlob(std::ostream* out, const char* tag, const std::string& s) {
+  (*out) << "str " << tag << " " << s.size() << "\n" << s << "\n";
+}
+
+Status ReadBlob(std::istream* in, const char* tag, std::string* out) {
+  std::string kw, got_tag;
+  size_t len = 0;
+  if (!((*in) >> kw >> got_tag >> len) || kw != "str" || got_tag != tag) {
+    return Status::IoError(std::string("bad blob header for ") + tag);
+  }
+  if (len > kMaxFrameBytes) {
+    return Status::IoError("blob length exceeds frame cap");
+  }
+  in->get();  // the \n after the length
+  out->resize(len);
+  if (len > 0 && !in->read(out->data(), static_cast<std::streamsize>(len))) {
+    return Status::IoError(std::string("short blob for ") + tag);
+  }
+  return Status::OK();
+}
+
+Status ExpectWord(std::istream* in, const char* want) {
+  std::string got;
+  if (!((*in) >> got) || got != want) {
+    return Status::IoError(std::string("expected '") + want + "', got '" +
+                           got + "'");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status ReadField(std::istream* in, const char* key, T* out) {
+  GVEX_RETURN_NOT_OK(ExpectWord(in, key));
+  if (!((*in) >> *out)) {
+    return Status::IoError(std::string("bad value for ") + key);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kPing: return "ping";
+    case RequestType::kSupport: return "support";
+    case RequestType::kSubgraphsContaining: return "contains";
+    case RequestType::kFindHits: return "hits";
+    case RequestType::kDiscriminativePatterns: return "discriminative";
+    case RequestType::kClassifyExplain: return "classify";
+    case RequestType::kStats: return "stats";
+    case RequestType::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string EncodeRequestBody(const Request& req) {
+  std::ostringstream out;
+  SetMaxPrecision(&out);
+  out << kReqMagic << " " << kReqTag << "\n";
+  out << "type " << static_cast<int>(req.type) << "\n";
+  out << "id " << req.id << "\n";
+  out << "label " << req.label << "\n";
+  out << "against " << req.against << "\n";
+  out << "semantics " << (req.semantics == MatchSemantics::kInduced ? 1 : 0)
+      << "\n";
+  out << "deadline_ms " << req.deadline_ms << "\n";
+  out << "max_embeddings " << req.max_embeddings << "\n";
+  WriteBlob(&out, "text", req.text);
+  out << "graph " << (req.has_graph ? 1 : 0) << "\n";
+  if (req.has_graph) {
+    (void)WriteGraph(req.graph, &out);  // ostringstream writes cannot fail
+  }
+  out << "end\n";
+  return std::move(out).str();
+}
+
+Result<Request> DecodeRequestBody(const std::string& body) {
+  std::istringstream in(body);
+  GVEX_RETURN_NOT_OK(ExpectWord(&in, kReqMagic));
+  GVEX_RETURN_NOT_OK(ExpectWord(&in, kReqTag));
+  Request req;
+  int type = 0, semantics = 0, has_graph = 0;
+  GVEX_RETURN_NOT_OK(ReadField(&in, "type", &type));
+  if (type < 0 || type > static_cast<int>(RequestType::kShutdown)) {
+    return Status::InvalidArgument("unknown request type " +
+                                   std::to_string(type));
+  }
+  req.type = static_cast<RequestType>(type);
+  GVEX_RETURN_NOT_OK(ReadField(&in, "id", &req.id));
+  GVEX_RETURN_NOT_OK(ReadField(&in, "label", &req.label));
+  GVEX_RETURN_NOT_OK(ReadField(&in, "against", &req.against));
+  GVEX_RETURN_NOT_OK(ReadField(&in, "semantics", &semantics));
+  req.semantics =
+      semantics != 0 ? MatchSemantics::kInduced : MatchSemantics::kSubgraph;
+  GVEX_RETURN_NOT_OK(ReadField(&in, "deadline_ms", &req.deadline_ms));
+  GVEX_RETURN_NOT_OK(ReadField(&in, "max_embeddings", &req.max_embeddings));
+  GVEX_RETURN_NOT_OK(ReadBlob(&in, "text", &req.text));
+  GVEX_RETURN_NOT_OK(ReadField(&in, "graph", &has_graph));
+  req.has_graph = has_graph != 0;
+  if (req.has_graph) {
+    GVEX_ASSIGN_OR_RETURN(req.graph, ReadGraph(&in));
+  }
+  GVEX_RETURN_NOT_OK(ExpectWord(&in, "end"));
+  return req;
+}
+
+std::string EncodeResponseBody(const Response& resp) {
+  std::ostringstream out;
+  SetMaxPrecision(&out);
+  out << kReqMagic << " " << kRespTag << "\n";
+  out << "id " << resp.id << "\n";
+  out << "code " << static_cast<int>(resp.code) << "\n";
+  WriteBlob(&out, "message", resp.message);
+  out << "support " << resp.support << "\n";
+  out << "predicted " << resp.predicted << "\n";
+  out << "probs " << resp.probabilities.size();
+  for (float p : resp.probabilities) out << " " << p;
+  out << "\n";
+  out << "indices " << resp.indices.size();
+  for (uint64_t i : resp.indices) out << " " << i;
+  out << "\n";
+  out << "hits " << resp.hits.size();
+  for (const auto& h : resp.hits) out << " " << h.graph_index << " "
+                                      << h.embeddings;
+  out << "\n";
+  out << "patterns " << resp.patterns.size() << "\n";
+  for (const Graph& p : resp.patterns) (void)WriteGraph(p, &out);
+  WriteBlob(&out, "text", resp.text);
+  out << "end\n";
+  return std::move(out).str();
+}
+
+Result<Response> DecodeResponseBody(const std::string& body) {
+  std::istringstream in(body);
+  GVEX_RETURN_NOT_OK(ExpectWord(&in, kReqMagic));
+  GVEX_RETURN_NOT_OK(ExpectWord(&in, kRespTag));
+  Response resp;
+  int code = 0;
+  GVEX_RETURN_NOT_OK(ReadField(&in, "id", &resp.id));
+  GVEX_RETURN_NOT_OK(ReadField(&in, "code", &code));
+  if (code < 0 || code > static_cast<int>(StatusCode::kOverloaded)) {
+    return Status::InvalidArgument("unknown status code " +
+                                   std::to_string(code));
+  }
+  resp.code = static_cast<StatusCode>(code);
+  GVEX_RETURN_NOT_OK(ReadBlob(&in, "message", &resp.message));
+  GVEX_RETURN_NOT_OK(ReadField(&in, "support", &resp.support));
+  GVEX_RETURN_NOT_OK(ReadField(&in, "predicted", &resp.predicted));
+  size_t n = 0;
+  GVEX_RETURN_NOT_OK(ReadField(&in, "probs", &n));
+  if (n > kMaxFrameBytes) return Status::IoError("probs count exceeds cap");
+  resp.probabilities.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(in >> resp.probabilities[i])) {
+      return Status::IoError("bad probability value");
+    }
+  }
+  GVEX_RETURN_NOT_OK(ReadField(&in, "indices", &n));
+  if (n > kMaxFrameBytes) return Status::IoError("indices count exceeds cap");
+  resp.indices.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(in >> resp.indices[i])) return Status::IoError("bad index value");
+  }
+  GVEX_RETURN_NOT_OK(ReadField(&in, "hits", &n));
+  if (n > kMaxFrameBytes) return Status::IoError("hits count exceeds cap");
+  resp.hits.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(in >> resp.hits[i].graph_index >> resp.hits[i].embeddings)) {
+      return Status::IoError("bad hit row");
+    }
+  }
+  GVEX_RETURN_NOT_OK(ReadField(&in, "patterns", &n));
+  if (n > kMaxFrameBytes) return Status::IoError("patterns count exceeds cap");
+  resp.patterns.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    GVEX_ASSIGN_OR_RETURN(Graph p, ReadGraph(&in));
+    resp.patterns.push_back(std::move(p));
+  }
+  GVEX_RETURN_NOT_OK(ReadBlob(&in, "text", &resp.text));
+  GVEX_RETURN_NOT_OK(ExpectWord(&in, "end"));
+  return resp;
+}
+
+std::string FrameMessage(const std::string& body) {
+  const uint32_t len = static_cast<uint32_t>(body.size());
+  const uint32_t crc = Crc32(body);
+  std::string out;
+  out.reserve(8 + body.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+  }
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
+  }
+  out += body;
+  return out;
+}
+
+Result<uint32_t> ParseFrameHeader(const char header[8], uint32_t* crc_out) {
+  uint32_t len = 0, crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<unsigned char>(header[i]))
+           << (8 * i);
+    crc |= static_cast<uint32_t>(static_cast<unsigned char>(header[4 + i]))
+           << (8 * i);
+  }
+  if (len > kMaxFrameBytes) {
+    return Status::IoError("frame length " + std::to_string(len) +
+                           " exceeds cap");
+  }
+  if (crc_out != nullptr) *crc_out = crc;
+  return len;
+}
+
+Status VerifyFrameBody(const std::string& body, uint32_t expected_crc) {
+  const uint32_t got = Crc32(body);
+  if (got != expected_crc) {
+    return Status::IoError("frame checksum mismatch (corrupt message)");
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace gvex

@@ -1,0 +1,117 @@
+// gvex::serve wire protocol — the typed request/response model of the
+// explanation-serving tier and its length-prefixed binary framing.
+//
+// A message on the wire is one frame:
+//
+//   u32 body_length (little-endian)   | <= kMaxFrameBytes
+//   u32 crc32(body) (little-endian)   | zlib/IEEE polynomial (checksum.h)
+//   body bytes                        | text payload, see below
+//
+// The body is a line-oriented text record ("gvexserve-v1 req" /
+// "gvexserve-v1 resp" magic, one key per line, graphs embedded with the
+// existing gvexgraph-v1 writer, free-form strings length-prefixed, "end"
+// terminator). Text inside binary framing keeps the protocol debuggable
+// (`xxd` shows the full request) while the length prefix + CRC give exact
+// message boundaries and corruption detection — the same engineering
+// trade the v2 on-disk formats make (DESIGN.md §6).
+//
+// Full field reference: docs/SERVING.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gvex/common/result.h"
+#include "gvex/graph/graph.h"
+#include "gvex/matching/vf2.h"
+
+namespace gvex {
+namespace serve {
+
+/// Frame bodies larger than this are rejected before allocation (a
+/// corrupt length prefix must not OOM the server).
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// The five paper-level query endpoints plus admin verbs.
+enum class RequestType : uint8_t {
+  kPing = 0,                   ///< liveness; echoes `text`
+  kSupport = 1,                ///< |subgraphs of view(label) containing pattern|
+  kSubgraphsContaining = 2,    ///< indices of those subgraphs
+  kFindHits = 3,               ///< (graph_index, embedding count) rows
+  kDiscriminativePatterns = 4, ///< patterns of view(label) absent from view(against)
+  kClassifyExplain = 5,        ///< classify an ad-hoc graph, return matching patterns
+  kStats = 6,                  ///< server/obs snapshot as JSON text
+  kShutdown = 7,               ///< stop the socket server (drains in-flight work)
+};
+
+const char* RequestTypeName(RequestType type);
+
+/// \brief One explanation query.
+///
+/// `graph` carries the pattern (kSupport / kSubgraphsContaining /
+/// kFindHits: a pattern is matched into the view's explanation subgraphs)
+/// or the ad-hoc input graph (kClassifyExplain: features required).
+struct Request {
+  RequestType type = RequestType::kPing;
+  uint64_t id = 0;             ///< client-chosen correlation id, echoed back
+  ClassLabel label = -1;       ///< selects the view
+  ClassLabel against = -1;     ///< kDiscriminativePatterns: the contrast view
+  MatchSemantics semantics = MatchSemantics::kSubgraph;
+  uint32_t deadline_ms = 0;    ///< 0 = server default (which may be "none")
+  uint32_t max_embeddings = 64;  ///< kFindHits per-graph cap
+  bool has_graph = false;
+  Graph graph;
+  std::string text;            ///< kPing payload
+};
+
+/// \brief One response. `code != kOk` means the request failed; only
+/// `id`, `code`, and `message` are meaningful then.
+struct Response {
+  uint64_t id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  uint64_t support = 0;              // kSupport
+  std::vector<uint64_t> indices;     // kSubgraphsContaining; pattern idx for
+                                     // kClassifyExplain
+  struct Hit {
+    uint64_t graph_index = 0;
+    uint64_t embeddings = 0;
+    bool operator==(const Hit&) const = default;
+  };
+  std::vector<Hit> hits;             // kFindHits
+  std::vector<Graph> patterns;       // kDiscriminativePatterns
+  ClassLabel predicted = -1;         // kClassifyExplain
+  std::vector<float> probabilities;  // kClassifyExplain
+  std::string text;                  // kPing / kStats
+
+  bool ok() const { return code == StatusCode::kOk; }
+  Status ToStatus() const {
+    return ok() ? Status::OK() : Status(code, message);
+  }
+};
+
+// ---- body codecs ------------------------------------------------------------
+
+std::string EncodeRequestBody(const Request& req);
+Result<Request> DecodeRequestBody(const std::string& body);
+
+std::string EncodeResponseBody(const Response& resp);
+Result<Response> DecodeResponseBody(const std::string& body);
+
+// ---- framing ----------------------------------------------------------------
+
+/// Prepend the length/CRC header to a body.
+std::string FrameMessage(const std::string& body);
+
+/// Parse the 8-byte frame header; returns the body length after
+/// validating it against kMaxFrameBytes. `crc_out` receives the expected
+/// body CRC for verification once the body has been read.
+Result<uint32_t> ParseFrameHeader(const char header[8], uint32_t* crc_out);
+
+/// Verify a fully-read body against the header CRC.
+Status VerifyFrameBody(const std::string& body, uint32_t expected_crc);
+
+}  // namespace serve
+}  // namespace gvex

@@ -1,0 +1,479 @@
+#include "gvex/serve/server.h"
+
+#include <algorithm>
+#include <condition_variable>
+
+#include "gvex/common/failpoint.h"
+#include "gvex/explain/query.h"
+#include "gvex/matching/match_cache.h"
+#include "gvex/obs/json.h"
+#include "gvex/obs/obs.h"
+
+namespace gvex {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Response ErrorResponse(const Request& req, const Status& st) {
+  Response resp;
+  resp.id = req.id;
+  resp.code = st.code();
+  resp.message = st.message();
+  return resp;
+}
+
+bool IsPatternQuery(RequestType type) {
+  return type == RequestType::kSupport ||
+         type == RequestType::kSubgraphsContaining ||
+         type == RequestType::kFindHits;
+}
+
+bool HasPair(const Graph& pattern, const Graph& target,
+             const MatchOptions& options, bool use_cache) {
+  if (use_cache) {
+    return MatchCache::Global().HasMatch(pattern, target, options);
+  }
+  return Vf2Matcher::HasMatch(pattern, target, options);
+}
+
+/// Per-endpoint latency histograms, resolved once (registry references
+/// are stable for the process lifetime).
+obs::Histogram& EndpointHistogram(RequestType type) {
+  static obs::Histogram* hists[] = {
+      &obs::Registry::Global().GetHistogram("serve.exec_ping_us"),
+      &obs::Registry::Global().GetHistogram("serve.exec_support_us"),
+      &obs::Registry::Global().GetHistogram("serve.exec_contains_us"),
+      &obs::Registry::Global().GetHistogram("serve.exec_hits_us"),
+      &obs::Registry::Global().GetHistogram("serve.exec_discriminative_us"),
+      &obs::Registry::Global().GetHistogram("serve.exec_classify_us"),
+      &obs::Registry::Global().GetHistogram("serve.exec_stats_us"),
+      &obs::Registry::Global().GetHistogram("serve.exec_shutdown_us"),
+  };
+  return *hists[static_cast<size_t>(type)];
+}
+
+}  // namespace
+
+// ---- DeadlineMonitor --------------------------------------------------------
+
+void ExplanationServer::DeadlineMonitor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ExplanationServer::DeadlineMonitor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+  entries_.clear();
+}
+
+void ExplanationServer::DeadlineMonitor::Watch(
+    std::shared_ptr<CancellationToken> token, Clock::time_point deadline) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.emplace_back(deadline, std::move(token));
+  }
+  cv_.notify_all();
+}
+
+void ExplanationServer::DeadlineMonitor::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    const Clock::time_point now = Clock::now();
+    Clock::time_point next = now + std::chrono::seconds(1);
+    // Fire expired tokens, find the earliest pending deadline.
+    size_t kept = 0;
+    for (auto& entry : entries_) {
+      if (entry.first <= now) {
+        entry.second->RequestCancel(
+            Status::Timeout("request deadline expired"));
+        continue;  // dropped
+      }
+      next = std::min(next, entry.first);
+      entries_[kept++] = std::move(entry);
+    }
+    entries_.resize(kept);
+    cv_.wait_until(lock, next);
+  }
+}
+
+// ---- ExplanationServer ------------------------------------------------------
+
+ExplanationServer::ExplanationServer(ViewRegistry* registry,
+                                     ServerOptions options)
+    : registry_(registry), options_(options) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  if (options_.max_queue == 0) options_.max_queue = 1;
+  if (options_.batch_max == 0) options_.batch_max = 1;
+}
+
+ExplanationServer::~ExplanationServer() { Stop(); }
+
+Status ExplanationServer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return Status::OK();
+  started_ = true;
+  stopping_ = false;
+  queue_peak_ = 0;
+  monitor_.Start();
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void ExplanationServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  monitor_.Stop();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+std::future<Response> ExplanationServer::Submit(Request req) {
+  GVEX_COUNTER_INC("serve.requests");
+  auto item = std::make_unique<Item>();
+  item->req = std::move(req);
+  item->cancel = std::make_shared<CancellationToken>();
+  item->enqueue_us = obs::NowMicros();
+  std::future<Response> future = item->promise.get_future();
+
+  // Injectable admission failure (tests arm error(overloaded) here to
+  // exercise the shed path without real pressure).
+  if (failpoint::AnyArmed()) {
+    Status injected = failpoint::Check("serve.admit");
+    if (!injected.ok()) {
+      if (injected.IsOverloaded()) GVEX_COUNTER_INC("serve.shed");
+      item->promise.set_value(ErrorResponse(item->req, injected));
+      return future;
+    }
+  }
+
+  const uint32_t deadline_ms = item->req.deadline_ms != 0
+                                   ? item->req.deadline_ms
+                                   : options_.default_deadline_ms;
+  if (deadline_ms != 0) {
+    item->has_deadline = true;
+    item->deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  }
+
+  std::shared_ptr<CancellationToken> token_to_watch;
+  Clock::time_point watch_deadline{};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) {
+      item->promise.set_value(ErrorResponse(
+          item->req, Status::FailedPrecondition("server is not running")));
+      return future;
+    }
+    if (queue_.size() >= options_.max_queue) {
+      GVEX_COUNTER_INC("serve.shed");
+      item->promise.set_value(ErrorResponse(
+          item->req,
+          Status::Overloaded("request queue full (" +
+                             std::to_string(options_.max_queue) +
+                             " deep); retry later")));
+      return future;
+    }
+    if (item->has_deadline) {
+      token_to_watch = item->cancel;
+      watch_deadline = item->deadline;
+    }
+    queue_.push_back(std::move(item));
+    queue_peak_ = std::max(queue_peak_, queue_.size());
+  }
+  if (token_to_watch != nullptr) {
+    monitor_.Watch(std::move(token_to_watch), watch_deadline);
+  }
+  cv_.notify_one();
+  return future;
+}
+
+Response ExplanationServer::Call(const Request& req) {
+  return Submit(req).get();
+}
+
+size_t ExplanationServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t ExplanationServer::queue_peak() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_peak_;
+}
+
+std::vector<std::unique_ptr<ExplanationServer::Item>>
+ExplanationServer::TakeBatchLocked() {
+  std::vector<std::unique_ptr<Item>> batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  const Request& head = batch.front()->req;
+  if (!IsPatternQuery(head.type) || options_.batch_max <= 1) return batch;
+  // Greedily claim queued pattern queries against the same view (same
+  // label, same match semantics): one snapshot pin + view resolution
+  // serves the whole batch, and consecutive matches against the same
+  // subgraphs reuse warm cache shards.
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < options_.batch_max;) {
+    const Request& r = (*it)->req;
+    if (IsPatternQuery(r.type) && r.label == head.label &&
+        r.semantics == head.semantics) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+void ExplanationServer::WorkerLoop() {
+  for (;;) {
+    std::vector<std::unique_ptr<Item>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      batch = TakeBatchLocked();
+    }
+    if (batch.size() > 1) {
+      GVEX_COUNTER_INC("serve.batches");
+      GVEX_COUNTER_ADD("serve.batched_requests", batch.size());
+      GVEX_HISTOGRAM_RECORD("serve.batch_size", batch.size());
+    }
+    auto snap = registry_->Snapshot();  // one pin per batch
+    for (auto& item : batch) {
+      Process(item.get(), snap.get());
+    }
+  }
+}
+
+void ExplanationServer::Process(Item* item, const LoadedViewSet* snap) {
+  GVEX_HISTOGRAM_RECORD("serve.queue_wait_us",
+                        obs::NowMicros() - item->enqueue_us);
+  // Requests that expired while queued are dropped without paying for
+  // execution — under overload this is what keeps goodput from
+  // collapsing to zero.
+  if (item->has_deadline && Clock::now() >= item->deadline) {
+    GVEX_COUNTER_INC("serve.deadline_miss");
+    GVEX_COUNTER_INC("serve.responses_error");
+    item->promise.set_value(ErrorResponse(
+        item->req, Status::Timeout("deadline expired while queued")));
+    return;
+  }
+  Response resp;
+  {
+    obs::LatencyTimer timer(&EndpointHistogram(item->req.type));
+    resp = Execute(item->req, snap, item->cancel.get());
+  }
+  if (resp.ok() && item->cancel->cancelled()) {
+    GVEX_COUNTER_INC("serve.deadline_miss");
+    Status cause = item->cancel->cause();
+    resp = ErrorResponse(item->req, cause.ok()
+                                        ? Status::Timeout("request cancelled")
+                                        : cause);
+  }
+  if (resp.ok()) {
+    GVEX_COUNTER_INC("serve.responses_ok");
+  } else {
+    GVEX_COUNTER_INC("serve.responses_error");
+  }
+  item->promise.set_value(std::move(resp));
+}
+
+Response ExplanationServer::Execute(const Request& req,
+                                    const LoadedViewSet* snap,
+                                    const CancellationToken* cancel) const {
+  Response resp;
+  resp.id = req.id;
+
+  // Injectable execution failure + service-time model (see header).
+  if (failpoint::AnyArmed()) {
+    Status injected = failpoint::Check("serve.exec");
+    if (!injected.ok()) return ErrorResponse(req, injected);
+  }
+  GVEX_FAILPOINT_NOTIFY("serve.exec_delay");
+
+  switch (req.type) {
+    case RequestType::kPing:
+      resp.text = req.text.empty() ? "pong" : req.text;
+      return resp;
+    case RequestType::kStats:
+      resp.text = StatsJson();
+      return resp;
+    case RequestType::kShutdown:
+      // The transport layer (socket server / CLI) owns lifecycle; here
+      // the request only acknowledges.
+      resp.text = "shutting down";
+      return resp;
+    default:
+      break;
+  }
+
+  if (snap == nullptr) {
+    return ErrorResponse(req,
+                         Status::FailedPrecondition("no views loaded"));
+  }
+  MatchOptions match_options;
+  match_options.semantics = req.semantics;
+  ViewQuery query(match_options, options_.use_match_cache);
+
+  if (req.type == RequestType::kClassifyExplain) {
+    if (snap->model == nullptr) {
+      return ErrorResponse(
+          req, Status::FailedPrecondition(
+                   "classify-and-explain needs a model (serve --model)"));
+    }
+    if (!req.has_graph || req.graph.empty()) {
+      return ErrorResponse(
+          req, Status::InvalidArgument("classify needs a non-empty graph"));
+    }
+    if (!req.graph.has_features() ||
+        req.graph.feature_dim() != snap->model->config().input_dim) {
+      return ErrorResponse(
+          req, Status::InvalidArgument(
+                   "graph features missing or wrong dimension (model wants " +
+                   std::to_string(snap->model->config().input_dim) + ")"));
+    }
+    resp.predicted = snap->model->Predict(req.graph);
+    resp.probabilities = snap->model->PredictProba(req.graph);
+    if (const ExplanationView* view = snap->ForLabel(resp.predicted)) {
+      for (size_t i = 0; i < view->patterns.size(); ++i) {
+        if (cancel != nullptr && cancel->cancelled()) break;
+        if (HasPair(view->patterns[i], req.graph, match_options,
+                    options_.use_match_cache)) {
+          resp.indices.push_back(i);
+          resp.patterns.push_back(view->patterns[i]);
+        }
+      }
+    }
+    if (cancel != nullptr && cancel->cancelled()) {
+      return ErrorResponse(req, Status::Timeout("deadline expired mid-query"));
+    }
+    return resp;
+  }
+
+  const ExplanationView* view = snap->ForLabel(req.label);
+  if (view == nullptr) {
+    return ErrorResponse(req, Status::NotFound("no view for label " +
+                                               std::to_string(req.label)));
+  }
+
+  if (req.type == RequestType::kDiscriminativePatterns) {
+    const ExplanationView* against = snap->ForLabel(req.against);
+    if (against == nullptr) {
+      return ErrorResponse(req,
+                           Status::NotFound("no view for against-label " +
+                                            std::to_string(req.against)));
+    }
+    resp.patterns = query.DiscriminativePatterns(*view, *against, cancel);
+  } else {
+    if (!req.has_graph || req.graph.empty()) {
+      return ErrorResponse(
+          req, Status::InvalidArgument("pattern query needs a pattern graph"));
+    }
+    switch (req.type) {
+      case RequestType::kSupport:
+        resp.support = query.Support(*view, req.graph, cancel);
+        break;
+      case RequestType::kSubgraphsContaining: {
+        std::vector<size_t> indices =
+            query.SubgraphsContaining(*view, req.graph, cancel);
+        resp.indices.assign(indices.begin(), indices.end());
+        resp.support = resp.indices.size();
+        break;
+      }
+      case RequestType::kFindHits: {
+        std::vector<ViewQuery::Hit> hits =
+            query.FindHits(*view, req.graph, req.max_embeddings, cancel);
+        resp.hits.reserve(hits.size());
+        for (const auto& h : hits) {
+          resp.hits.push_back({h.graph_index, h.embeddings});
+        }
+        break;
+      }
+      default:
+        return ErrorResponse(
+            req, Status::Unimplemented("unhandled request type"));
+    }
+  }
+  if (cancel != nullptr && cancel->cancelled()) {
+    return ErrorResponse(req, Status::Timeout("deadline expired mid-query"));
+  }
+  return resp;
+}
+
+std::string ExplanationServer::StatsJson() const {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("generation");
+  json.Uint(registry_ == nullptr ? 0 : registry_->generation());
+  json.Key("workers");
+  json.Uint(options_.num_workers);
+  json.Key("max_queue");
+  json.Uint(options_.max_queue);
+  json.Key("batch_max");
+  json.Uint(options_.batch_max);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    json.Key("queue_depth");
+    json.Uint(queue_.size());
+    json.Key("queue_peak");
+    json.Uint(queue_peak_);
+  }
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& c : obs::Registry::Global().Counters()) {
+    if (c.name.rfind("serve.", 0) != 0) continue;
+    json.Key(c.name);
+    json.Uint(c.value);
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& h : obs::Registry::Global().Histograms()) {
+    if (h.name.rfind("serve.", 0) != 0) continue;
+    json.Key(h.name);
+    json.BeginObject();
+    json.Key("count");
+    json.Uint(h.count);
+    json.Key("mean");
+    json.Double(h.Mean());
+    json.Key("p50");
+    json.Uint(h.Quantile(0.5));
+    json.Key("p99");
+    json.Uint(h.Quantile(0.99));
+    json.Key("max");
+    json.Uint(h.max);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return std::move(json).Take();
+}
+
+}  // namespace serve
+}  // namespace gvex

@@ -1,0 +1,170 @@
+// ExplanationServer — the concurrent query engine of the serving tier.
+//
+// Requests enter through an admission-controlled bounded queue: when the
+// queue is full the request is shed immediately with kOverloaded instead
+// of queuing unboundedly (load shedding beats collapse; the bench's
+// overload run pins this). Admitted requests are dispatched to a fixed
+// set of worker threads; a worker drains up to `batch_max` queued
+// pattern queries against the same view in one claim (micro-batching:
+// one registry snapshot pin and one view resolution per batch, and
+// consecutive same-view matches reuse warm MatchCache shards). Inner
+// per-request work (VF2 kernels, coverage) still lands on the shared
+// ThreadPool via the existing hot paths, so request-level and
+// operator-level parallelism compose (DESIGN.md §8).
+//
+// Deadlines ride the existing CancellationToken: each admitted request
+// with a deadline registers its token with a monitor thread that flips
+// it at expiry; ViewQuery checks the token between per-subgraph matches,
+// the worker maps a flipped token to kTimeout, and requests that expire
+// while still queued are dropped in O(1) at dispatch
+// ("serve.deadline_miss").
+//
+// Failpoints: "serve.admit" (injects admission failure, e.g.
+// error(overloaded)), "serve.exec" (injects execution failure),
+// "serve.exec_delay" (delay(<ms>): per-request service time — used by
+// the deadline tests and as the load-generator service-time model).
+//
+// Obs: "serve.*" counters (requests, shed, deadline_miss, batches,
+// batched_requests, responses_ok, responses_error) and histograms
+// (queue_wait_us, batch_size, exec_<endpoint>_us). StatsJson() — also
+// reachable over the wire as RequestType::kStats — dumps them with the
+// registry generation and queue state.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gvex/common/cancellation.h"
+#include "gvex/serve/protocol.h"
+#include "gvex/serve/view_registry.h"
+
+namespace gvex {
+namespace serve {
+
+struct ServerOptions {
+  size_t num_workers = 4;
+  /// Admission bound: requests beyond this queue depth are shed with
+  /// kOverloaded.
+  size_t max_queue = 256;
+  /// Micro-batch cap: a worker drains up to this many same-view pattern
+  /// queries per claim (1 disables batching).
+  size_t batch_max = 8;
+  /// Applied when a request carries no deadline (0 = none).
+  uint32_t default_deadline_ms = 0;
+  /// Route matches through the shared MatchCache (default). The serving
+  /// bench disables this so every request performs real matching work.
+  bool use_match_cache = true;
+};
+
+class ExplanationServer {
+ public:
+  explicit ExplanationServer(ViewRegistry* registry,
+                             ServerOptions options = {});
+  ~ExplanationServer();
+
+  ExplanationServer(const ExplanationServer&) = delete;
+  ExplanationServer& operator=(const ExplanationServer&) = delete;
+
+  /// Spawn the worker and deadline-monitor threads. Idempotent.
+  Status Start();
+
+  /// Drain the queue, join every thread. New submissions are rejected
+  /// with kFailedPrecondition once stopping. Idempotent.
+  void Stop();
+
+  /// Admission point. Returns a future that is already satisfied when
+  /// the request is shed (kOverloaded) or rejected; otherwise it
+  /// resolves when a worker completes the request.
+  std::future<Response> Submit(Request req);
+
+  /// Synchronous convenience wrapper around Submit.
+  Response Call(const Request& req);
+
+  const ServerOptions& options() const { return options_; }
+  ViewRegistry* registry() const { return registry_; }
+
+  size_t queue_depth() const;
+  /// High-watermark of the queue depth since Start — the overload bench
+  /// asserts this never exceeds max_queue.
+  size_t queue_peak() const;
+
+  /// The kStats payload: generation, queue state, and every "serve.*"
+  /// counter/histogram as a JSON object.
+  std::string StatsJson() const;
+
+ private:
+  struct Item {
+    Request req;
+    std::promise<Response> promise;
+    std::shared_ptr<CancellationToken> cancel;
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+    uint64_t enqueue_us = 0;
+  };
+
+  class DeadlineMonitor {
+   public:
+    void Start();
+    void Stop();
+    void Watch(std::shared_ptr<CancellationToken> token,
+               std::chrono::steady_clock::time_point deadline);
+
+   private:
+    void Loop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<std::pair<std::chrono::steady_clock::time_point,
+                          std::shared_ptr<CancellationToken>>>
+        entries_;
+    std::thread thread_;
+    bool stopping_ = false;
+    bool started_ = false;
+  };
+
+  void WorkerLoop();
+  std::vector<std::unique_ptr<Item>> TakeBatchLocked();
+  void Process(Item* item, const LoadedViewSet* snap);
+  Response Execute(const Request& req, const LoadedViewSet* snap,
+                   const CancellationToken* cancel) const;
+
+  ViewRegistry* registry_;
+  ServerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Item>> queue_;
+  size_t queue_peak_ = 0;
+  bool started_ = false;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+  DeadlineMonitor monitor_;
+};
+
+/// \brief In-process client handle: the same request/response contract as
+/// the socket path, minus the wire. Tests and the load generator use it
+/// to drive a server without networking.
+class ServeHandle {
+ public:
+  explicit ServeHandle(ExplanationServer* server) : server_(server) {}
+
+  Response Call(const Request& req) { return server_->Call(req); }
+  std::future<Response> CallAsync(Request req) {
+    return server_->Submit(std::move(req));
+  }
+
+ private:
+  ExplanationServer* server_;
+};
+
+}  // namespace serve
+}  // namespace gvex

@@ -1,0 +1,126 @@
+#include "gvex/serve/view_registry.h"
+
+#include <set>
+#include <utility>
+
+#include "gvex/common/failpoint.h"
+#include "gvex/explain/view_io.h"
+#include "gvex/gnn/serialize.h"
+#include "gvex/matching/match_cache.h"
+#include "gvex/obs/obs.h"
+
+namespace gvex {
+namespace serve {
+
+Status ViewRegistry::Validate(const ExplanationViewSet& set) {
+  if (set.views.empty()) {
+    return Status::InvalidArgument("view set has no views");
+  }
+  std::set<ClassLabel> labels;
+  for (const auto& view : set.views) {
+    if (!labels.insert(view.label).second) {
+      return Status::InvalidArgument("duplicate view for label " +
+                                     std::to_string(view.label));
+    }
+    if (view.patterns.empty() && !view.subgraphs.empty()) {
+      return Status::InvalidArgument(
+          "view for label " + std::to_string(view.label) +
+          " has subgraphs but no pattern tier");
+    }
+    for (const auto& sub : view.subgraphs) {
+      if (sub.nodes.size() != sub.subgraph.num_nodes()) {
+        return Status::InvalidArgument(
+            "view for label " + std::to_string(view.label) + ": subgraph of " +
+            "graph " + std::to_string(sub.graph_index) +
+            " disagrees with its node list");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ViewRegistry::Publish(ExplanationViewSet views, std::string source_path,
+                             std::shared_ptr<const GcnClassifier> model) {
+  GVEX_RETURN_NOT_OK(Validate(views));
+  auto next = std::make_shared<LoadedViewSet>();
+  next->views = std::move(views);
+  next->source_path = std::move(source_path);
+  next->model = std::move(model);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    next->generation = next_generation_++;
+    current_ = std::move(next);  // atomic swap: readers see old or new
+  }
+  GVEX_COUNTER_INC("serve.registry_swaps");
+  return Status::OK();
+}
+
+Status ViewRegistry::LoadViews(const std::string& path) {
+  GVEX_FAILPOINT_RETURN("serve.registry_load");
+  GVEX_ASSIGN_OR_RETURN(ExplanationViewSet set, LoadViewSet(path));
+  // Carry the current model forward so a view refresh does not drop the
+  // classifier half of the snapshot.
+  std::shared_ptr<const GcnClassifier> model;
+  if (auto snap = Snapshot()) model = snap->model;
+  return Publish(std::move(set), path, std::move(model));
+}
+
+Status ViewRegistry::LoadModel(const std::string& path) {
+  GVEX_FAILPOINT_RETURN("serve.registry_load");
+  GVEX_ASSIGN_OR_RETURN(GcnClassifier model, GcnSerializer::Load(path));
+  auto snap = Snapshot();
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("load views before the model");
+  }
+  return Publish(snap->views, snap->source_path,
+                 std::make_shared<const GcnClassifier>(std::move(model)));
+}
+
+Status ViewRegistry::InstallViews(ExplanationViewSet set) {
+  std::shared_ptr<const GcnClassifier> model;
+  if (auto snap = Snapshot()) model = snap->model;
+  return Publish(std::move(set), "", std::move(model));
+}
+
+void ViewRegistry::InstallModel(std::shared_ptr<const GcnClassifier> model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto next = std::make_shared<LoadedViewSet>();
+  if (current_ != nullptr) {
+    next->views = current_->views;
+    next->source_path = current_->source_path;
+  }
+  next->model = std::move(model);
+  next->generation = next_generation_++;
+  current_ = std::move(next);
+}
+
+std::shared_ptr<const LoadedViewSet> ViewRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t ViewRegistry::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? 0 : current_->generation;
+}
+
+size_t ViewRegistry::WarmMatchCache() const {
+  auto snap = Snapshot();
+  if (snap == nullptr) return 0;
+  MatchOptions options;
+  options.semantics = MatchSemantics::kSubgraph;
+  size_t touched = 0;
+  for (const auto& view : snap->views.views) {
+    for (const Graph& pattern : view.patterns) {
+      for (const auto& sub : view.subgraphs) {
+        (void)MatchCache::Global().HasMatch(pattern, sub.subgraph, options);
+        ++touched;
+      }
+    }
+  }
+  GVEX_COUNTER_ADD("serve.warm_pairs", touched);
+  return touched;
+}
+
+}  // namespace serve
+}  // namespace gvex

@@ -1,0 +1,80 @@
+// ViewRegistry — the read side of the serving tier: immutable, validated
+// snapshots of (explanation view set, optional classifier) with atomic
+// generation hot-swap.
+//
+// A snapshot is built and validated completely off to the side and only
+// then published under the registry lock, so readers either see the old
+// generation or the new one — never partial state. A failed load (corrupt
+// file, validation error, armed "serve.registry_load" failpoint) leaves
+// the current generation untouched. Workers pin a snapshot with one
+// shared_ptr copy per request batch; a superseded generation stays alive
+// until its last in-flight request drops it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "gvex/common/result.h"
+#include "gvex/explain/view.h"
+#include "gvex/gnn/model.h"
+
+namespace gvex {
+namespace serve {
+
+/// \brief One published generation: views plus the optional model that
+/// classify-and-explain requests need.
+struct LoadedViewSet {
+  uint64_t generation = 0;
+  std::string source_path;  ///< empty for in-process installs
+  ExplanationViewSet views;
+  std::shared_ptr<const GcnClassifier> model;  ///< may be null
+
+  const ExplanationView* ForLabel(ClassLabel label) const {
+    return views.ForLabel(label);
+  }
+};
+
+class ViewRegistry {
+ public:
+  /// Load a v2/v1 view file, validate it, and publish it as the next
+  /// generation. The previous generation (if any) remains published on
+  /// failure. Failpoint: "serve.registry_load".
+  Status LoadViews(const std::string& path);
+
+  /// Load the classifier used by kClassifyExplain. Publishes a new
+  /// generation carrying the current views plus this model.
+  Status LoadModel(const std::string& path);
+
+  /// In-process installs (tests, benches): same validation + swap path,
+  /// no disk involved.
+  Status InstallViews(ExplanationViewSet set);
+  void InstallModel(std::shared_ptr<const GcnClassifier> model);
+
+  /// Current published generation (null until the first successful load).
+  std::shared_ptr<const LoadedViewSet> Snapshot() const;
+
+  uint64_t generation() const;
+
+  /// Pre-touch the shared MatchCache with every (pattern, subgraph) pair
+  /// of every view, so the first real queries hit warm shards instead of
+  /// paying the cold VF2 searches. Returns the number of pairs touched.
+  size_t WarmMatchCache() const;
+
+  /// Reject view sets that cannot serve queries: duplicate labels,
+  /// subgraphs whose node list disagrees with the stored induced
+  /// subgraph, or empty pattern tiers alongside non-empty subgraph tiers.
+  static Status Validate(const ExplanationViewSet& set);
+
+ private:
+  Status Publish(ExplanationViewSet views, std::string source_path,
+                 std::shared_ptr<const GcnClassifier> model);
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const LoadedViewSet> current_;
+  uint64_t next_generation_ = 1;
+};
+
+}  // namespace serve
+}  // namespace gvex

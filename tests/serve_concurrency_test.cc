@@ -1,0 +1,179 @@
+// Concurrency soak for the serving read path: many threads hammering
+// ViewQuery through the shared MatchCache (and through the full server)
+// must produce exactly the answers a single-threaded pass produces.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "gvex/datasets/datasets.h"
+#include "gvex/explain/approx_gvex.h"
+#include "gvex/explain/query.h"
+#include "gvex/matching/match_cache.h"
+#include "gvex/serve/server.h"
+#include "gvex/serve/view_registry.h"
+#include "tests/test_util.h"
+
+namespace gvex {
+namespace serve {
+namespace {
+
+using testutil::MutagenicityContext;
+
+struct ConcurrencyFixture {
+  ExplanationViewSet set;
+  std::vector<Graph> patterns;  // query pool: nitro + every view pattern
+};
+
+const ConcurrencyFixture& Fixture() {
+  static const ConcurrencyFixture* fx = [] {
+    const auto& ctx = MutagenicityContext();
+    Configuration config;
+    config.theta = 0.08f;
+    config.default_coverage = {0, 12};
+    ApproxGvex solver(&ctx.model, config);
+    auto* out = new ConcurrencyFixture;
+    for (ClassLabel label : {0, 1}) {
+      auto view = solver.ExplainLabel(ctx.db, ctx.assigned, label);
+      EXPECT_TRUE(view.ok());
+      out->set.views.push_back(std::move(*view));
+    }
+    out->patterns.push_back(datasets::NitroGroupPattern());
+    for (const auto& view : out->set.views) {
+      for (const Graph& p : view.patterns) out->patterns.push_back(p);
+    }
+    return out;
+  }();
+  return *fx;
+}
+
+struct Answer {
+  size_t support = 0;
+  std::vector<size_t> indices;
+  size_t hit_rows = 0;
+};
+
+Answer Ask(ViewQuery* query, const ExplanationView& view,
+           const Graph& pattern) {
+  Answer a;
+  a.support = query->Support(view, pattern);
+  a.indices = query->SubgraphsContaining(view, pattern);
+  a.hit_rows = query->FindHits(view, pattern, 4).size();
+  return a;
+}
+
+// Every (view, pattern) pair answered single-threaded first; then N
+// threads re-ask all pairs in different interleavings through the shared
+// cache and must reproduce the reference exactly.
+TEST(ServeConcurrencyTest, SharedMatchCacheAnswersAreStable) {
+  const ConcurrencyFixture& fx = Fixture();
+  MatchOptions loose;
+  loose.semantics = MatchSemantics::kSubgraph;
+  ViewQuery reference_query(loose);
+  std::vector<Answer> reference;
+  for (const auto& view : fx.set.views) {
+    for (const Graph& p : fx.patterns) {
+      reference.push_back(Ask(&reference_query, view, p));
+    }
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 3;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ViewQuery query(loose);  // own instance, shared global cache
+      for (int round = 0; round < kRounds; ++round) {
+        size_t slot = 0;
+        for (const auto& view : fx.set.views) {
+          for (size_t pi = 0; pi < fx.patterns.size(); ++pi, ++slot) {
+            // Stagger starting points so threads touch different shards
+            // simultaneously.
+            const size_t idx =
+                (pi + static_cast<size_t>(t)) % fx.patterns.size();
+            Answer got = Ask(&query, view, fx.patterns[idx]);
+            const size_t ref_slot = slot - pi + idx;
+            const Answer& want = reference[ref_slot];
+            if (got.support != want.support || got.indices != want.indices ||
+                got.hit_rows != want.hit_rows) {
+              mismatches.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// The same invariant through the whole server stack: concurrent clients,
+// 4 workers, micro-batching on — answers must equal the single-threaded
+// ViewQuery reference.
+TEST(ServeConcurrencyTest, ServerUnderConcurrentLoadMatchesReference) {
+  const ConcurrencyFixture& fx = Fixture();
+  MatchOptions loose;
+  loose.semantics = MatchSemantics::kSubgraph;
+  ViewQuery direct(loose);
+  const Graph nitro = datasets::NitroGroupPattern();
+  const ExplanationView* mutagen = fx.set.ForLabel(1);
+  ASSERT_NE(mutagen, nullptr);
+  const size_t want_support = direct.Support(*mutagen, nitro);
+  const std::vector<size_t> want_indices =
+      direct.SubgraphsContaining(*mutagen, nitro);
+
+  ViewRegistry registry;
+  ASSERT_TRUE(registry.InstallViews(fx.set).ok());
+  ServerOptions options;
+  options.num_workers = 4;
+  options.batch_max = 4;
+  ExplanationServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 20;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kPerClient; ++i) {
+        Request req;
+        req.type = (i % 2 == 0) ? RequestType::kSupport
+                                : RequestType::kSubgraphsContaining;
+        req.label = 1;
+        req.graph = nitro;
+        req.has_graph = true;
+        Response resp = server.Call(req);
+        if (!resp.ok()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        if (req.type == RequestType::kSupport) {
+          if (resp.support != want_support) mismatches.fetch_add(1);
+        } else {
+          if (resp.indices.size() != want_indices.size()) {
+            mismatches.fetch_add(1);
+            continue;
+          }
+          for (size_t k = 0; k < want_indices.size(); ++k) {
+            if (resp.indices[k] != want_indices[k]) {
+              mismatches.fetch_add(1);
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace gvex

@@ -3,6 +3,11 @@
 // baseline. Used by tools/run_benchmarks.sh as the regression gate.
 //
 //   bench_diff <baseline.json> <current.json> [tolerance]
+//   bench_diff --validate <report.json>...
+//
+// --validate parses each file and checks the gvex-bench-v1 shape (schema
+// tag plus a timings array) without comparing anything; the bench runner
+// uses it to fail fast on truncated or malformed reports.
 //
 // tolerance is the allowed relative drift (default 0.30 = +/-30%).
 // A timing is skipped when either side is below the absolute floor
@@ -37,9 +42,50 @@ const gvex::obs::JsonValue* FindTiming(const gvex::obs::JsonValue& report,
   return nullptr;
 }
 
+int ValidateReports(int count, char** paths) {
+  int bad = 0;
+  for (int i = 0; i < count; ++i) {
+    std::ifstream in(paths[i]);
+    if (!in.is_open()) {
+      std::fprintf(stderr, "%s: cannot open\n", paths[i]);
+      ++bad;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto value = gvex::obs::ParseJson(buf.str());
+    if (!value.ok()) {
+      std::fprintf(stderr, "%s: %s\n", paths[i],
+                   value.status().ToString().c_str());
+      ++bad;
+      continue;
+    }
+    const gvex::obs::JsonValue* schema = value->Find("schema");
+    if (schema == nullptr || schema->string_value != "gvex-bench-v1") {
+      std::fprintf(stderr, "%s: missing or unknown schema tag\n", paths[i]);
+      ++bad;
+      continue;
+    }
+    if (value->Find("timings") == nullptr) {
+      std::fprintf(stderr, "%s: no timings array\n", paths[i]);
+      ++bad;
+      continue;
+    }
+    std::printf("  ok %s\n", paths[i]);
+  }
+  return bad == 0 ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--validate") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: bench_diff --validate <report.json>...\n");
+      return 2;
+    }
+    return ValidateReports(argc - 2, argv + 2);
+  }
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: bench_diff <baseline.json> <current.json> "

@@ -48,10 +48,21 @@ export GVEX_BENCH_DIR="$RESULTS"
 # micro_kernels takes google-benchmark flags instead of a scale.
 run_bench() {
   local name="$1"; shift
+  local bin="./build/bench/bench_${name}"
+  if [[ ! -x "$bin" ]]; then
+    echo "bench binary missing: $bin (build failed or bench not compiled)" >&2
+    exit 1
+  fi
   echo "== bench_${name} $*"
-  ./build/bench/"bench_${name}" "$@" > "$RESULTS/bench_${name}.out"
+  "$bin" "$@" > "$RESULTS/bench_${name}.out"
   if [[ ! -f "$RESULTS/BENCH_${name}.json" ]]; then
     echo "bench_${name} did not write $RESULTS/BENCH_${name}.json" >&2
+    exit 1
+  fi
+  # A truncated/malformed report must fail the run, not silently pass the
+  # baseline diff (which skips unparseable files with exit 2 anyway).
+  if ! ./build/tools/bench_diff --validate "$RESULTS/BENCH_${name}.json"; then
+    echo "bench_${name} wrote an invalid report" >&2
     exit 1
   fi
 }
@@ -70,6 +81,7 @@ run_bench case_drug 0.15
 run_bench case_enzymes 0.15
 run_bench case_social 0.15
 run_bench micro_kernels --benchmark_min_time=0.05
+run_bench serve --scale 0.15 --seed 42 --ops 40 --delay-ms 10
 
 echo
 echo "reports collected in $RESULTS/:"

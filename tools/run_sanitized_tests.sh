@@ -19,3 +19,8 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" "$@"
+
+# The serving smoke (also registered as the `serve-smoke` ctest label)
+# exercises the socket server, worker pool, and deadline monitor; under
+# ASan/UBSan it doubles as a thread-lifecycle and use-after-free gate.
+tools/run_server_smoke.sh build-asan/tools/gvex_tool

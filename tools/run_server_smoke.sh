@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the serving subsystem (docs/SERVING.md): build a
+# small dataset/model/view pipeline with gvex_tool, start `gvex_tool
+# serve` on a Unix socket, round-trip every request type with `gvex_tool
+# client`, and diff each socket answer byte-for-byte against `client
+# --local` (the identical request engine run in-process). Two armed-
+# failpoint legs then check fault behavior over the wire: an injected
+# service delay must not change any byte of the answers, and an injected
+# admission failure must surface as a clean kOverloaded exit (code 12).
+#
+# Usage: tools/run_server_smoke.sh [path-to-gvex_tool]
+#   default tool: ./build/tools/gvex_tool
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TOOL="${1:-./build/tools/gvex_tool}"
+if [[ ! -x "$TOOL" ]]; then
+  echo "gvex_tool not found at $TOOL (build first)" >&2
+  exit 1
+fi
+TOOL="$(cd "$(dirname "$TOOL")" && pwd)/$(basename "$TOOL")"
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+cd "$WORK"
+
+fail() { echo "SMOKE FAILED: $*" >&2; exit 1; }
+
+echo "== pipeline: gen -> train -> explain"
+"$TOOL" gen --dataset MUT --scale 0.2 --seed 7 --out db.txt
+"$TOOL" train --db db.txt --out model.txt --epochs 40
+"$TOOL" explain --db db.txt --model model.txt --labels 0,1 --out views.txt
+
+# The planted NO2 toxicophore (README "Querying views").
+cat > pattern.txt <<'EOF'
+gvexgraph-v1
+meta 4 3 0 0
+n 0
+n 1
+n 2
+n 2
+e 0 1 0
+e 1 2 1
+e 1 3 1
+EOF
+
+SOCK="$WORK/gvex.sock"
+
+start_server() {  # start_server [extra serve flags...]
+  "$TOOL" serve --views views.txt --model model.txt --socket "$SOCK" \
+    "$@" > serve.log 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q "serving on" serve.log && return 0
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+  done
+  cat serve.log >&2
+  fail "server did not become ready"
+}
+
+stop_server() {
+  "$TOOL" client --socket "$SOCK" --type shutdown > /dev/null
+  wait "$SERVER_PID" || fail "server exited non-zero after shutdown"
+  SERVER_PID=""
+}
+
+# The five query types, as client argument lists.
+QUERIES=(
+  "--type support --label 1 --pattern pattern.txt"
+  "--type contains --label 1 --pattern pattern.txt"
+  "--type hits --label 1 --pattern pattern.txt --max-embeddings 5"
+  "--type discriminative --label 1 --against 0"
+  "--type classify --graph-db db.txt --graph-index 3"
+)
+
+check_queries() {  # check_queries <leg-name>
+  local leg="$1"
+  for q in "${QUERIES[@]}"; do
+    # shellcheck disable=SC2086
+    "$TOOL" client --socket "$SOCK" $q > socket.out
+    # shellcheck disable=SC2086
+    "$TOOL" client --local views.txt --model model.txt $q > local.out
+    if ! diff -u local.out socket.out > /dev/null; then
+      diff -u local.out socket.out >&2 || true
+      fail "$leg: socket answer differs from in-process answer for: $q"
+    fi
+  done
+  echo "   $leg: all ${#QUERIES[@]} query types byte-identical to --local"
+}
+
+echo "== serve + client round-trip (clean server)"
+start_server
+[[ "$("$TOOL" client --socket "$SOCK" --type ping)" == "pong" ]] \
+  || fail "ping did not answer pong"
+check_queries "clean"
+"$TOOL" client --socket "$SOCK" --type stats > stats.json
+grep -q '"generation"' stats.json || fail "stats dump missing generation"
+stop_server
+
+echo "== armed failpoint: injected service delay (answers must not change)"
+start_server --fail "serve.exec_delay=delay(30)"
+check_queries "delayed"
+stop_server
+
+echo "== armed failpoint: injected admission overload (clean exit 12)"
+start_server --fail "serve.admit=error(overloaded),limit(1)"
+set +e
+"$TOOL" client --socket "$SOCK" --type support --label 1 \
+  --pattern pattern.txt > /dev/null 2> overload.err
+rc=$?
+set -e
+[[ "$rc" -eq 12 ]] || fail "expected exit 12 (kOverloaded), got $rc"
+grep -qi "overloaded" overload.err || fail "stderr does not name the overload"
+# The failpoint was limit(1): the very next request must succeed.
+"$TOOL" client --socket "$SOCK" --type support --label 1 \
+  --pattern pattern.txt > /dev/null || fail "server unhealthy after shed"
+stop_server
+
+echo "server smoke PASSED"
