@@ -1,0 +1,303 @@
+// Cluster benchmark: the replication/serving additions measured end to
+// end (in-process servers + a loopback TCP primary, so the numbers track
+// the engine and the replication loop, not kernel socket throughput).
+// Three sections:
+//
+//   publish   — publish -> install latency: encode a gvexbundle-v1 and
+//               install it through the server's kInstall path (decode,
+//               fingerprint verify, atomic swap, MatchCache pre-warm),
+//               alternating two generations so every install is a real
+//               content change.
+//   catchup   — standby catch-up from an empty registry over loopback
+//               TCP, cold (warm_after_install off) vs warm, plus the
+//               first-query latency each standby then sees. The warm
+//               standby pays the warm-up during catch-up and answers its
+//               first query on hot MatchCache shards — the point of
+//               `--follow`.
+//   routes    — per-route throughput: closed-loop pattern queries against
+//               one route vs the same offered load split across two
+//               routes in one server.
+//
+//   bench_cluster [--scale S] [--seed N] [--ops N]
+//
+// Writes BENCH_cluster.json (gvex-bench-v1) with install latency
+// percentiles, catch-up and first-query times, and per-route throughput.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "gvex/cluster/bundle.h"
+#include "gvex/cluster/replicator.h"
+#include "gvex/common/rng.h"
+#include "gvex/common/stopwatch.h"
+#include "gvex/matching/match_cache.h"
+#include "gvex/serve/server.h"
+#include "gvex/serve/socket.h"
+#include "gvex/serve/view_registry.h"
+
+namespace gvex {
+namespace {
+
+using cluster::Replicator;
+using cluster::ReplicatorOptions;
+using cluster::ViewBundle;
+using serve::Endpoint;
+using serve::ExplanationServer;
+using serve::Request;
+using serve::RequestType;
+using serve::Response;
+using serve::ServerOptions;
+using serve::SocketServer;
+using serve::ViewRegistry;
+
+uint64_t Percentile(std::vector<uint64_t> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t index = static_cast<size_t>(q * static_cast<double>(values.size()));
+  if (index >= values.size()) index = values.size() - 1;
+  return values[index];
+}
+
+ExplanationViewSet BuildViews(const bench::Workbench& wb, size_t u_l) {
+  Configuration config = bench::DefaultConfig(u_l);
+  ApproxGvex solver(&wb.model, config);
+  ExplanationViewSet set;
+  for (ClassLabel label : {0, 1}) {
+    auto view = solver.ExplainLabel(wb.db, wb.assigned, label);
+    if (!view.ok()) {
+      std::fprintf(stderr, "explain label %d: %s\n", label,
+                   view.status().ToString().c_str());
+      std::abort();
+    }
+    set.views.push_back(std::move(*view));
+  }
+  return set;
+}
+
+std::string EncodeInstall(const std::string& route,
+                          const ExplanationViewSet& set, uint64_t generation) {
+  ViewBundle bundle;
+  bundle.route = route;
+  bundle.generation = generation;
+  bundle.views = set;
+  auto encoded = cluster::EncodeBundle(bundle);
+  if (!encoded.ok()) {
+    std::fprintf(stderr, "encode: %s\n", encoded.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(encoded);
+}
+
+// Closed-loop pattern-query load with every request pinned to a route.
+double RouteGoodputRps(ExplanationServer* server,
+                       const std::vector<std::string>& client_routes,
+                       size_t ops, uint64_t seed,
+                       const std::vector<Graph>& pool) {
+  std::mutex merge_mu;
+  size_t ok = 0;
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(client_routes.size());
+  for (size_t c = 0; c < client_routes.size(); ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(seed + c);
+      size_t local_ok = 0;
+      for (size_t i = 0; i < ops; ++i) {
+        Request req;
+        req.type = rng.NextBounded(2) == 0 ? RequestType::kSupport
+                                           : RequestType::kSubgraphsContaining;
+        req.route = client_routes[c];
+        req.label = static_cast<ClassLabel>(rng.NextBounded(2));
+        req.graph = pool[rng.NextBounded(pool.size())];
+        req.has_graph = true;
+        if (server->Call(req).ok()) ++local_ok;
+      }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      ok += local_ok;
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = watch.ElapsedSeconds();
+  return seconds > 0.0 ? static_cast<double>(ok) / seconds : 0.0;
+}
+
+}  // namespace
+}  // namespace gvex
+
+int main(int argc, char** argv) {
+  using namespace gvex;
+  double scale = 0.3;
+  uint64_t seed = 42;
+  size_t ops = 50;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      scale = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = static_cast<uint64_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--ops") == 0) {
+      ops = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_cluster [--scale S] [--seed N] [--ops N]\n");
+      return 2;
+    }
+  }
+
+  bench::BenchReport report("cluster");
+  report.SetParam("scale", scale);
+  report.SetParam("seed", seed);
+  report.SetParam("ops_per_client", ops);
+
+  bench::PrintHeader("prepare (two view generations over one workbench)");
+  Stopwatch prepare_watch;
+  bench::Workbench wb = bench::PrepareWorkbench("MUT", scale);
+  ExplanationViewSet views_a = BuildViews(wb, 12);
+  ExplanationViewSet views_b = BuildViews(wb, 8);
+  std::vector<Graph> pool;
+  pool.push_back(datasets::NitroGroupPattern());
+  for (const auto& view : views_a.views) {
+    for (const Graph& p : view.patterns) pool.push_back(p);
+  }
+  const double prepare_seconds = prepare_watch.ElapsedSeconds();
+  report.AddTiming("prepare", prepare_seconds);
+  std::printf("%zu graphs, %zu query patterns, %.2fs\n", wb.db.size(),
+              pool.size(), prepare_seconds);
+
+  bench::PrintHeader("publish -> install latency (kInstall, alternating "
+                     "generations)");
+  Stopwatch publish_watch;
+  std::vector<uint64_t> install_us;
+  size_t bundle_bytes = 0;
+  {
+    ViewRegistry registry;
+    ExplanationServer server(&registry);
+    if (!server.Start().ok()) return 1;
+    const std::string bundle_a = EncodeInstall("bench", views_a, 1);
+    const std::string bundle_b = EncodeInstall("bench", views_b, 2);
+    bundle_bytes = bundle_a.size();
+    const size_t installs = std::max<size_t>(8, ops / 4);
+    for (size_t i = 0; i < installs; ++i) {
+      Request req;
+      req.type = RequestType::kInstall;
+      req.bundle = i % 2 == 0 ? bundle_a : bundle_b;
+      Stopwatch rtt;
+      Response resp = server.Call(req);
+      if (!resp.ok()) {
+        std::fprintf(stderr, "install: %s\n", resp.message.c_str());
+        return 1;
+      }
+      install_us.push_back(
+          static_cast<uint64_t>(rtt.ElapsedSeconds() * 1e6));
+    }
+    server.Stop();
+  }
+  const double publish_seconds = publish_watch.ElapsedSeconds();
+  report.AddTiming("publish_install", publish_seconds);
+  report.SetParam("bundle_bytes", static_cast<uint64_t>(bundle_bytes));
+  report.SetParam("install_count", install_us.size());
+  report.SetParam("install_p50_us", Percentile(install_us, 0.50));
+  report.SetParam("install_p99_us", Percentile(install_us, 0.99));
+  std::printf("%zu installs of %zu-byte bundles: p50 %llu us, p99 %llu us\n",
+              install_us.size(), bundle_bytes,
+              static_cast<unsigned long long>(Percentile(install_us, 0.50)),
+              static_cast<unsigned long long>(Percentile(install_us, 0.99)));
+
+  bench::PrintHeader("standby catch-up over loopback TCP (cold vs warm)");
+  Stopwatch catchup_watch;
+  double catchup_ms[2] = {0.0, 0.0};
+  double first_query_us[2] = {0.0, 0.0};
+  {
+    ViewRegistry primary;
+    if (!primary.InstallViews(ExplanationViewSet(views_a)).ok()) return 1;
+    ExplanationServer primary_server(&primary);
+    if (!primary_server.Start().ok()) return 1;
+    SocketServer primary_socket(&primary_server);
+    if (!primary_socket.Start(Endpoint::Tcp(0)).ok()) return 1;
+
+    for (int leg = 0; leg < 2; ++leg) {
+      const bool warm = leg == 1;
+      MatchCache::Global().Clear();
+      ViewRegistry standby;
+      ReplicatorOptions options;
+      options.primary = Endpoint::Tcp(primary_socket.bound_port());
+      options.warm_after_install = warm;
+      Replicator replicator(&standby, options);
+      Stopwatch sync_watch;
+      Status synced = replicator.SyncOnce();
+      if (!synced.ok()) {
+        std::fprintf(stderr, "sync: %s\n", synced.ToString().c_str());
+        return 1;
+      }
+      catchup_ms[leg] = sync_watch.ElapsedSeconds() * 1e3;
+
+      ExplanationServer standby_server(&standby);
+      if (!standby_server.Start().ok()) return 1;
+      Request req;
+      req.type = RequestType::kSupport;
+      req.label = 0;
+      req.graph = pool.size() > 1 ? pool[1] : pool[0];
+      req.has_graph = true;
+      Stopwatch first;
+      if (!standby_server.Call(req).ok()) return 1;
+      first_query_us[leg] = first.ElapsedSeconds() * 1e6;
+      standby_server.Stop();
+    }
+    primary_socket.Stop();
+    primary_server.Stop();
+  }
+  const double catchup_seconds = catchup_watch.ElapsedSeconds();
+  report.AddTiming("catchup", catchup_seconds);
+  report.SetParam("catchup_cold_ms", catchup_ms[0]);
+  report.SetParam("catchup_warm_ms", catchup_ms[1]);
+  report.SetParam("first_query_cold_us", first_query_us[0]);
+  report.SetParam("first_query_warm_us", first_query_us[1]);
+  const double first_ratio = first_query_us[1] > 0.0
+                                 ? first_query_us[0] / first_query_us[1]
+                                 : 0.0;
+  report.SetParam("first_query_cold_over_warm", first_ratio);
+  std::printf("catch-up cold %.1f ms (first query %.0f us), "
+              "warm %.1f ms (first query %.0f us), cold/warm %.2fx\n",
+              catchup_ms[0], first_query_us[0], catchup_ms[1],
+              first_query_us[1], first_ratio);
+
+  bench::PrintHeader("per-route throughput (one route vs two routes)");
+  Stopwatch routes_watch;
+  double rps_one = 0.0;
+  double rps_two = 0.0;
+  {
+    ViewRegistry registry;
+    if (!registry.InstallViews("a", ExplanationViewSet(views_a)).ok()) {
+      return 1;
+    }
+    if (!registry.InstallViews("b", ExplanationViewSet(views_b)).ok()) {
+      return 1;
+    }
+    registry.WarmMatchCache("a");
+    registry.WarmMatchCache("b");
+    ServerOptions options;
+    options.num_workers = 4;
+    ExplanationServer server(&registry, options);
+    if (!server.Start().ok()) return 1;
+    rps_one = RouteGoodputRps(&server, {"a", "a", "a", "a"}, ops, seed, pool);
+    rps_two = RouteGoodputRps(&server, {"a", "a", "b", "b"}, ops, seed, pool);
+    server.Stop();
+  }
+  const double routes_seconds = routes_watch.ElapsedSeconds();
+  report.AddTiming("routes", routes_seconds);
+  report.SetParam("route_rps_one_route", rps_one);
+  report.SetParam("route_rps_two_routes", rps_two);
+  std::printf("4 clients on 1 route: %.1f rps; split across 2 routes: "
+              "%.1f rps\n",
+              rps_one, rps_two);
+
+  report.AddTiming("total", prepare_seconds + publish_seconds +
+                                catchup_seconds + routes_seconds);
+  return 0;
+}

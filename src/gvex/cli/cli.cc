@@ -1,11 +1,16 @@
 #include "gvex/cli/cli.h"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
+#include <thread>
+
+#include "gvex/cluster/bundle.h"
+#include "gvex/cluster/replicator.h"
 
 #include "gvex/common/failpoint.h"
 #include "gvex/common/stopwatch.h"
@@ -86,7 +91,9 @@ class Flags {
 void Usage() {
   std::fprintf(stderr,
                "usage: gvex_tool <gen|stats|train|explain|verify|fidelity|"
-               "query|serve|client> [--flags]\n"
+               "query|serve|client|publish> [--flags]\n"
+               "cluster: serve --follow unix:<path>|tcp:<port> tails a "
+               "primary; publish ships a view bundle to a running server\n"
                "observability: --metrics-out <file> (PerfReport JSON), "
                "--trace-out <file> (chrome://tracing)\n"
                "see src/gvex/cli/cli.h for the full synopsis\n");
@@ -324,14 +331,61 @@ Result<serve::Endpoint> EndpointFromFlags(const Flags& flags) {
   return Status::InvalidArgument("need --socket <path> or --port <n>");
 }
 
-Status CmdServe(const Flags& flags) {
-  GVEX_ASSIGN_OR_RETURN(std::string views_path, flags.Require("views"));
-  serve::ViewRegistry registry;
-  GVEX_RETURN_NOT_OK(registry.LoadViews(views_path));
-  if (auto model_path = flags.Get("model")) {
-    GVEX_RETURN_NOT_OK(registry.LoadModel(*model_path));
+// --follow targets: "unix:<path>", "tcp:<port>", a bare port, or
+// "<host>:<port>" (the host part is ignored — connections are loopback
+// only, like everything else in the transport).
+Result<serve::Endpoint> ParseFollowTarget(const std::string& spec) {
+  if (StartsWith(spec, "unix:")) {
+    return serve::Endpoint::Unix(spec.substr(5));
   }
-  const size_t warm = registry.WarmMatchCache();
+  std::string port = spec;
+  if (StartsWith(port, "tcp:")) port = port.substr(4);
+  const size_t colon = port.rfind(':');
+  if (colon != std::string::npos) port = port.substr(colon + 1);
+  const long n = std::atol(port.c_str());
+  if (n <= 0 || n > 65535) {
+    return Status::InvalidArgument("bad --follow target '" + spec +
+                                   "' (want unix:<path> or tcp:<port>)");
+  }
+  return serve::Endpoint::Tcp(static_cast<uint16_t>(n));
+}
+
+Status CmdServe(const Flags& flags) {
+  serve::ViewRegistry registry;
+  const std::string route =
+      flags.Get("route").value_or(cluster::kDefaultRoute);
+  if (!cluster::IsValidRouteName(route)) {
+    return Status::InvalidArgument("invalid route name: '" + route + "'");
+  }
+  const auto views_path = flags.Get("views");
+  const auto follow = flags.Get("follow");
+  if (!views_path && !follow) {
+    return Status::InvalidArgument(
+        "need --views <file> (or --follow <primary> for a standby)");
+  }
+  size_t warm = 0;
+  if (views_path) {
+    GVEX_RETURN_NOT_OK(registry.LoadViews(route, *views_path));
+    if (auto model_path = flags.Get("model")) {
+      if (route != cluster::kDefaultRoute) {
+        return Status::InvalidArgument(
+            "--model loads into the default route; publish a bundle to put "
+            "a model on route '" + route + "'");
+      }
+      GVEX_RETURN_NOT_OK(registry.LoadModel(*model_path));
+    }
+    warm = registry.WarmMatchCache(route);
+  }
+
+  std::unique_ptr<cluster::Replicator> replicator;
+  if (follow) {
+    cluster::ReplicatorOptions ropts;
+    GVEX_ASSIGN_OR_RETURN(ropts.primary, ParseFollowTarget(*follow));
+    ropts.poll_interval_ms =
+        static_cast<uint32_t>(flags.GetInt("poll-ms", 200));
+    ropts.jitter_seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
+    replicator = std::make_unique<cluster::Replicator>(&registry, ropts);
+  }
 
   serve::ServerOptions options;
   options.num_workers = static_cast<size_t>(flags.GetInt("workers", 4));
@@ -353,11 +407,22 @@ Status CmdServe(const Flags& flags) {
   // Readiness line: smoke scripts poll for it before sending requests.
   std::printf("serving on %s (generation %llu, %zu workers, %zu warm pairs)\n",
               endpoint.ToString().c_str(),
-              static_cast<unsigned long long>(registry.generation()),
+              static_cast<unsigned long long>(registry.generation(route)),
               options.num_workers, warm);
   std::fflush(stdout);
+  if (replicator != nullptr) {
+    Status following = replicator->Start();
+    if (!following.ok()) {
+      socket.Stop();
+      server.Stop();
+      return following;
+    }
+    std::printf("following %s\n", follow->c_str());
+    std::fflush(stdout);
+  }
 
   socket.Wait();
+  if (replicator != nullptr) replicator->Stop();
   socket.Stop();
   server.Stop();
   std::printf("server stopped\n");
@@ -389,9 +454,14 @@ Result<serve::Request> BuildClientRequest(const Flags& flags) {
     req.type = serve::RequestType::kStats;
   } else if (type_name == "shutdown") {
     req.type = serve::RequestType::kShutdown;
+  } else if (type_name == "generations") {
+    req.type = serve::RequestType::kGenerations;
+  } else if (type_name == "fetch") {
+    req.type = serve::RequestType::kFetch;
   } else {
     return Status::InvalidArgument("unknown request type: " + type_name);
   }
+  if (auto route = flags.Get("route")) req.route = *route;
   req.id = static_cast<uint64_t>(flags.GetInt("id", 1));
   req.label = static_cast<ClassLabel>(flags.GetInt("label", -1));
   req.against = static_cast<ClassLabel>(flags.GetInt("against", -1));
@@ -477,8 +547,34 @@ void PrintClientResponse(const serve::Request& req,
       }
       return;
     }
+    case serve::RequestType::kGenerations: {
+      std::printf("routes %zu\n", resp.routes.size());
+      for (const serve::RouteInfo& r : resp.routes) {
+        std::printf("  %s generation %llu source %llu fingerprint %s "
+                    "warmed %d warm_pairs %llu\n",
+                    r.route.c_str(),
+                    static_cast<unsigned long long>(r.generation),
+                    static_cast<unsigned long long>(r.source_generation),
+                    r.fingerprint.empty() ? "-" : r.fingerprint.c_str(),
+                    r.warmed ? 1 : 0,
+                    static_cast<unsigned long long>(r.warm_pairs));
+      }
+      return;
+    }
+    case serve::RequestType::kFetch: {
+      std::printf("bundle %zu bytes", resp.bundle.size());
+      for (const serve::RouteInfo& r : resp.routes) {
+        std::printf(" (route %s generation %llu fingerprint %s)",
+                    r.route.c_str(),
+                    static_cast<unsigned long long>(r.generation),
+                    r.fingerprint.empty() ? "-" : r.fingerprint.c_str());
+      }
+      std::printf("\n");
+      return;
+    }
     case serve::RequestType::kStats:
     case serve::RequestType::kShutdown:
+    case serve::RequestType::kInstall:
       std::printf("%s\n", resp.text.c_str());
       return;
   }
@@ -486,6 +582,13 @@ void PrintClientResponse(const serve::Request& req,
 
 Status CmdClient(const Flags& flags) {
   GVEX_ASSIGN_OR_RETURN(serve::Request req, BuildClientRequest(flags));
+
+  // --retry N: re-issue a request shed with kOverloaded (exit 12) up to
+  // N more times, sleeping the shared exponential backoff schedule
+  // between attempts (SERVING.md "overload and retries").
+  const int retries = static_cast<int>(flags.GetInt("retry", 0));
+  const uint32_t backoff_ms =
+      static_cast<uint32_t>(flags.GetInt("retry-backoff-ms", 100));
 
   serve::Response resp;
   if (auto local_views = flags.Get("local")) {
@@ -501,16 +604,73 @@ Status CmdClient(const Flags& flags) {
     serve::ExplanationServer server(&registry, options);
     GVEX_RETURN_NOT_OK(server.Start());
     serve::ServeHandle handle(&server);
-    resp = handle.Call(req);
+    for (int attempt = 1;; ++attempt) {
+      resp = handle.Call(req);
+      if (resp.code != StatusCode::kOverloaded || attempt > retries) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          cluster::RetryBackoffMs(attempt, backoff_ms, 10000)));
+    }
     server.Stop();
   } else {
     GVEX_ASSIGN_OR_RETURN(serve::Endpoint endpoint, EndpointFromFlags(flags));
     serve::SocketClient client;
     GVEX_RETURN_NOT_OK(client.Connect(endpoint));
-    GVEX_ASSIGN_OR_RETURN(resp, client.Call(req));
+    for (int attempt = 1;; ++attempt) {
+      GVEX_ASSIGN_OR_RETURN(resp, client.Call(req));
+      if (resp.code != StatusCode::kOverloaded || attempt > retries) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          cluster::RetryBackoffMs(attempt, backoff_ms, 10000)));
+    }
   }
   if (!resp.ok()) return resp.ToStatus();
+  if (req.type == serve::RequestType::kFetch) {
+    if (auto out = flags.Get("out")) {
+      std::ofstream file(*out, std::ios::binary | std::ios::trunc);
+      if (!file.is_open() || !file.write(resp.bundle.data(),
+                                         static_cast<std::streamsize>(
+                                             resp.bundle.size()))) {
+        return Status::IoError("cannot write bundle to " + *out);
+      }
+    }
+  }
   PrintClientResponse(req, resp);
+  return Status::OK();
+}
+
+Status CmdPublish(const Flags& flags) {
+  GVEX_ASSIGN_OR_RETURN(std::string views_path, flags.Require("views"));
+  cluster::ViewBundle bundle;
+  GVEX_ASSIGN_OR_RETURN(bundle.views, LoadViewSet(views_path));
+  if (auto model_path = flags.Get("model")) {
+    GVEX_ASSIGN_OR_RETURN(GcnClassifier model,
+                          GcnSerializer::Load(*model_path));
+    bundle.model = std::make_shared<const GcnClassifier>(std::move(model));
+  }
+  bundle.route = flags.Get("route").value_or(cluster::kDefaultRoute);
+  bundle.generation = static_cast<uint64_t>(flags.GetInt("generation", 0));
+
+  // --out writes the bundle artifact instead of shipping it (debugging,
+  // or staging a bundle for later publication).
+  if (auto out = flags.Get("out")) {
+    GVEX_RETURN_NOT_OK(cluster::SaveBundle(bundle, *out));
+    GVEX_ASSIGN_OR_RETURN(std::string fingerprint,
+                          cluster::BundleFingerprint(bundle));
+    std::printf("bundle -> %s (route %s, fingerprint %s)\n", out->c_str(),
+                bundle.route.c_str(), fingerprint.c_str());
+    return Status::OK();
+  }
+
+  GVEX_ASSIGN_OR_RETURN(std::string encoded, cluster::EncodeBundle(bundle));
+  GVEX_ASSIGN_OR_RETURN(serve::Endpoint endpoint, EndpointFromFlags(flags));
+  serve::SocketClient client;
+  GVEX_RETURN_NOT_OK(client.Connect(endpoint));
+  serve::Request req;
+  req.type = serve::RequestType::kInstall;
+  req.id = static_cast<uint64_t>(flags.GetInt("id", 1));
+  req.bundle = std::move(encoded);
+  GVEX_ASSIGN_OR_RETURN(serve::Response resp, client.Call(req));
+  if (!resp.ok()) return resp.ToStatus();
+  std::printf("%s\n", resp.text.c_str());
   return Status::OK();
 }
 
@@ -594,6 +754,8 @@ int Run(const std::vector<std::string>& argv) {
     st = CmdServe(flags);
   } else if (command == "client") {
     st = CmdClient(flags);
+  } else if (command == "publish") {
+    st = CmdPublish(flags);
   } else {
     Usage();
     return 2;

@@ -1,0 +1,189 @@
+#include "gvex/cluster/bundle.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "gvex/common/checksum.h"
+#include "gvex/common/failpoint.h"
+#include "gvex/common/io_util.h"
+#include "gvex/explain/view_io.h"
+#include "gvex/gnn/serialize.h"
+
+namespace gvex {
+namespace cluster {
+
+namespace {
+
+constexpr const char* kMagic = "gvexbundle-v1";
+constexpr const char* kEndTag = "gvexbundle-end";
+
+// 64-bit content fingerprint: two CRC32 passes with distinct seeds over
+// the same payload bytes. Not cryptographic — it guards replication
+// bookkeeping against accidental divergence, while the per-section CRCs
+// guard the bytes themselves.
+std::string FingerprintOf(const std::string& views_bytes,
+                          const std::string& model_bytes) {
+  uint32_t hi = Crc32Update(0, views_bytes.data(), views_bytes.size());
+  hi = Crc32Update(hi, model_bytes.data(), model_bytes.size());
+  uint32_t lo = Crc32Update(0x67766578u /* "gvex" */, views_bytes.data(),
+                            views_bytes.size());
+  lo = Crc32Update(lo, model_bytes.data(), model_bytes.size());
+  lo = Crc32Update(lo, &hi, sizeof(hi));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%08x%08x", hi, lo);
+  return buf;
+}
+
+struct SerializedContent {
+  std::string views;
+  std::string model;  // empty when no model
+};
+
+Result<SerializedContent> SerializeContent(const ViewBundle& bundle) {
+  SerializedContent content;
+  std::ostringstream views_out;
+  SetMaxPrecision(&views_out);
+  GVEX_RETURN_NOT_OK(WriteViewSet(bundle.views, &views_out));
+  content.views = std::move(views_out).str();
+  if (bundle.model != nullptr) {
+    std::ostringstream model_out;
+    SetMaxPrecision(&model_out);
+    GVEX_RETURN_NOT_OK(GcnSerializer::Write(*bundle.model, &model_out));
+    content.model = std::move(model_out).str();
+  }
+  return content;
+}
+
+}  // namespace
+
+bool IsValidRouteName(const std::string& route) {
+  if (route.empty() || route.size() > 64) return false;
+  for (char c : route) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<std::string> BundleFingerprint(const ViewBundle& bundle) {
+  GVEX_ASSIGN_OR_RETURN(SerializedContent content, SerializeContent(bundle));
+  return FingerprintOf(content.views, content.model);
+}
+
+Status WriteBundle(const ViewBundle& bundle, std::ostream* out) {
+  if (!IsValidRouteName(bundle.route)) {
+    return Status::InvalidArgument("invalid route name: '" + bundle.route +
+                                   "' (want 1..64 chars of [A-Za-z0-9_.-])");
+  }
+  GVEX_ASSIGN_OR_RETURN(SerializedContent content, SerializeContent(bundle));
+  SetMaxPrecision(out);
+  (*out) << kMagic << "\n";
+  std::ostringstream header;
+  header << "route " << bundle.route << "\n"
+         << "generation " << bundle.generation << "\n"
+         << "has_model " << (bundle.model != nullptr ? 1 : 0) << "\n"
+         << "fingerprint " << FingerprintOf(content.views, content.model)
+         << "\n";
+  GVEX_RETURN_NOT_OK(WriteSection(out, header.str()));
+  GVEX_RETURN_NOT_OK(WriteSection(out, content.views));
+  if (bundle.model != nullptr) {
+    GVEX_RETURN_NOT_OK(WriteSection(out, content.model));
+  }
+  (*out) << kEndTag << "\n";
+  if (!out->good()) return Status::IoError("bundle stream write failed");
+  return Status::OK();
+}
+
+Result<ViewBundle> ReadBundle(std::istream* in) {
+  GVEX_FAILPOINT_RETURN("cluster.bundle_read");
+  std::string magic;
+  if (!((*in) >> magic) || magic != kMagic) {
+    return Status::IoError("bad bundle magic");
+  }
+  GVEX_ASSIGN_OR_RETURN(std::string header, ReadSection(in));
+
+  ViewBundle bundle;
+  int has_model = 0;
+  std::string declared_fingerprint;
+  {
+    std::istringstream hin(header);
+    std::string key;
+    if (!(hin >> key >> bundle.route) || key != "route") {
+      return Status::IoError("bad bundle header: route");
+    }
+    if (!(hin >> key >> bundle.generation) || key != "generation") {
+      return Status::IoError("bad bundle header: generation");
+    }
+    if (!(hin >> key >> has_model) || key != "has_model" ||
+        (has_model != 0 && has_model != 1)) {
+      return Status::IoError("bad bundle header: has_model");
+    }
+    if (!(hin >> key >> declared_fingerprint) || key != "fingerprint" ||
+        declared_fingerprint.size() != 16) {
+      return Status::IoError("bad bundle header: fingerprint");
+    }
+  }
+  if (!IsValidRouteName(bundle.route)) {
+    return Status::IoError("bundle names invalid route '" + bundle.route + "'");
+  }
+
+  GVEX_ASSIGN_OR_RETURN(std::string views_bytes, ReadSection(in));
+  std::string model_bytes;
+  if (has_model != 0) {
+    GVEX_ASSIGN_OR_RETURN(model_bytes, ReadSection(in));
+  }
+  std::string end_tag;
+  if (!((*in) >> end_tag) || end_tag != kEndTag) {
+    return Status::IoError("bundle end marker missing (truncated bundle?)");
+  }
+  // The header fingerprint binds the sections together: a bundle stitched
+  // from sections of two different generations fails here even though
+  // every individual section CRC passes.
+  const std::string actual = FingerprintOf(views_bytes, model_bytes);
+  if (actual != declared_fingerprint) {
+    return Status::IoError("bundle fingerprint mismatch (declared " +
+                           declared_fingerprint + ", content " + actual + ")");
+  }
+  bundle.fingerprint = actual;
+
+  {
+    std::istringstream vin(views_bytes);
+    GVEX_ASSIGN_OR_RETURN(bundle.views, ReadViewSet(&vin));
+  }
+  if (has_model != 0) {
+    std::istringstream min(model_bytes);
+    GVEX_ASSIGN_OR_RETURN(GcnClassifier model, GcnSerializer::Read(&min));
+    bundle.model = std::make_shared<const GcnClassifier>(std::move(model));
+  }
+  return bundle;
+}
+
+Result<std::string> EncodeBundle(const ViewBundle& bundle) {
+  std::ostringstream out;
+  GVEX_RETURN_NOT_OK(WriteBundle(bundle, &out));
+  return std::move(out).str();
+}
+
+Result<ViewBundle> DecodeBundle(const std::string& bytes) {
+  std::istringstream in(bytes);
+  return ReadBundle(&in);
+}
+
+Status SaveBundle(const ViewBundle& bundle, const std::string& path) {
+  return RetryIo([&] {
+    return AtomicSave(
+        path, [&](std::ostream* out) { return WriteBundle(bundle, out); });
+  });
+}
+
+Result<ViewBundle> LoadBundle(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  return ReadBundle(&in);
+}
+
+}  // namespace cluster
+}  // namespace gvex

@@ -69,6 +69,9 @@ const char* RequestTypeName(RequestType type) {
     case RequestType::kClassifyExplain: return "classify";
     case RequestType::kStats: return "stats";
     case RequestType::kShutdown: return "shutdown";
+    case RequestType::kInstall: return "install";
+    case RequestType::kGenerations: return "generations";
+    case RequestType::kFetch: return "fetch";
   }
   return "unknown";
 }
@@ -86,6 +89,8 @@ std::string EncodeRequestBody(const Request& req) {
   out << "deadline_ms " << req.deadline_ms << "\n";
   out << "max_embeddings " << req.max_embeddings << "\n";
   WriteBlob(&out, "text", req.text);
+  WriteBlob(&out, "route", req.route);
+  WriteBlob(&out, "bundle", req.bundle);
   out << "graph " << (req.has_graph ? 1 : 0) << "\n";
   if (req.has_graph) {
     (void)WriteGraph(req.graph, &out);  // ostringstream writes cannot fail
@@ -101,7 +106,7 @@ Result<Request> DecodeRequestBody(const std::string& body) {
   Request req;
   int type = 0, semantics = 0, has_graph = 0;
   GVEX_RETURN_NOT_OK(ReadField(&in, "type", &type));
-  if (type < 0 || type > static_cast<int>(RequestType::kShutdown)) {
+  if (type < 0 || type > static_cast<int>(RequestType::kFetch)) {
     return Status::InvalidArgument("unknown request type " +
                                    std::to_string(type));
   }
@@ -115,6 +120,8 @@ Result<Request> DecodeRequestBody(const std::string& body) {
   GVEX_RETURN_NOT_OK(ReadField(&in, "deadline_ms", &req.deadline_ms));
   GVEX_RETURN_NOT_OK(ReadField(&in, "max_embeddings", &req.max_embeddings));
   GVEX_RETURN_NOT_OK(ReadBlob(&in, "text", &req.text));
+  GVEX_RETURN_NOT_OK(ReadBlob(&in, "route", &req.route));
+  GVEX_RETURN_NOT_OK(ReadBlob(&in, "bundle", &req.bundle));
   GVEX_RETURN_NOT_OK(ReadField(&in, "graph", &has_graph));
   req.has_graph = has_graph != 0;
   if (req.has_graph) {
@@ -145,6 +152,15 @@ std::string EncodeResponseBody(const Response& resp) {
   out << "\n";
   out << "patterns " << resp.patterns.size() << "\n";
   for (const Graph& p : resp.patterns) (void)WriteGraph(p, &out);
+  // Route names are wire-inline words (validated [A-Za-z0-9_.-]); an
+  // empty fingerprint rides as the sentinel "-".
+  out << "routes " << resp.routes.size() << "\n";
+  for (const RouteInfo& r : resp.routes) {
+    out << r.route << " " << r.generation << " " << r.source_generation << " "
+        << (r.fingerprint.empty() ? "-" : r.fingerprint) << " "
+        << (r.warmed ? 1 : 0) << " " << r.warm_pairs << "\n";
+  }
+  WriteBlob(&out, "bundle", resp.bundle);
   WriteBlob(&out, "text", resp.text);
   out << "end\n";
   return std::move(out).str();
@@ -196,6 +212,20 @@ Result<Response> DecodeResponseBody(const std::string& body) {
     GVEX_ASSIGN_OR_RETURN(Graph p, ReadGraph(&in));
     resp.patterns.push_back(std::move(p));
   }
+  GVEX_RETURN_NOT_OK(ReadField(&in, "routes", &n));
+  if (n > kMaxFrameBytes) return Status::IoError("routes count exceeds cap");
+  resp.routes.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    RouteInfo& r = resp.routes[i];
+    int warmed = 0;
+    if (!(in >> r.route >> r.generation >> r.source_generation >>
+          r.fingerprint >> warmed >> r.warm_pairs)) {
+      return Status::IoError("bad route row");
+    }
+    if (r.fingerprint == "-") r.fingerprint.clear();
+    r.warmed = warmed != 0;
+  }
+  GVEX_RETURN_NOT_OK(ReadBlob(&in, "bundle", &resp.bundle));
   GVEX_RETURN_NOT_OK(ReadBlob(&in, "text", &resp.text));
   GVEX_RETURN_NOT_OK(ExpectWord(&in, "end"));
   return resp;

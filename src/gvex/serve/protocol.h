@@ -33,7 +33,7 @@ namespace serve {
 /// corrupt length prefix must not OOM the server).
 inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
 
-/// The five paper-level query endpoints plus admin verbs.
+/// The five paper-level query endpoints plus admin and cluster verbs.
 enum class RequestType : uint8_t {
   kPing = 0,                   ///< liveness; echoes `text`
   kSupport = 1,                ///< |subgraphs of view(label) containing pattern|
@@ -43,6 +43,9 @@ enum class RequestType : uint8_t {
   kClassifyExplain = 5,        ///< classify an ad-hoc graph, return matching patterns
   kStats = 6,                  ///< server/obs snapshot as JSON text
   kShutdown = 7,               ///< stop the socket server (drains in-flight work)
+  kInstall = 8,                ///< install the gvexbundle-v1 in `bundle` (publish)
+  kGenerations = 9,            ///< list per-route generation/fingerprint state
+  kFetch = 10,                 ///< fetch the live generation of `route` as a bundle
 };
 
 const char* RequestTypeName(RequestType type);
@@ -63,6 +66,19 @@ struct Request {
   bool has_graph = false;
   Graph graph;
   std::string text;            ///< kPing payload
+  std::string route;           ///< "" = default route (gvex::cluster)
+  std::string bundle;          ///< kInstall: gvexbundle-v1 bytes
+};
+
+/// \brief Per-route registry state as reported by kGenerations / kStats.
+struct RouteInfo {
+  std::string route;
+  uint64_t generation = 0;
+  uint64_t source_generation = 0;
+  std::string fingerprint;  ///< hex16 content fingerprint ("" if unset)
+  bool warmed = false;
+  uint64_t warm_pairs = 0;
+  bool operator==(const RouteInfo&) const = default;
 };
 
 /// \brief One response. `code != kOk` means the request failed; only
@@ -84,7 +100,9 @@ struct Response {
   std::vector<Graph> patterns;       // kDiscriminativePatterns
   ClassLabel predicted = -1;         // kClassifyExplain
   std::vector<float> probabilities;  // kClassifyExplain
-  std::string text;                  // kPing / kStats
+  std::vector<RouteInfo> routes;     // kGenerations
+  std::string bundle;                // kFetch: gvexbundle-v1 bytes
+  std::string text;                  // kPing / kStats / kInstall summary
 
   bool ok() const { return code == StatusCode::kOk; }
   Status ToStatus() const {

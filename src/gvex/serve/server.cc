@@ -24,6 +24,22 @@ Response ErrorResponse(const Request& req, const Status& st) {
   return resp;
 }
 
+const std::string& RouteOf(const Request& req) {
+  static const std::string kDefault = cluster::kDefaultRoute;
+  return req.route.empty() ? kDefault : req.route;
+}
+
+RouteInfo ToRouteInfo(const RouteStatus& status) {
+  RouteInfo info;
+  info.route = status.route;
+  info.generation = status.generation;
+  info.source_generation = status.source_generation;
+  info.fingerprint = status.fingerprint;
+  info.warmed = status.warmed;
+  info.warm_pairs = status.warm_pairs;
+  return info;
+}
+
 bool IsPatternQuery(RequestType type) {
   return type == RequestType::kSupport ||
          type == RequestType::kSubgraphsContaining ||
@@ -50,6 +66,9 @@ obs::Histogram& EndpointHistogram(RequestType type) {
       &obs::Registry::Global().GetHistogram("serve.exec_classify_us"),
       &obs::Registry::Global().GetHistogram("serve.exec_stats_us"),
       &obs::Registry::Global().GetHistogram("serve.exec_shutdown_us"),
+      &obs::Registry::Global().GetHistogram("serve.exec_install_us"),
+      &obs::Registry::Global().GetHistogram("serve.exec_generations_us"),
+      &obs::Registry::Global().GetHistogram("serve.exec_fetch_us"),
   };
   return *hists[static_cast<size_t>(type)];
 }
@@ -230,14 +249,14 @@ ExplanationServer::TakeBatchLocked() {
   const Request& head = batch.front()->req;
   if (!IsPatternQuery(head.type) || options_.batch_max <= 1) return batch;
   // Greedily claim queued pattern queries against the same view (same
-  // label, same match semantics): one snapshot pin + view resolution
-  // serves the whole batch, and consecutive matches against the same
-  // subgraphs reuse warm cache shards.
+  // route, same label, same match semantics): one snapshot pin + view
+  // resolution serves the whole batch, and consecutive matches against
+  // the same subgraphs reuse warm cache shards.
   for (auto it = queue_.begin();
        it != queue_.end() && batch.size() < options_.batch_max;) {
     const Request& r = (*it)->req;
-    if (IsPatternQuery(r.type) && r.label == head.label &&
-        r.semantics == head.semantics) {
+    if (IsPatternQuery(r.type) && RouteOf(r) == RouteOf(head) &&
+        r.label == head.label && r.semantics == head.semantics) {
       batch.push_back(std::move(*it));
       it = queue_.erase(it);
     } else {
@@ -264,7 +283,9 @@ void ExplanationServer::WorkerLoop() {
       GVEX_COUNTER_ADD("serve.batched_requests", batch.size());
       GVEX_HISTOGRAM_RECORD("serve.batch_size", batch.size());
     }
-    auto snap = registry_->Snapshot();  // one pin per batch
+    // One pin per batch; every member of a multi-item batch shares the
+    // head's route by the TakeBatchLocked key.
+    auto snap = registry_->Snapshot(RouteOf(batch.front()->req));
     for (auto& item : batch) {
       Process(item.get(), snap.get());
     }
@@ -331,6 +352,72 @@ Response ExplanationServer::Execute(const Request& req,
       return resp;
     default:
       break;
+  }
+
+  if (!req.route.empty() && !cluster::IsValidRouteName(req.route)) {
+    return ErrorResponse(
+        req, Status::InvalidArgument("invalid route name: '" + req.route +
+                                     "' (want 1..64 chars of [A-Za-z0-9_.-])"));
+  }
+  if (registry_ == nullptr) {
+    return ErrorResponse(req, Status::FailedPrecondition("no view registry"));
+  }
+
+  if (req.type == RequestType::kInstall) {
+    Result<cluster::ViewBundle> decoded = cluster::DecodeBundle(req.bundle);
+    if (!decoded.ok()) {
+      GVEX_COUNTER_INC("cluster.install_failures");
+      return ErrorResponse(req, decoded.status());
+    }
+    cluster::ViewBundle bundle = *std::move(decoded);
+    if (!req.route.empty() && req.route != bundle.route) {
+      GVEX_COUNTER_INC("cluster.install_failures");
+      return ErrorResponse(
+          req, Status::InvalidArgument("request route '" + req.route +
+                                       "' does not match bundle route '" +
+                                       bundle.route + "'"));
+    }
+    Status installed = registry_->InstallBundle(bundle);
+    if (!installed.ok()) {
+      GVEX_COUNTER_INC("cluster.install_failures");
+      return ErrorResponse(req, installed);
+    }
+    const size_t warm = registry_->WarmMatchCache(bundle.route);
+    resp.text = "installed route=" + bundle.route + " generation=" +
+                std::to_string(registry_->generation(bundle.route)) +
+                " fingerprint=" + registry_->fingerprint(bundle.route) +
+                " warm_pairs=" + std::to_string(warm);
+    for (const RouteStatus& status : registry_->RouteStatuses()) {
+      if (status.route == bundle.route) resp.routes.push_back(ToRouteInfo(status));
+    }
+    return resp;
+  }
+
+  if (req.type == RequestType::kGenerations) {
+    for (const RouteStatus& status : registry_->RouteStatuses()) {
+      resp.routes.push_back(ToRouteInfo(status));
+    }
+    return resp;
+  }
+
+  if (req.type == RequestType::kFetch) {
+    const std::string& route = RouteOf(req);
+    Result<cluster::ViewBundle> bundle = registry_->MakeBundle(route);
+    if (!bundle.ok()) {
+      GVEX_COUNTER_INC("cluster.fetch_failures");
+      return ErrorResponse(req, bundle.status());
+    }
+    Result<std::string> encoded = cluster::EncodeBundle(*bundle);
+    if (!encoded.ok()) {
+      GVEX_COUNTER_INC("cluster.fetch_failures");
+      return ErrorResponse(req, encoded.status());
+    }
+    resp.bundle = *std::move(encoded);
+    GVEX_COUNTER_INC("cluster.fetches");
+    for (const RouteStatus& status : registry_->RouteStatuses()) {
+      if (status.route == route) resp.routes.push_back(ToRouteInfo(status));
+    }
+    return resp;
   }
 
   if (snap == nullptr) {
@@ -431,6 +518,32 @@ std::string ExplanationServer::StatsJson() const {
   json.BeginObject();
   json.Key("generation");
   json.Uint(registry_ == nullptr ? 0 : registry_->generation());
+  json.Key("routes");
+  json.BeginObject();
+  if (registry_ != nullptr) {
+    for (const RouteStatus& status : registry_->RouteStatuses()) {
+      json.Key(status.route);
+      json.BeginObject();
+      json.Key("generation");
+      json.Uint(status.generation);
+      json.Key("source_generation");
+      json.Uint(status.source_generation);
+      json.Key("fingerprint");
+      json.String(status.fingerprint);
+      json.Key("warmed");
+      json.Uint(status.warmed ? 1 : 0);
+      json.Key("warm_pairs");
+      json.Uint(status.warm_pairs);
+      json.Key("views");
+      json.Uint(status.views);
+      json.Key("patterns");
+      json.Uint(status.patterns);
+      json.Key("subgraphs");
+      json.Uint(status.subgraphs);
+      json.EndObject();
+    }
+  }
+  json.EndObject();
   json.Key("workers");
   json.Uint(options_.num_workers);
   json.Key("max_queue");
@@ -447,7 +560,8 @@ std::string ExplanationServer::StatsJson() const {
   json.Key("counters");
   json.BeginObject();
   for (const auto& c : obs::Registry::Global().Counters()) {
-    if (c.name.rfind("serve.", 0) != 0) continue;
+    if (c.name.rfind("serve.", 0) != 0 && c.name.rfind("cluster.", 0) != 0)
+      continue;
     json.Key(c.name);
     json.Uint(c.value);
   }

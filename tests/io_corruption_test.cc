@@ -9,6 +9,7 @@
 #include <sstream>
 #include <string>
 
+#include "gvex/cluster/bundle.h"
 #include "gvex/common/io_util.h"
 #include "gvex/explain/view_io.h"
 #include "gvex/gnn/serialize.h"
@@ -280,6 +281,96 @@ TEST(IoCorruptionTest, ModelV1StillLoads) {
   std::string from_orig = Serialize(
       [&](std::ostream* out) { return GcnSerializer::Write(model, out); });
   EXPECT_EQ(from_v1, from_orig);
+}
+
+// ---- cluster bundles (gvexbundle-v1) ----------------------------------------
+
+cluster::ViewBundle SmallBundle(bool with_model) {
+  cluster::ViewBundle bundle;
+  bundle.route = "fuzz-route";
+  bundle.generation = 7;
+  bundle.views = SmallViews();
+  if (with_model) {
+    bundle.model = std::make_shared<const GcnClassifier>(SmallModel());
+  }
+  return bundle;
+}
+
+Result<std::string> RoundTripBundle(const std::string& bytes) {
+  GVEX_ASSIGN_OR_RETURN(cluster::ViewBundle bundle,
+                        cluster::DecodeBundle(bytes));
+  return cluster::EncodeBundle(bundle);
+}
+
+TEST(IoCorruptionTest, BundleRoundTrip) {
+  for (bool with_model : {false, true}) {
+    cluster::ViewBundle bundle = SmallBundle(with_model);
+    auto bytes = cluster::EncodeBundle(bundle);
+    ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+    auto loaded = RoundTripBundle(*bytes);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(*loaded, *bytes);
+    auto decoded = cluster::DecodeBundle(*bytes);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->route, "fuzz-route");
+    EXPECT_EQ(decoded->generation, 7u);
+    EXPECT_EQ(decoded->fingerprint.size(), 16u);
+    EXPECT_EQ(decoded->model != nullptr, with_model);
+  }
+}
+
+TEST(IoCorruptionTest, BundleTruncationDetected) {
+  auto bytes = cluster::EncodeBundle(SmallBundle(/*with_model=*/false));
+  ASSERT_TRUE(bytes.ok());
+  ExpectTruncationDetected(*bytes, RoundTripBundle);
+}
+
+TEST(IoCorruptionTest, BundleWithModelTruncationDetected) {
+  auto bytes = cluster::EncodeBundle(SmallBundle(/*with_model=*/true));
+  ASSERT_TRUE(bytes.ok());
+  ExpectTruncationDetected(*bytes, RoundTripBundle);
+}
+
+TEST(IoCorruptionTest, BundleBitFlipsDetected) {
+  auto bytes = cluster::EncodeBundle(SmallBundle(/*with_model=*/false));
+  ASSERT_TRUE(bytes.ok());
+  ExpectBitFlipsDetected(*bytes, RoundTripBundle);
+}
+
+TEST(IoCorruptionTest, BundleWithModelBitFlipsDetected) {
+  auto bytes = cluster::EncodeBundle(SmallBundle(/*with_model=*/true));
+  ASSERT_TRUE(bytes.ok());
+  ExpectBitFlipsDetected(*bytes, RoundTripBundle);
+}
+
+// The per-section CRCs pass on a bundle stitched together from two valid
+// bundles; only the header content fingerprint catches it.
+TEST(IoCorruptionTest, BundleStitchedFromTwoGenerationsRejected) {
+  cluster::ViewBundle a = SmallBundle(/*with_model=*/false);
+  cluster::ViewBundle b = SmallBundle(/*with_model=*/false);
+  b.views.views.pop_back();  // different content, same route
+  auto bytes_a = cluster::EncodeBundle(a);
+  auto bytes_b = cluster::EncodeBundle(b);
+  ASSERT_TRUE(bytes_a.ok());
+  ASSERT_TRUE(bytes_b.ok());
+  // Swap the views section: keep a's magic+header, graft everything from
+  // b's first section start onward.
+  const size_t header_end_a = bytes_a->find("\nsec ", bytes_a->find("sec "));
+  const size_t header_end_b = bytes_b->find("\nsec ", bytes_b->find("sec "));
+  ASSERT_NE(header_end_a, std::string::npos);
+  ASSERT_NE(header_end_b, std::string::npos);
+  const std::string stitched =
+      bytes_a->substr(0, header_end_a) + bytes_b->substr(header_end_b);
+  auto decoded = cluster::DecodeBundle(stitched);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsIoError());
+}
+
+TEST(IoCorruptionTest, BundleRejectsInvalidRoute) {
+  cluster::ViewBundle bundle = SmallBundle(/*with_model=*/false);
+  bundle.route = "bad route name";
+  std::ostringstream out;
+  EXPECT_TRUE(cluster::WriteBundle(bundle, &out).IsInvalidArgument());
 }
 
 // ---- whole-file corruption of saved artifacts -------------------------------

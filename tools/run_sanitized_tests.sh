@@ -20,7 +20,8 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" "$@"
 
-# The serving smoke (also registered as the `serve-smoke` ctest label)
-# exercises the socket server, worker pool, and deadline monitor; under
+# The serving smoke (also registered as the `serve-smoke` and
+# `cluster-smoke` ctest labels) exercises the socket server, worker pool,
+# deadline monitor, and the primary->standby replication loop; under
 # ASan/UBSan it doubles as a thread-lifecycle and use-after-free gate.
-tools/run_server_smoke.sh build-asan/tools/gvex_tool
+tools/run_server_smoke.sh build-asan/tools/gvex_tool all

@@ -8,13 +8,28 @@
 # service delay must not change any byte of the answers, and an injected
 # admission failure must surface as a clean kOverloaded exit (code 12).
 #
-# Usage: tools/run_server_smoke.sh [path-to-gvex_tool]
+# A cluster leg (docs/SERVING.md "Replication & routes") then proves the
+# primary -> standby story end to end: a standby started with --follow
+# tails the primary, `gvex_tool publish` pushes a new bundle, the standby
+# installs + pre-warms it, and after `kill -9` of the primary the standby
+# answers every query type byte-identically to `client --local` with zero
+# MatchCache re-warm (asserted on the serve.warm_pairs counter). An armed
+# cluster.install failpoint checks that a failed install surfaces to the
+# publisher as a clean kIoError exit (code 8) without touching the live
+# generation.
+#
+# Usage: tools/run_server_smoke.sh [path-to-gvex_tool] [leg]
 #   default tool: ./build/tools/gvex_tool
+#   leg: all (default) | serve | cluster
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 TOOL="${1:-./build/tools/gvex_tool}"
+LEG="${2:-all}"
+case "$LEG" in all|serve|cluster) ;; *)
+  echo "unknown leg '$LEG' (want all, serve, or cluster)" >&2; exit 2 ;;
+esac
 if [[ ! -x "$TOOL" ]]; then
   echo "gvex_tool not found at $TOOL (build first)" >&2
   exit 1
@@ -23,10 +38,14 @@ TOOL="$(cd "$(dirname "$TOOL")" && pwd)/$(basename "$TOOL")"
 
 WORK="$(mktemp -d)"
 SERVER_PID=""
+PRIMARY_PID=""
+STANDBY_PID=""
 cleanup() {
-  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
-    kill "$SERVER_PID" 2>/dev/null || true
-  fi
+  for pid in "$SERVER_PID" "$PRIMARY_PID" "$STANDBY_PID"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill "$pid" 2>/dev/null || true
+    fi
+  done
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -97,6 +116,8 @@ check_queries() {  # check_queries <leg-name>
   echo "   $leg: all ${#QUERIES[@]} query types byte-identical to --local"
 }
 
+if [[ "$LEG" != "cluster" ]]; then
+
 echo "== serve + client round-trip (clean server)"
 start_server
 [[ "$("$TOOL" client --socket "$SOCK" --type ping)" == "pong" ]] \
@@ -124,5 +145,121 @@ grep -qi "overloaded" overload.err || fail "stderr does not name the overload"
 "$TOOL" client --socket "$SOCK" --type support --label 1 \
   --pattern pattern.txt > /dev/null || fail "server unhealthy after shed"
 stop_server
+
+fi  # LEG != cluster
+
+if [[ "$LEG" != "serve" ]]; then
+
+echo "== cluster: publish -> standby sync -> primary loss -> warm failover"
+# A second, genuinely different generation to publish (higher support
+# threshold => different patterns => different content fingerprint).
+"$TOOL" explain --db db.txt --model model.txt --labels 0,1 --theta 0.15 \
+  --out views2.txt
+cmp -s views.txt views2.txt && fail "views2.txt is not a new generation"
+
+PRIMARY_SOCK="$WORK/primary.sock"
+STANDBY_SOCK="$WORK/standby.sock"
+
+wait_for_line() {  # wait_for_line <log> <pid> <pattern>
+  local log="$1" pid="$2" pattern="$3"
+  for _ in $(seq 1 100); do
+    grep -q "$pattern" "$log" && return 0
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  cat "$log" >&2
+  fail "did not see '$pattern' in $log"
+}
+
+# Primary serves the first generation; its armed cluster.install
+# failpoint (limit 1) makes the FIRST published install tear.
+"$TOOL" serve --views views.txt --model model.txt --socket "$PRIMARY_SOCK" \
+  --fail "cluster.install=error(io),limit(1)" > primary.log 2>&1 &
+PRIMARY_PID=$!
+wait_for_line primary.log "$PRIMARY_PID" "serving on"
+
+# Standby: no local views at all, it bootstraps entirely over the wire.
+"$TOOL" serve --follow "unix:$PRIMARY_SOCK" --socket "$STANDBY_SOCK" \
+  --poll-ms 50 > standby.log 2>&1 &
+STANDBY_PID=$!
+wait_for_line standby.log "$STANDBY_PID" "following"
+
+gen1_fp() {  # fingerprint of the primary's live generation
+  "$TOOL" client --socket "$PRIMARY_SOCK" --type generations \
+    | sed -n 's/.*fingerprint \([0-9a-f]\{16\}\).*/\1/p'
+}
+FP1="$(gen1_fp)"
+[[ -n "$FP1" ]] || fail "primary did not report a fingerprint"
+
+standby_stats() { "$TOOL" client --socket "$STANDBY_SOCK" --type stats; }
+wait_for_fp() {  # wait_for_fp <fingerprint>
+  for _ in $(seq 1 100); do
+    standby_stats > standby_stats.json
+    grep -q "\"fingerprint\":\"$1\"" standby_stats.json && return 0
+    sleep 0.1
+  done
+  cat standby_stats.json >&2
+  fail "standby never converged on fingerprint $1"
+}
+wait_for_fp "$FP1"
+echo "   standby synced generation 1 ($FP1)"
+
+echo "== cluster: torn install surfaces as clean publisher error"
+set +e
+"$TOOL" publish --views views2.txt --model model.txt \
+  --socket "$PRIMARY_SOCK" > publish.out 2> publish.err
+rc=$?
+set -e
+[[ "$rc" -eq 8 ]] || fail "expected publish exit 8 (kIoError), got $rc"
+"$TOOL" client --socket "$PRIMARY_SOCK" --type generations | grep -q "$FP1" \
+  || fail "torn install replaced the live generation"
+
+echo "== cluster: clean publish replicates to the standby"
+"$TOOL" publish --views views2.txt --model model.txt \
+  --socket "$PRIMARY_SOCK" > publish.out
+grep -q "installed route=default" publish.out \
+  || fail "publish did not confirm install: $(cat publish.out)"
+FP2="$(sed -n 's/.*fingerprint=\([0-9a-f]\{16\}\).*/\1/p' publish.out)"
+[[ -n "$FP2" && "$FP2" != "$FP1" ]] \
+  || fail "published fingerprint missing or unchanged"
+wait_for_fp "$FP2"
+grep -q '"warmed":1' standby_stats.json \
+  || fail "standby installed generation 2 but is not warm"
+
+echo "== cluster: primary loss -> standby serves warm, byte-identical"
+kill -9 "$PRIMARY_PID" 2>/dev/null || true
+wait "$PRIMARY_PID" 2>/dev/null || true
+PRIMARY_PID=""
+
+warm_pairs() {
+  sed -n 's/.*"serve\.warm_pairs":\([0-9]*\).*/\1/p' standby_stats.json
+}
+standby_stats > standby_stats.json
+WARM_BEFORE="$(warm_pairs)"
+[[ -n "$WARM_BEFORE" ]] || fail "stats missing serve.warm_pairs counter"
+
+for q in "${QUERIES[@]}"; do
+  # shellcheck disable=SC2086
+  "$TOOL" client --socket "$STANDBY_SOCK" $q > socket.out
+  # shellcheck disable=SC2086
+  "$TOOL" client --local views2.txt --model model.txt $q > local.out
+  if ! diff -u local.out socket.out > /dev/null; then
+    diff -u local.out socket.out >&2 || true
+    fail "failover: standby answer differs from in-process answer for: $q"
+  fi
+done
+echo "   failover: all ${#QUERIES[@]} query types byte-identical to --local"
+
+standby_stats > standby_stats.json
+WARM_AFTER="$(warm_pairs)"
+[[ "$WARM_AFTER" == "$WARM_BEFORE" ]] \
+  || fail "failover re-warmed the MatchCache ($WARM_BEFORE -> $WARM_AFTER)"
+echo "   failover: zero MatchCache re-warm (serve.warm_pairs $WARM_AFTER)"
+
+"$TOOL" client --socket "$STANDBY_SOCK" --type shutdown > /dev/null
+wait "$STANDBY_PID" || fail "standby exited non-zero after shutdown"
+STANDBY_PID=""
+
+fi  # LEG != serve
 
 echo "server smoke PASSED"
