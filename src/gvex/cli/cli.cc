@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "gvex/cluster/bundle.h"
+#include "gvex/cluster/publisher.h"
 #include "gvex/cluster/replicator.h"
 
 #include "gvex/common/failpoint.h"
@@ -41,7 +42,8 @@ class Flags {
  public:
   static Result<Flags> Parse(const std::vector<std::string>& args) {
     // Boolean flags take no value; their presence means "true".
-    static const std::set<std::string> kBoolFlags = {"resume"};
+    static const std::set<std::string> kBoolFlags = {"resume",
+                                                     "no-health-gate"};
     Flags flags;
     for (size_t i = 0; i < args.size(); ++i) {
       if (!StartsWith(args[i], "--")) {
@@ -93,7 +95,10 @@ void Usage() {
                "usage: gvex_tool <gen|stats|train|explain|verify|fidelity|"
                "query|serve|client|publish> [--flags]\n"
                "cluster: serve --follow unix:<path>|tcp:<port> tails a "
-               "primary; publish ships a view bundle to a running server\n"
+               "primary; publish ships a view bundle to a running server "
+               "(--targets a,b,c fans out with a health gate)\n"
+               "admission: serve --route-quota name=depth[:share] sheds a "
+               "route's overflow without touching other routes\n"
                "observability: --metrics-out <file> (PerfReport JSON), "
                "--trace-out <file> (chrome://tracing)\n"
                "see src/gvex/cli/cli.h for the full synopsis\n");
@@ -393,7 +398,29 @@ Status CmdServe(const Flags& flags) {
   options.batch_max = static_cast<size_t>(flags.GetInt("batch", 8));
   options.default_deadline_ms =
       static_cast<uint32_t>(flags.GetInt("deadline-ms", 0));
+  // --route-quota a=16:0.25,b=8 — comma-separated name=depth[:share]
+  // specs; each caps one route's queue slots (and optionally its share
+  // of the workers) so a bursty route sheds before starving the rest.
+  if (auto quota_spec = flags.Get("route-quota")) {
+    for (const std::string& entry : SplitString(*quota_spec, ',')) {
+      if (entry.empty()) continue;
+      GVEX_ASSIGN_OR_RETURN(auto quota, serve::ParseRouteQuotaSpec(entry));
+      options.route_quotas[quota.first] = quota.second;
+    }
+  }
   serve::ExplanationServer server(&registry, options);
+  if (replicator != nullptr) {
+    // kHealth reports replication lag next to admission state; the hook
+    // keeps serve/ free of a cluster/ dependency.
+    cluster::Replicator* repl = replicator.get();
+    server.SetHealthHook([repl](serve::HealthInfo* health) {
+      const cluster::ReplicatorStats stats = repl->stats();
+      health->following = true;
+      health->replication_installs = stats.installs;
+      health->replication_lag_polls = stats.consecutive_failures;
+      health->replication_error = stats.last_error;
+    });
+  }
   GVEX_RETURN_NOT_OK(server.Start());
 
   GVEX_ASSIGN_OR_RETURN(serve::Endpoint endpoint, EndpointFromFlags(flags));
@@ -458,6 +485,8 @@ Result<serve::Request> BuildClientRequest(const Flags& flags) {
     req.type = serve::RequestType::kGenerations;
   } else if (type_name == "fetch") {
     req.type = serve::RequestType::kFetch;
+  } else if (type_name == "health") {
+    req.type = serve::RequestType::kHealth;
   } else {
     return Status::InvalidArgument("unknown request type: " + type_name);
   }
@@ -572,6 +601,31 @@ void PrintClientResponse(const serve::Request& req,
       std::printf("\n");
       return;
     }
+    case serve::RequestType::kHealth: {
+      const serve::HealthInfo& h = resp.health;
+      std::printf("serving %d queue %llu/%llu workers %llu\n",
+                  h.serving ? 1 : 0,
+                  static_cast<unsigned long long>(h.queue_depth),
+                  static_cast<unsigned long long>(h.max_queue),
+                  static_cast<unsigned long long>(h.workers));
+      std::printf("route_load %zu\n", h.loads.size());
+      for (const serve::RouteLoad& load : h.loads) {
+        std::printf("  %s queued %llu active %llu quota %llu:%llu shed %llu\n",
+                    load.route.c_str(),
+                    static_cast<unsigned long long>(load.queued),
+                    static_cast<unsigned long long>(load.active),
+                    static_cast<unsigned long long>(load.quota_depth),
+                    static_cast<unsigned long long>(load.quota_workers),
+                    static_cast<unsigned long long>(load.quota_shed));
+      }
+      std::printf("following %d installs %llu lag_polls %llu%s%s\n",
+                  h.following ? 1 : 0,
+                  static_cast<unsigned long long>(h.replication_installs),
+                  static_cast<unsigned long long>(h.replication_lag_polls),
+                  h.replication_error.empty() ? "" : " error ",
+                  h.replication_error.c_str());
+      return;
+    }
     case serve::RequestType::kStats:
     case serve::RequestType::kShutdown:
     case serve::RequestType::kInstall:
@@ -580,12 +634,22 @@ void PrintClientResponse(const serve::Request& req,
   }
 }
 
+/// `client --retry` re-issues load-shed responses: kOverloaded (global
+/// queue full) and kQuotaExceeded (per-route budget) both mean "try
+/// later, the server is healthy". kTimeout is deliberately NOT retried —
+/// the deadline already charged the server for the work once, and a
+/// retry would double-spend it (SERVING.md "overload and retries").
+bool RetryableShed(StatusCode code) {
+  return code == StatusCode::kOverloaded || code == StatusCode::kQuotaExceeded;
+}
+
 Status CmdClient(const Flags& flags) {
   GVEX_ASSIGN_OR_RETURN(serve::Request req, BuildClientRequest(flags));
 
-  // --retry N: re-issue a request shed with kOverloaded (exit 12) up to
-  // N more times, sleeping the shared exponential backoff schedule
-  // between attempts (SERVING.md "overload and retries").
+  // --retry N: re-issue a request shed with kOverloaded (exit 12) or
+  // kQuotaExceeded (exit 13) up to N more times, sleeping the shared
+  // exponential backoff schedule between attempts (SERVING.md "overload
+  // and retries"; see RetryableShed for why timeouts stay final).
   const int retries = static_cast<int>(flags.GetInt("retry", 0));
   const uint32_t backoff_ms =
       static_cast<uint32_t>(flags.GetInt("retry-backoff-ms", 100));
@@ -606,7 +670,7 @@ Status CmdClient(const Flags& flags) {
     serve::ServeHandle handle(&server);
     for (int attempt = 1;; ++attempt) {
       resp = handle.Call(req);
-      if (resp.code != StatusCode::kOverloaded || attempt > retries) break;
+      if (!RetryableShed(resp.code) || attempt > retries) break;
       std::this_thread::sleep_for(std::chrono::milliseconds(
           cluster::RetryBackoffMs(attempt, backoff_ms, 10000)));
     }
@@ -617,7 +681,7 @@ Status CmdClient(const Flags& flags) {
     GVEX_RETURN_NOT_OK(client.Connect(endpoint));
     for (int attempt = 1;; ++attempt) {
       GVEX_ASSIGN_OR_RETURN(resp, client.Call(req));
-      if (resp.code != StatusCode::kOverloaded || attempt > retries) break;
+      if (!RetryableShed(resp.code) || attempt > retries) break;
       std::this_thread::sleep_for(std::chrono::milliseconds(
           cluster::RetryBackoffMs(attempt, backoff_ms, 10000)));
     }
@@ -660,6 +724,40 @@ Status CmdPublish(const Flags& flags) {
     return Status::OK();
   }
 
+  // --targets a,b,c: health-gated fan-out to several servers at once
+  // (publisher.h). Each entry takes the --follow grammar. Mixed outcomes
+  // exit with the distinct partial-failure code; failed targets keep
+  // serving their previous generation untouched.
+  if (auto targets_spec = flags.Get("targets")) {
+    cluster::PublishOptions popts;
+    for (const std::string& entry : SplitString(*targets_spec, ',')) {
+      if (entry.empty()) continue;
+      GVEX_ASSIGN_OR_RETURN(serve::Endpoint target, ParseFollowTarget(entry));
+      popts.targets.push_back(std::move(target));
+    }
+    popts.retries = static_cast<int>(flags.GetInt("retry", 2));
+    popts.backoff_base_ms =
+        static_cast<uint32_t>(flags.GetInt("retry-backoff-ms", 50));
+    popts.jitter_seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
+    popts.health_gate = !flags.Has("no-health-gate");
+    GVEX_ASSIGN_OR_RETURN(cluster::PublishReport report,
+                          cluster::FanOutPublish(bundle, popts));
+    for (const cluster::TargetReport& row : report.targets) {
+      if (row.status.ok()) {
+        std::printf("target %s: ok (attempts %d, fingerprint %s)\n",
+                    row.target.c_str(), row.attempts,
+                    row.fingerprint.c_str());
+      } else {
+        std::printf("target %s: %s (attempts %d%s)\n", row.target.c_str(),
+                    row.status.ToString().c_str(), row.attempts,
+                    row.probed ? "" : ", never probed healthy");
+      }
+    }
+    std::printf("published %zu/%zu targets\n", report.succeeded,
+                report.targets.size());
+    return report.Aggregate();
+  }
+
   GVEX_ASSIGN_OR_RETURN(std::string encoded, cluster::EncodeBundle(bundle));
   GVEX_ASSIGN_OR_RETURN(serve::Endpoint endpoint, EndpointFromFlags(flags));
   serve::SocketClient client;
@@ -691,6 +789,8 @@ int ExitCodeForStatus(const Status& st) {
     case StatusCode::kUnimplemented: return 10;
     case StatusCode::kInfeasible: return 11;
     case StatusCode::kOverloaded: return 12;
+    case StatusCode::kQuotaExceeded: return 13;
+    case StatusCode::kPartialFailure: return 14;
   }
   return 7;
 }

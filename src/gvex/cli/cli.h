@@ -15,19 +15,31 @@
 //   gvex_tool query   --views views.txt --label 1 --pattern pattern.txt
 //   gvex_tool serve   --views views.txt [--model model.txt]
 //                     (--socket /tmp/gvex.sock | --port N)
-//                     [--workers 4 --queue 256 --batch 8 --deadline-ms 0]
+//                     [--workers 4 --queue 256 --batch 8 --deadline-ms 0
+//                      --route NAME --route-quota "exp=8:0.25,canary=16"
+//                      --follow (unix:PATH|tcp:PORT) --poll-ms 200]
 //   gvex_tool client  (--socket PATH | --port N | --local views.txt
 //                      [--model model.txt])
 //                     --type ping|support|contains|hits|discriminative|
-//                            classify|stats|shutdown
+//                            classify|stats|generations|health|fetch|
+//                            shutdown
 //                     [--label L --against L2 --pattern p.txt
 //                      --graph g.txt | --graph-db db.txt --graph-index I
 //                      --semantics subgraph|induced --max-embeddings 64
-//                      --deadline-ms MS --text STR]
+//                      --deadline-ms MS --text STR --route NAME
+//                      --retry N --retry-backoff-ms MS]
+//   gvex_tool publish --views views.txt [--model model.txt] [--route NAME]
+//                     (--socket PATH | --port N | --out bundle.bin |
+//                      --targets "unix:A,unix:B,tcp:PORT"
+//                      [--retry 2 --retry-backoff-ms 50 --no-health-gate])
 //
 // `serve` answers explanation queries over a Unix or loopback TCP socket
 // (docs/SERVING.md); `client --local` runs the identical request path
-// in-process, so socket and local outputs diff byte-for-byte.
+// in-process, so socket and local outputs diff byte-for-byte. `client
+// --retry` retries shed requests (kOverloaded and kQuotaExceeded; never
+// kTimeout). `publish --targets` fan-outs one bundle to N servers with
+// health-gated installs and per-target status rows; a mixed outcome
+// exits with the distinct kPartialFailure code (14).
 //
 // Every subcommand accepts --fail "site=spec[;site=spec...]" to arm
 // fault-injection failpoints (see gvex/common/failpoint.h), plus

@@ -1,0 +1,164 @@
+#include "gvex/cluster/publisher.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "gvex/cluster/replicator.h"
+#include "gvex/common/failpoint.h"
+#include "gvex/obs/obs.h"
+
+namespace gvex {
+namespace cluster {
+
+namespace {
+
+/// One target's healthy/unhealthy verdict. Reachability alone is not
+/// enough: a server whose admission queue is already full should not be
+/// handed a bundle install on top.
+bool HealthAdmits(const serve::HealthInfo& health) {
+  return health.max_queue == 0 || health.queue_depth < health.max_queue;
+}
+
+Status PublishOne(const ViewBundle& bundle, const std::string& encoded,
+                  const std::string& expect_fingerprint,
+                  const serve::Endpoint& endpoint,
+                  const PublishOptions& options, TargetReport* report) {
+  serve::SocketClient client;
+  Status last = Status::Internal("publish never attempted");
+  for (int attempt = 1; attempt <= options.retries + 1; ++attempt) {
+    if (attempt > 1) {
+      GVEX_COUNTER_INC("cluster.publish_retries");
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          JitteredBackoffMs(attempt - 1, options.backoff_base_ms,
+                            options.backoff_max_ms, options.jitter_seed)));
+    }
+    ++report->attempts;
+    client.Close();
+    last = client.Connect(endpoint);
+    if (!last.ok()) continue;
+
+    if (options.health_gate) {
+      last = failpoint::Check("cluster.publish_probe");
+      if (!last.ok()) continue;
+      serve::Request probe;
+      probe.type = serve::RequestType::kHealth;
+      probe.id = static_cast<uint64_t>(attempt);
+      Result<serve::Response> answer = client.Call(probe);
+      if (!answer.ok()) {
+        last = answer.status();
+        continue;
+      }
+      if (!answer->ok()) {
+        last = answer->ToStatus();
+        continue;
+      }
+      report->probed = true;
+      report->health = answer->health;
+      if (!HealthAdmits(answer->health)) {
+        last = Status::Overloaded("target " + endpoint.ToString() +
+                                  " reports a full admission queue");
+        continue;
+      }
+    }
+
+    last = failpoint::Check("cluster.publish_send");
+    if (!last.ok()) continue;
+    serve::Request install;
+    install.type = serve::RequestType::kInstall;
+    install.id = static_cast<uint64_t>(attempt);
+    install.bundle = encoded;
+    Result<serve::Response> answer = client.Call(install);
+    if (!answer.ok()) {
+      last = answer.status();
+      continue;
+    }
+    if (!answer->ok()) {
+      // The server rejected the bundle (torn payload, route mismatch,
+      // failed validation). Deterministic — retrying cannot help.
+      return answer->ToStatus();
+    }
+    for (const serve::RouteInfo& route : answer->routes) {
+      if (route.route == bundle.route) report->fingerprint = route.fingerprint;
+    }
+    if (report->fingerprint != expect_fingerprint) {
+      return Status::Internal("target " + endpoint.ToString() +
+                              " installed fingerprint '" +
+                              report->fingerprint + "' but the bundle is '" +
+                              expect_fingerprint + "'");
+    }
+    return Status::OK();
+  }
+  return last;
+}
+
+}  // namespace
+
+Status PublishReport::Aggregate() const {
+  if (failed == 0) return Status::OK();
+  if (succeeded == 0) {
+    // Every target failed: surface the worst row so single-target
+    // publishes keep their precise exit codes (a torn bundle is still
+    // kIoError, an unreachable server still kIoError, etc.).
+    for (const TargetReport& t : targets) {
+      if (!t.status.ok()) return t.status;
+    }
+  }
+  std::string failures;
+  for (const TargetReport& t : targets) {
+    if (t.status.ok()) continue;
+    if (!failures.empty()) failures += "; ";
+    failures += t.target + ": " + t.status.ToString();
+  }
+  return Status::PartialFailure(
+      std::to_string(succeeded) + "/" + std::to_string(targets.size()) +
+      " targets installed; failed: " + failures);
+}
+
+Result<PublishReport> FanOutPublish(const ViewBundle& bundle,
+                                    const PublishOptions& options) {
+  if (options.targets.empty()) {
+    return Status::InvalidArgument("publish needs at least one target");
+  }
+  GVEX_ASSIGN_OR_RETURN(const std::string encoded, EncodeBundle(bundle));
+  GVEX_ASSIGN_OR_RETURN(const std::string fingerprint,
+                        BundleFingerprint(bundle));
+
+  PublishReport report;
+  report.targets.resize(options.targets.size());
+  GVEX_COUNTER_ADD("cluster.publish_targets", options.targets.size());
+
+  // One connection per target, in parallel: a slow or dead target costs
+  // its own retries, not the fleet's wall clock. Sequential mode keeps
+  // everything on this thread for deterministic fault injection.
+  std::vector<std::thread> threads;
+  threads.reserve(options.targets.size());
+  for (size_t i = 0; i < options.targets.size(); ++i) {
+    TargetReport* row = &report.targets[i];
+    const serve::Endpoint* endpoint = &options.targets[i];
+    row->target = endpoint->ToString();
+    auto task = [&, row, endpoint] {
+      row->status = PublishOne(bundle, encoded, fingerprint, *endpoint,
+                               options, row);
+    };
+    if (options.sequential) {
+      task();
+    } else {
+      threads.emplace_back(task);
+    }
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (const TargetReport& row : report.targets) {
+    if (row.status.ok()) {
+      ++report.succeeded;
+    } else {
+      ++report.failed;
+      GVEX_COUNTER_INC("cluster.publish_failures");
+    }
+  }
+  return report;
+}
+
+}  // namespace cluster
+}  // namespace gvex

@@ -43,6 +43,7 @@ Result<StatusCode> ParseCode(const std::string& name) {
   if (name == "failed_precondition") return StatusCode::kFailedPrecondition;
   if (name == "out_of_range") return StatusCode::kOutOfRange;
   if (name == "overloaded") return StatusCode::kOverloaded;
+  if (name == "quota") return StatusCode::kQuotaExceeded;
   return Status::InvalidArgument("unknown failpoint status code: " + name);
 }
 

@@ -44,7 +44,8 @@ struct FailpointSpec {
 ///   off | error | error(<code>) | delay(<ms>) |
 ///   skip(<n>) | limit(<n>) | 1in(<n>)
 /// where <code> is one of io, internal, timeout, notfound, invalid,
-/// infeasible, failed_precondition, out_of_range, overloaded. Example:
+/// infeasible, failed_precondition, out_of_range, overloaded, quota.
+/// Example:
 ///   "error(io),skip(3),limit(1)"  — fail the 4th hit with IoError, once.
 Result<FailpointSpec> ParseSpec(const std::string& spec);
 

@@ -28,6 +28,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Infeasible";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kQuotaExceeded:
+      return "QuotaExceeded";
+    case StatusCode::kPartialFailure:
+      return "PartialFailure";
   }
   return "Unknown";
 }

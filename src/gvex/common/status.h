@@ -23,6 +23,8 @@ enum class StatusCode : int {
   kUnimplemented = 9,
   kInfeasible = 10,  // e.g. no explanation view satisfies the configuration
   kOverloaded = 11,  // admission control shed the request; retry later
+  kQuotaExceeded = 12,  // a per-route admission quota shed the request
+  kPartialFailure = 13,  // a fan-out operation succeeded on some targets only
 };
 
 /// \brief Outcome of a fallible operation.
@@ -73,6 +75,12 @@ class Status {
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
   }
+  static Status QuotaExceeded(std::string msg) {
+    return Status(StatusCode::kQuotaExceeded, std::move(msg));
+  }
+  static Status PartialFailure(std::string msg) {
+    return Status(StatusCode::kPartialFailure, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -88,6 +96,12 @@ class Status {
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
+  bool IsQuotaExceeded() const {
+    return code() == StatusCode::kQuotaExceeded;
+  }
+  bool IsPartialFailure() const {
+    return code() == StatusCode::kPartialFailure;
+  }
 
   std::string ToString() const;
 

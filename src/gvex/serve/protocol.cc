@@ -72,6 +72,7 @@ const char* RequestTypeName(RequestType type) {
     case RequestType::kInstall: return "install";
     case RequestType::kGenerations: return "generations";
     case RequestType::kFetch: return "fetch";
+    case RequestType::kHealth: return "health";
   }
   return "unknown";
 }
@@ -106,7 +107,7 @@ Result<Request> DecodeRequestBody(const std::string& body) {
   Request req;
   int type = 0, semantics = 0, has_graph = 0;
   GVEX_RETURN_NOT_OK(ReadField(&in, "type", &type));
-  if (type < 0 || type > static_cast<int>(RequestType::kFetch)) {
+  if (type < 0 || type > static_cast<int>(RequestType::kHealth)) {
     return Status::InvalidArgument("unknown request type " +
                                    std::to_string(type));
   }
@@ -162,6 +163,24 @@ std::string EncodeResponseBody(const Response& resp) {
   }
   WriteBlob(&out, "bundle", resp.bundle);
   WriteBlob(&out, "text", resp.text);
+  // Health rides as one "health 0|1" flag plus fixed scalars and one
+  // load row per route (route names are wire-inline words; the error
+  // message is a blob since it carries free-form text).
+  out << "health " << (resp.has_health ? 1 : 0) << "\n";
+  if (resp.has_health) {
+    const HealthInfo& h = resp.health;
+    out << "hstate " << (h.serving ? 1 : 0) << " " << h.queue_depth << " "
+        << h.max_queue << " " << h.workers << " " << (h.following ? 1 : 0)
+        << " " << h.replication_installs << " " << h.replication_lag_polls
+        << "\n";
+    WriteBlob(&out, "herror", h.replication_error);
+    out << "loads " << h.loads.size() << "\n";
+    for (const RouteLoad& l : h.loads) {
+      out << l.route << " " << l.queued << " " << l.active << " "
+          << l.quota_depth << " " << l.quota_workers << " " << l.quota_shed
+          << "\n";
+    }
+  }
   out << "end\n";
   return std::move(out).str();
 }
@@ -174,7 +193,7 @@ Result<Response> DecodeResponseBody(const std::string& body) {
   int code = 0;
   GVEX_RETURN_NOT_OK(ReadField(&in, "id", &resp.id));
   GVEX_RETURN_NOT_OK(ReadField(&in, "code", &code));
-  if (code < 0 || code > static_cast<int>(StatusCode::kOverloaded)) {
+  if (code < 0 || code > static_cast<int>(StatusCode::kPartialFailure)) {
     return Status::InvalidArgument("unknown status code " +
                                    std::to_string(code));
   }
@@ -227,6 +246,31 @@ Result<Response> DecodeResponseBody(const std::string& body) {
   }
   GVEX_RETURN_NOT_OK(ReadBlob(&in, "bundle", &resp.bundle));
   GVEX_RETURN_NOT_OK(ReadBlob(&in, "text", &resp.text));
+  int has_health = 0;
+  GVEX_RETURN_NOT_OK(ReadField(&in, "health", &has_health));
+  resp.has_health = has_health != 0;
+  if (resp.has_health) {
+    HealthInfo& h = resp.health;
+    int serving = 0, following = 0;
+    GVEX_RETURN_NOT_OK(ExpectWord(&in, "hstate"));
+    if (!(in >> serving >> h.queue_depth >> h.max_queue >> h.workers >>
+          following >> h.replication_installs >> h.replication_lag_polls)) {
+      return Status::IoError("bad health state row");
+    }
+    h.serving = serving != 0;
+    h.following = following != 0;
+    GVEX_RETURN_NOT_OK(ReadBlob(&in, "herror", &h.replication_error));
+    GVEX_RETURN_NOT_OK(ReadField(&in, "loads", &n));
+    if (n > kMaxFrameBytes) return Status::IoError("loads count exceeds cap");
+    h.loads.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      RouteLoad& l = h.loads[i];
+      if (!(in >> l.route >> l.queued >> l.active >> l.quota_depth >>
+            l.quota_workers >> l.quota_shed)) {
+        return Status::IoError("bad health load row");
+      }
+    }
+  }
   GVEX_RETURN_NOT_OK(ExpectWord(&in, "end"));
   return resp;
 }

@@ -46,6 +46,7 @@ enum class RequestType : uint8_t {
   kInstall = 8,                ///< install the gvexbundle-v1 in `bundle` (publish)
   kGenerations = 9,            ///< list per-route generation/fingerprint state
   kFetch = 10,                 ///< fetch the live generation of `route` as a bundle
+  kHealth = 11,                ///< health probe (HealthInfo); never queued
 };
 
 const char* RequestTypeName(RequestType type);
@@ -68,6 +69,38 @@ struct Request {
   std::string text;            ///< kPing payload
   std::string route;           ///< "" = default route (gvex::cluster)
   std::string bundle;          ///< kInstall: gvexbundle-v1 bytes
+};
+
+/// \brief Per-route admission load as reported by kHealth: quota
+/// occupancy (queued + actively executing requests) and quota sheds.
+struct RouteLoad {
+  std::string route;
+  uint64_t queued = 0;        ///< requests of this route waiting in queue
+  uint64_t active = 0;        ///< workers currently executing this route
+  uint64_t quota_depth = 0;   ///< configured queue budget (0 = unlimited)
+  uint64_t quota_workers = 0; ///< configured worker cap (0 = unlimited)
+  uint64_t quota_shed = 0;    ///< requests shed with kQuotaExceeded so far
+  bool operator==(const RouteLoad&) const = default;
+};
+
+/// \brief The kHealth payload: enough state for a publisher to decide
+/// whether a target should receive a bundle, and for operators to see
+/// replication lag at a glance. Route generations ride in
+/// Response::routes next to this.
+struct HealthInfo {
+  bool serving = false;        ///< at least one route has published views
+  uint64_t queue_depth = 0;    ///< global admission queue occupancy
+  uint64_t max_queue = 0;      ///< global admission bound
+  uint64_t workers = 0;
+  std::vector<RouteLoad> loads;
+  // Replication (standbys only; `following` false on a primary).
+  bool following = false;
+  uint64_t replication_installs = 0;
+  /// Consecutive failed poll rounds — the lag signal: 0 means the last
+  /// poll reached the primary.
+  uint64_t replication_lag_polls = 0;
+  std::string replication_error;  ///< last poll error ("" when healthy)
+  bool operator==(const HealthInfo&) const = default;
 };
 
 /// \brief Per-route registry state as reported by kGenerations / kStats.
@@ -103,6 +136,8 @@ struct Response {
   std::vector<RouteInfo> routes;     // kGenerations
   std::string bundle;                // kFetch: gvexbundle-v1 bytes
   std::string text;                  // kPing / kStats / kInstall summary
+  bool has_health = false;           // kHealth
+  HealthInfo health;                 // kHealth
 
   bool ok() const { return code == StatusCode::kOk; }
   Status ToStatus() const {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdlib>
+#include <utility>
 
 #include "gvex/common/failpoint.h"
 #include "gvex/explain/query.h"
@@ -69,11 +71,49 @@ obs::Histogram& EndpointHistogram(RequestType type) {
       &obs::Registry::Global().GetHistogram("serve.exec_install_us"),
       &obs::Registry::Global().GetHistogram("serve.exec_generations_us"),
       &obs::Registry::Global().GetHistogram("serve.exec_fetch_us"),
+      &obs::Registry::Global().GetHistogram("serve.exec_health_us"),
   };
   return *hists[static_cast<size_t>(type)];
 }
 
 }  // namespace
+
+Result<std::pair<std::string, RouteQuota>> ParseRouteQuotaSpec(
+    const std::string& spec) {
+  const size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("bad route quota '" + spec +
+                                   "' (want name=depth[:share])");
+  }
+  const std::string route = spec.substr(0, eq);
+  if (!cluster::IsValidRouteName(route)) {
+    return Status::InvalidArgument("bad route name in quota: '" + route + "'");
+  }
+  std::string budget = spec.substr(eq + 1);
+  RouteQuota quota;
+  const size_t colon = budget.find(':');
+  if (colon != std::string::npos) {
+    char* end = nullptr;
+    quota.worker_share = std::strtod(budget.c_str() + colon + 1, &end);
+    if (end == nullptr || *end != '\0' || quota.worker_share <= 0.0 ||
+        quota.worker_share > 1.0) {
+      return Status::InvalidArgument("bad worker share in quota '" + spec +
+                                     "' (want a fraction in (0, 1])");
+    }
+    budget = budget.substr(0, colon);
+  }
+  char* end = nullptr;
+  const long depth = std::strtol(budget.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || budget.empty() || depth < 0) {
+    return Status::InvalidArgument("bad queue depth in quota '" + spec + "'");
+  }
+  quota.max_depth = static_cast<size_t>(depth);
+  if (quota.max_depth == 0 && quota.worker_share == 0.0) {
+    return Status::InvalidArgument("quota '" + spec +
+                                   "' bounds nothing (depth 0, no share)");
+  }
+  return std::make_pair(route, quota);
+}
 
 // ---- DeadlineMonitor --------------------------------------------------------
 
@@ -187,6 +227,23 @@ std::future<Response> ExplanationServer::Submit(Request req) {
     }
   }
 
+  // Health probes are answered inline, never queued: the publisher's
+  // health gate (and any operator poking at a sick process) must be able
+  // to observe saturation while the admission queue is shedding
+  // everything else.
+  if (item->req.type == RequestType::kHealth) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!started_ || stopping_) {
+        item->promise.set_value(ErrorResponse(
+            item->req, Status::FailedPrecondition("server is not running")));
+        return future;
+      }
+    }
+    item->promise.set_value(Execute(item->req, nullptr, item->cancel.get()));
+    return future;
+  }
+
   const uint32_t deadline_ms = item->req.deadline_ms != 0
                                    ? item->req.deadline_ms
                                    : options_.default_deadline_ms;
@@ -213,6 +270,23 @@ std::future<Response> ExplanationServer::Submit(Request req) {
                              " deep); retry later")));
       return future;
     }
+    const std::string& route = RouteOf(item->req);
+    RouteCounters& load = route_load_[route];
+    auto quota = options_.route_quotas.find(route);
+    if (quota != options_.route_quotas.end() &&
+        quota->second.max_depth != 0 &&
+        load.queued >= quota->second.max_depth) {
+      ++load.quota_shed;
+      GVEX_COUNTER_INC("serve.quota_shed");
+      GVEX_COUNTER_INC("serve.quota_shed." + route);
+      item->promise.set_value(ErrorResponse(
+          item->req,
+          Status::QuotaExceeded(
+              "route '" + route + "' queue budget full (" +
+              std::to_string(quota->second.max_depth) + " deep); retry later")));
+      return future;
+    }
+    ++load.queued;
     if (item->has_deadline) {
       token_to_watch = item->cancel;
       watch_deadline = item->deadline;
@@ -241,11 +315,47 @@ size_t ExplanationServer::queue_peak() const {
   return queue_peak_;
 }
 
+size_t ExplanationServer::MaxActiveWorkers(const std::string& route) const {
+  auto it = options_.route_quotas.find(route);
+  if (it == options_.route_quotas.end() || it->second.worker_share <= 0.0) {
+    return 0;  // unlimited
+  }
+  const double share = it->second.worker_share;
+  const size_t cap =
+      static_cast<size_t>(share * static_cast<double>(options_.num_workers));
+  return std::max<size_t>(1, cap);
+}
+
+bool ExplanationServer::DispatchableLocked(const Item& item) const {
+  if (stopping_) return true;  // drain regardless of worker-share caps
+  const size_t cap = MaxActiveWorkers(RouteOf(item.req));
+  if (cap == 0) return true;
+  auto it = route_load_.find(RouteOf(item.req));
+  return it == route_load_.end() || it->second.active < cap;
+}
+
+bool ExplanationServer::AnyDispatchableLocked() const {
+  if (queue_.empty()) return false;
+  // No worker-share quotas configured: the pre-quota fast path.
+  if (options_.route_quotas.empty()) return true;
+  for (const auto& item : queue_) {
+    if (DispatchableLocked(*item)) return true;
+  }
+  return false;
+}
+
 std::vector<std::unique_ptr<ExplanationServer::Item>>
 ExplanationServer::TakeBatchLocked() {
   std::vector<std::unique_ptr<Item>> batch;
-  batch.push_back(std::move(queue_.front()));
-  queue_.pop_front();
+  // The head of the batch is the oldest *dispatchable* request: queued
+  // requests of a route sitting at its worker cap are skipped (they keep
+  // their queue slot) so other routes' requests overtake them.
+  auto head_it = queue_.begin();
+  while (head_it != queue_.end() && !DispatchableLocked(**head_it)) ++head_it;
+  if (head_it == queue_.end()) return batch;
+  --route_load_[RouteOf((*head_it)->req)].queued;
+  batch.push_back(std::move(*head_it));
+  queue_.erase(head_it);
   const Request& head = batch.front()->req;
   if (!IsPatternQuery(head.type) || options_.batch_max <= 1) return batch;
   // Greedily claim queued pattern queries against the same view (same
@@ -257,6 +367,7 @@ ExplanationServer::TakeBatchLocked() {
     const Request& r = (*it)->req;
     if (IsPatternQuery(r.type) && RouteOf(r) == RouteOf(head) &&
         r.label == head.label && r.semantics == head.semantics) {
+      --route_load_[RouteOf(r)].queued;
       batch.push_back(std::move(*it));
       it = queue_.erase(it);
     } else {
@@ -269,14 +380,18 @@ ExplanationServer::TakeBatchLocked() {
 void ExplanationServer::WorkerLoop() {
   for (;;) {
     std::vector<std::unique_ptr<Item>> batch;
+    std::string route;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      cv_.wait(lock, [this] { return stopping_ || AnyDispatchableLocked(); });
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
       }
       batch = TakeBatchLocked();
+      if (batch.empty()) continue;  // woken, but every queued route capped
+      route = RouteOf(batch.front()->req);
+      ++route_load_[route].active;
     }
     if (batch.size() > 1) {
       GVEX_COUNTER_INC("serve.batches");
@@ -285,10 +400,16 @@ void ExplanationServer::WorkerLoop() {
     }
     // One pin per batch; every member of a multi-item batch shares the
     // head's route by the TakeBatchLocked key.
-    auto snap = registry_->Snapshot(RouteOf(batch.front()->req));
+    auto snap = registry_->Snapshot(route);
     for (auto& item : batch) {
       Process(item.get(), snap.get());
     }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --route_load_[route].active;
+    }
+    // A freed worker slot may make a capped route dispatchable again.
+    cv_.notify_all();
   }
 }
 
@@ -344,6 +465,15 @@ Response ExplanationServer::Execute(const Request& req,
       return resp;
     case RequestType::kStats:
       resp.text = StatsJson();
+      return resp;
+    case RequestType::kHealth:
+      resp.health = Health();
+      resp.has_health = true;
+      if (registry_ != nullptr) {
+        for (const RouteStatus& status : registry_->RouteStatuses()) {
+          resp.routes.push_back(ToRouteInfo(status));
+        }
+      }
       return resp;
     case RequestType::kShutdown:
       // The transport layer (socket server / CLI) owns lifecycle; here
@@ -513,6 +643,56 @@ Response ExplanationServer::Execute(const Request& req,
   return resp;
 }
 
+std::vector<RouteLoad> ExplanationServer::RouteLoads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Seed with quota-configured routes so a quota is visible in health
+  // before its route ever takes traffic, then overlay live counters.
+  std::map<std::string, RouteLoad> merged;
+  for (const auto& [route, quota] : options_.route_quotas) {
+    RouteLoad& l = merged[route];
+    l.route = route;
+    l.quota_depth = quota.max_depth;
+    l.quota_workers = MaxActiveWorkers(route);
+  }
+  for (const auto& [route, counters] : route_load_) {
+    RouteLoad& l = merged[route];
+    l.route = route;
+    l.queued = counters.queued;
+    l.active = counters.active;
+    l.quota_shed = counters.quota_shed;
+    auto it = options_.route_quotas.find(route);
+    if (it != options_.route_quotas.end()) {
+      l.quota_depth = it->second.max_depth;
+      l.quota_workers = MaxActiveWorkers(route);
+    }
+  }
+  std::vector<RouteLoad> out;
+  out.reserve(merged.size());
+  for (auto& [route, load] : merged) out.push_back(std::move(load));
+  return out;
+}
+
+HealthInfo ExplanationServer::Health() const {
+  HealthInfo h;
+  h.workers = options_.num_workers;
+  h.max_queue = options_.max_queue;
+  h.serving = registry_ != nullptr && !registry_->Routes().empty();
+  h.loads = RouteLoads();
+  std::function<void(HealthInfo*)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    h.queue_depth = queue_.size();
+    hook = health_hook_;
+  }
+  if (hook) hook(&h);
+  return h;
+}
+
+void ExplanationServer::SetHealthHook(std::function<void(HealthInfo*)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  health_hook_ = std::move(hook);
+}
+
 std::string ExplanationServer::StatsJson() const {
   obs::JsonWriter json;
   json.BeginObject();
@@ -557,6 +737,24 @@ std::string ExplanationServer::StatsJson() const {
     json.Key("queue_peak");
     json.Uint(queue_peak_);
   }
+  json.Key("route_load");
+  json.BeginObject();
+  for (const RouteLoad& load : RouteLoads()) {
+    json.Key(load.route);
+    json.BeginObject();
+    json.Key("queued");
+    json.Uint(load.queued);
+    json.Key("active");
+    json.Uint(load.active);
+    json.Key("quota_depth");
+    json.Uint(load.quota_depth);
+    json.Key("quota_workers");
+    json.Uint(load.quota_workers);
+    json.Key("quota_shed");
+    json.Uint(load.quota_shed);
+    json.EndObject();
+  }
+  json.EndObject();
   json.Key("counters");
   json.BeginObject();
   for (const auto& c : obs::Registry::Global().Counters()) {

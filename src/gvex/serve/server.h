@@ -19,6 +19,16 @@
 // while still queued are dropped in O(1) at dispatch
 // ("serve.deadline_miss").
 //
+// Route quotas (gvex::cluster self-protection): each route may carry an
+// admission budget — a per-route queue depth and a worker-share cap —
+// so a bursty experimental route sheds with kQuotaExceeded at its own
+// budget instead of starving the default route of the shared queue and
+// worker pool. Depth is enforced at admission; the worker share is
+// enforced at dispatch (a worker skips queued requests whose route
+// already occupies its worker cap), so an over-quota route's backlog can
+// wait while other routes' requests overtake it. Routes without a quota
+// are bounded only by the global max_queue.
+//
 // Failpoints: "serve.admit" (injects admission failure, e.g.
 // error(overloaded)), "serve.exec" (injects execution failure),
 // "serve.exec_delay" (delay(<ms>): per-request service time — used by
@@ -35,7 +45,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -48,6 +60,22 @@
 
 namespace gvex {
 namespace serve {
+
+/// \brief Admission budget for one route. Zero fields are unlimited.
+struct RouteQuota {
+  /// Queue-depth budget: queued requests of the route beyond this are
+  /// shed with kQuotaExceeded at admission.
+  size_t max_depth = 0;
+  /// Worker-share budget in (0, 1]: the route may occupy at most
+  /// max(1, floor(share * num_workers)) workers concurrently.
+  double worker_share = 0.0;
+};
+
+/// Parse "name=depth[:share]" (the `serve --route-quota` grammar) into a
+/// (route, quota) pair. depth 0 means "no depth bound" (share-only
+/// quotas); share, when present, must be in (0, 1].
+Result<std::pair<std::string, RouteQuota>> ParseRouteQuotaSpec(
+    const std::string& spec);
 
 struct ServerOptions {
   size_t num_workers = 4;
@@ -62,6 +90,10 @@ struct ServerOptions {
   /// Route matches through the shared MatchCache (default). The serving
   /// bench disables this so every request performs real matching work.
   bool use_match_cache = true;
+  /// Per-route admission budgets, keyed by route name (the default route
+  /// is cluster::kDefaultRoute). Routes without an entry are unbounded
+  /// up to max_queue.
+  std::map<std::string, RouteQuota> route_quotas;
 };
 
 class ExplanationServer {
@@ -100,6 +132,18 @@ class ExplanationServer {
   /// counter/histogram as a JSON object.
   std::string StatsJson() const;
 
+  /// Per-route admission occupancy (queued, active, quota, sheds) for
+  /// every route seen since Start — the kHealth loads table.
+  std::vector<RouteLoad> RouteLoads() const;
+
+  /// The kHealth payload, minus whatever the hook adds.
+  HealthInfo Health() const;
+
+  /// Lets the process owner (the CLI) graft replication state onto
+  /// kHealth responses: the hook runs after the server fills its own
+  /// fields. Pass nullptr to clear. Must not call back into the server.
+  void SetHealthHook(std::function<void(HealthInfo*)> hook);
+
  private:
   struct Item {
     Request req;
@@ -130,7 +174,20 @@ class ExplanationServer {
     bool started_ = false;
   };
 
+  /// Occupancy bookkeeping for one route (created on first sight).
+  struct RouteCounters {
+    size_t queued = 0;          ///< items of this route currently in queue
+    size_t active = 0;          ///< workers currently executing this route
+    uint64_t quota_shed = 0;    ///< admission sheds with kQuotaExceeded
+  };
+
   void WorkerLoop();
+  /// Worker cap for `route` under its quota (0 = unlimited).
+  size_t MaxActiveWorkers(const std::string& route) const;
+  /// True when some queued item may be dispatched right now (its route is
+  /// under its worker cap, or the server is draining).
+  bool AnyDispatchableLocked() const;
+  bool DispatchableLocked(const Item& item) const;
   std::vector<std::unique_ptr<Item>> TakeBatchLocked();
   void Process(Item* item, const LoadedViewSet* snap);
   Response Execute(const Request& req, const LoadedViewSet* snap,
@@ -145,6 +202,8 @@ class ExplanationServer {
   size_t queue_peak_ = 0;
   bool started_ = false;
   bool stopping_ = false;
+  std::map<std::string, RouteCounters> route_load_;
+  std::function<void(HealthInfo*)> health_hook_;
 
   std::vector<std::thread> workers_;
   DeadlineMonitor monitor_;

@@ -10,6 +10,8 @@
 #include <cstring>
 #include <utility>
 
+#include "gvex/common/failpoint.h"
+
 namespace gvex {
 namespace serve {
 
@@ -19,12 +21,53 @@ Status Errno(const std::string& what) {
   return Status::IoError(what + ": " + std::strerror(errno));
 }
 
-// Full-buffer send; MSG_NOSIGNAL so a dead peer yields EPIPE instead of
-// killing the process with SIGPIPE.
-Status WriteAll(int fd, const char* data, size_t size) {
+// SIGPIPE must never escape the transport: a peer that dies mid-frame
+// has to surface as a clean IoError Status, not kill the process. On
+// Linux every send carries MSG_NOSIGNAL; platforms without it (macOS)
+// suppress per-socket via SO_NOSIGPIPE instead.
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+void DisableSigpipe(int fd) {
+#ifdef SO_NOSIGPIPE
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;
+#endif
+}
+
+// Chaos shim: an armed "socket.<side>.<op>" failpoint injects socket-
+// level faults into the real transport — error specs simulate a peer
+// vanishing mid-frame (a partial prefix goes out, then the connection is
+// hard-killed so the peer observes a short frame), delay specs simulate
+// stalled reads/writes. See cluster/chaos.h for the scenario runner that
+// drives these deterministically.
+Status InjectSocketFault(int fd, const char* site, const char* data,
+                         size_t size) {
+  Status injected = failpoint::Check(site);
+  if (injected.ok()) return injected;
+  if (data != nullptr && size > 1) {
+    // Best-effort partial prefix; the fault wins regardless of outcome.
+    (void)!::send(fd, data, size / 2, kSendFlags);
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  return injected;
+}
+
+// Full-buffer send; a dead peer yields EPIPE instead of killing the
+// process with SIGPIPE (kSendFlags / DisableSigpipe above).
+Status WriteAll(int fd, const char* data, size_t size,
+                const char* fault_site) {
+  if (failpoint::AnyArmed()) {
+    GVEX_RETURN_NOT_OK(InjectSocketFault(fd, fault_site, data, size));
+  }
   size_t sent = 0;
   while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd, data + sent, size - sent, kSendFlags);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Errno("send");
@@ -36,7 +79,10 @@ Status WriteAll(int fd, const char* data, size_t size) {
 
 // Full-buffer recv; EOF mid-message and EOF at a frame boundary both
 // surface as IoError (connection loops just stop on either).
-Status ReadExact(int fd, char* data, size_t size) {
+Status ReadExact(int fd, char* data, size_t size, const char* fault_site) {
+  if (failpoint::AnyArmed()) {
+    GVEX_RETURN_NOT_OK(InjectSocketFault(fd, fault_site, nullptr, 0));
+  }
   size_t got = 0;
   while (got < size) {
     const ssize_t n = ::recv(fd, data + got, size - got, 0);
@@ -53,18 +99,21 @@ Status ReadExact(int fd, char* data, size_t size) {
   return Status::OK();
 }
 
-Status SendFrame(int fd, const std::string& body) {
+Status SendFrame(int fd, const std::string& body, bool client_side) {
   const std::string frame = FrameMessage(body);
-  return WriteAll(fd, frame.data(), frame.size());
+  return WriteAll(fd, frame.data(), frame.size(),
+                  client_side ? "socket.client.send" : "socket.server.send");
 }
 
-Status RecvFrame(int fd, std::string* body) {
+Status RecvFrame(int fd, std::string* body, bool client_side) {
+  const char* site =
+      client_side ? "socket.client.recv" : "socket.server.recv";
   char header[8];
-  GVEX_RETURN_NOT_OK(ReadExact(fd, header, sizeof(header)));
+  GVEX_RETURN_NOT_OK(ReadExact(fd, header, sizeof(header), site));
   uint32_t crc = 0;
   GVEX_ASSIGN_OR_RETURN(const uint32_t len, ParseFrameHeader(header, &crc));
   body->resize(len);
-  if (len > 0) GVEX_RETURN_NOT_OK(ReadExact(fd, body->data(), len));
+  if (len > 0) GVEX_RETURN_NOT_OK(ReadExact(fd, body->data(), len, site));
   return VerifyFrameBody(*body, crc);
 }
 
@@ -124,6 +173,8 @@ Result<int> ListenTcp(uint16_t port, uint16_t* bound_port) {
 }
 
 Result<int> ConnectEndpoint(const Endpoint& endpoint) {
+  // Chaos shim: connection refusal without needing a dead endpoint.
+  GVEX_FAILPOINT_RETURN("socket.client.connect");
   if (endpoint.is_unix()) {
     sockaddr_un addr;
     std::memset(&addr, 0, sizeof(addr));
@@ -141,6 +192,7 @@ Result<int> ConnectEndpoint(const Endpoint& endpoint) {
       ::close(fd);
       return st;
     }
+    DisableSigpipe(fd);
     return fd;
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -156,6 +208,7 @@ Result<int> ConnectEndpoint(const Endpoint& endpoint) {
     ::close(fd);
     return st;
   }
+  DisableSigpipe(fd);
   return fd;
 }
 
@@ -253,6 +306,7 @@ void SocketServer::AcceptLoop() {
       ::close(fd);
       break;
     }
+    DisableSigpipe(fd);
     std::lock_guard<std::mutex> lock(mu_);
     ReapFinishedLocked();
     auto conn = std::make_unique<Connection>();
@@ -272,7 +326,7 @@ void SocketServer::AcceptLoop() {
 void SocketServer::ServeConnection(int fd) {
   std::string body;
   while (!stopping_.load()) {
-    const Status read = RecvFrame(fd, &body);
+    const Status read = RecvFrame(fd, &body, /*client_side=*/false);
     if (!read.ok()) break;  // peer closed, corrupt frame, or shutdown
     Response resp;
     Result<Request> decoded = DecodeRequestBody(body);
@@ -286,7 +340,8 @@ void SocketServer::ServeConnection(int fd) {
     }
     const bool is_shutdown =
         decoded.ok() && decoded->type == RequestType::kShutdown;
-    if (!SendFrame(fd, EncodeResponseBody(resp)).ok()) break;
+    if (!SendFrame(fd, EncodeResponseBody(resp), /*client_side=*/false).ok())
+      break;
     if (is_shutdown) {
       stopping_.store(true);
       ::shutdown(listen_fd_, SHUT_RDWR);  // wake accept() so Wait() returns
@@ -305,9 +360,10 @@ Status SocketClient::Connect(const Endpoint& endpoint) {
 
 Result<Response> SocketClient::Call(const Request& req) {
   if (fd_ < 0) return Status::FailedPrecondition("client not connected");
-  GVEX_RETURN_NOT_OK(SendFrame(fd_, EncodeRequestBody(req)));
+  GVEX_RETURN_NOT_OK(SendFrame(fd_, EncodeRequestBody(req),
+                               /*client_side=*/true));
   std::string body;
-  GVEX_RETURN_NOT_OK(RecvFrame(fd_, &body));
+  GVEX_RETURN_NOT_OK(RecvFrame(fd_, &body, /*client_side=*/true));
   return DecodeResponseBody(body);
 }
 

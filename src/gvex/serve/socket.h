@@ -12,6 +12,13 @@
 // Call() per request (one frame out, one frame in). Both ends verify
 // the frame CRC and cap frame length at kMaxFrameBytes, so a corrupt or
 // hostile peer produces a clean IoError instead of an over-allocation.
+// A peer that dies mid-frame surfaces as a clean Status, never SIGPIPE
+// (MSG_NOSIGNAL per send, SO_NOSIGPIPE where that flag is missing).
+//
+// Chaos failpoints (cluster/chaos.h drives these): "socket.client.connect"
+// injects connection refusal; "socket.{client,server}.{send,recv}" with an
+// error spec simulates a peer vanishing mid-frame (partial prefix, then a
+// hard connection kill) and with a delay spec a stalled read/write.
 #pragma once
 
 #include <atomic>

@@ -201,12 +201,13 @@ TEST(ClusterProtocolTest, GenerationsResponseRoundTrips) {
 }
 
 TEST(ClusterProtocolTest, UnknownTypeStillRejected) {
+  // One past the last valid request type (kHealth = 11) must not decode.
   Request req;
   req.type = RequestType::kFetch;
   std::string body = serve::EncodeRequestBody(req);
   const size_t pos = body.find("type 10");
   ASSERT_NE(pos, std::string::npos);
-  body.replace(pos, 7, "type 11");
+  body.replace(pos, 7, "type 12");
   EXPECT_FALSE(serve::DecodeRequestBody(body).ok());
 }
 
@@ -291,7 +292,9 @@ TEST(ClusterRegistryTest, RouteStatusesReportWarmState) {
   // A new publish resets the warm state (the new generation is cold).
   ASSERT_TRUE(registry.InstallViews("warm", ViewsWithUpperBound(8)).ok());
   for (const RouteStatus& status : registry.RouteStatuses()) {
-    if (status.route == "warm") EXPECT_FALSE(status.warmed);
+    if (status.route == "warm") {
+      EXPECT_FALSE(status.warmed);
+    }
   }
 }
 

@@ -4,9 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstring>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "gvex/common/failpoint.h"
 
 #include "gvex/datasets/datasets.h"
 #include "gvex/explain/approx_gvex.h"
@@ -171,6 +177,249 @@ TEST(ServeConcurrencyTest, ServerUnderConcurrentLoadMatchesReference) {
   }
   for (auto& client : clients) client.join();
   EXPECT_EQ(mismatches.load(), 0);
+  server.Stop();
+}
+
+// ---- stats JSON under concurrent load -------------------------------------
+//
+// A minimal recursive-descent JSON validator: the stats endpoint promises
+// *parseable* JSON at any instant, including mid-saturation and mid-swap,
+// so the test must actually parse, not substring-match.
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipSpace();
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(text_[pos_]))
+              return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character — must be escaped
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!Digits()) return false;
+    if (Peek() == '.') { ++pos_; if (!Digits()) return false; }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!Digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool Digits() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && std::isdigit(text_[pos_])) ++pos_;
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(text_[pos_])) ++pos_;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// `"key":<uint>` anywhere in the document (keys of interest are unique in
+// the stats layout). Returns false when absent.
+bool ExtractUint(const std::string& json, const std::string& key,
+                 uint64_t* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return false;
+  size_t pos = at + needle.size();
+  uint64_t value = 0;
+  bool any = false;
+  while (pos < json.size() && std::isdigit(json[pos])) {
+    value = value * 10 + static_cast<uint64_t>(json[pos] - '0');
+    ++pos;
+    any = true;
+  }
+  if (any) *out = value;
+  return any;
+}
+
+// The stats endpoint sampled while (a) clients saturate a 4-deep queue
+// into real shedding and (b) a swapper hot-installs new generations:
+// every sample parses as JSON, and the request/generation counters only
+// ever move forward.
+TEST(ServeConcurrencyTest, StatsJsonStaysParseableAndMonotonicUnderLoad) {
+  const ConcurrencyFixture& fx = Fixture();
+  ViewRegistry registry;
+  ASSERT_TRUE(registry.InstallViews(fx.set).ok());
+  ServerOptions options;
+  options.num_workers = 2;
+  options.max_queue = 3;
+  options.batch_max = 2;
+  ExplanationServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // One request up front so every counter the sampler reads exists
+  // before the first sample (obs counters are created on first use).
+  {
+    Request warmup;
+    warmup.type = RequestType::kPing;
+    ASSERT_TRUE(server.Call(warmup).ok());
+  }
+
+  // ~2ms of service time per request turns the client burst below into
+  // genuine saturation against the 4-deep queue.
+  failpoint::ScopedFailpoint slow("serve.exec_delay", "delay(2)");
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> shed{0}, served{0};
+  // 10 blocking clients against 2 workers + a 3-deep queue: at least
+  // five of them are over the admission limit whenever all are in
+  // flight, so the shed path genuinely runs.
+  std::vector<std::thread> load;
+  for (int t = 0; t < 10; ++t) {
+    load.emplace_back([&] {
+      const Graph nitro = datasets::NitroGroupPattern();
+      while (!stop.load()) {
+        Request req;
+        req.type = RequestType::kSupport;
+        req.label = 1;
+        req.graph = nitro;
+        req.has_graph = true;
+        Response resp = server.Call(req);
+        if (resp.code == StatusCode::kOverloaded) {
+          shed.fetch_add(1);
+        } else if (resp.ok()) {
+          served.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread swapper([&] {
+    while (!stop.load()) {
+      ASSERT_TRUE(registry.InstallViews(fx.set).ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  uint64_t last_requests = 0, last_generation = 0;
+  int samples_with_queue = 0;
+  for (int i = 0; i < 60; ++i) {
+    const std::string json = server.StatsJson();
+    EXPECT_TRUE(JsonValidator(json).Valid())
+        << "sample " << i << " is not valid JSON:\n" << json;
+    uint64_t requests = 0, generation = 0, depth = 0;
+    ASSERT_TRUE(ExtractUint(json, "serve.requests", &requests));
+    ASSERT_TRUE(ExtractUint(json, "generation", &generation));
+    ASSERT_TRUE(ExtractUint(json, "queue_depth", &depth));
+    EXPECT_GE(requests, last_requests) << "serve.requests moved backwards";
+    EXPECT_GE(generation, last_generation) << "generation moved backwards";
+    last_requests = requests;
+    last_generation = generation;
+    if (depth > 0) ++samples_with_queue;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  for (auto& thread : load) thread.join();
+  swapper.join();
+
+  // The run must actually have exercised both regimes.
+  EXPECT_GT(shed.load(), 0u) << "queue never saturated";
+  EXPECT_GT(served.load(), 0u);
+  EXPECT_GT(samples_with_queue, 0) << "never sampled a non-empty queue";
+  EXPECT_GT(last_generation, 1u) << "hot-swap never landed";
+
+  // And the wire-visible kStats answer is the same document.
+  Request stats;
+  stats.type = RequestType::kStats;
+  Response resp = server.Call(stats);
+  ASSERT_TRUE(resp.ok()) << resp.message;
+  EXPECT_TRUE(JsonValidator(resp.text).Valid());
+  uint64_t final_requests = 0;
+  ASSERT_TRUE(ExtractUint(resp.text, "serve.requests", &final_requests));
+  EXPECT_GE(final_requests, last_requests);
   server.Stop();
 }
 

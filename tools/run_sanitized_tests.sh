@@ -20,8 +20,16 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" "$@"
 
+# The chaos smoke (the `chaos-smoke` ctest label, tools/chaos_harness)
+# replays seeded fault schedules over the primary/standby/publisher
+# topology. Run it explicitly so a filtered invocation ("$@" above) can
+# never silently skip it: under ASan/UBSan it is the memory-safety gate
+# for every failure path the injected faults can reach.
+ctest --test-dir build-asan --output-on-failure -L chaos-smoke
+
 # The serving smoke (also registered as the `serve-smoke` and
 # `cluster-smoke` ctest labels) exercises the socket server, worker pool,
-# deadline monitor, and the primary->standby replication loop; under
-# ASan/UBSan it doubles as a thread-lifecycle and use-after-free gate.
+# deadline monitor, route quotas, fan-out publish, and the
+# primary->standby replication loop; under ASan/UBSan it doubles as a
+# thread-lifecycle and use-after-free gate.
 tools/run_server_smoke.sh build-asan/tools/gvex_tool all

@@ -7,6 +7,10 @@
 # failpoint legs then check fault behavior over the wire: an injected
 # service delay must not change any byte of the answers, and an injected
 # admission failure must surface as a clean kOverloaded exit (code 12).
+# A route-quota leg bursts a quota'd secondary route until it sheds with
+# the distinct kQuotaExceeded exit (code 13) while the default route's
+# answers stay byte-identical to --local, and checks that `client
+# --retry` rides out a quota shed.
 #
 # A cluster leg (docs/SERVING.md "Replication & routes") then proves the
 # primary -> standby story end to end: a standby started with --follow
@@ -16,7 +20,9 @@
 # MatchCache re-warm (asserted on the serve.warm_pairs counter). An armed
 # cluster.install failpoint checks that a failed install surfaces to the
 # publisher as a clean kIoError exit (code 8) without touching the live
-# generation.
+# generation. Fan-out legs then publish with --targets to both nodes
+# (exit 0, one fingerprint everywhere) and with one dead target (partial
+# failure, exit 14, per-target diagnosis).
 #
 # Usage: tools/run_server_smoke.sh [path-to-gvex_tool] [leg]
 #   default tool: ./build/tools/gvex_tool
@@ -132,6 +138,57 @@ start_server --fail "serve.exec_delay=delay(30)"
 check_queries "delayed"
 stop_server
 
+echo "== route quota: bursty route sheds (exit 13), default goodput intact"
+# A 1-deep admission budget on route "exp" plus ~100ms of injected
+# service time: a 10-client burst on that route must shed most of its
+# requests with the distinct quota exit code, while the default route —
+# which has no quota — keeps answering byte-identically to --local.
+start_server --route-quota "exp=1" --workers 2 --queue 64 \
+  --fail "serve.exec_delay=delay(100)"
+declare -a BURST_PIDS=()
+for _ in $(seq 1 10); do
+  "$TOOL" client --socket "$SOCK" --type ping --route exp \
+    > /dev/null 2>&1 &
+  BURST_PIDS+=("$!")
+done
+check_queries "quota-burst"   # default route, while the burst is in flight
+QUOTA_SHED=0
+QUOTA_OK=0
+for pid in "${BURST_PIDS[@]}"; do
+  set +e
+  wait "$pid"
+  rc=$?
+  set -e
+  case "$rc" in
+    0)  QUOTA_OK=$((QUOTA_OK + 1)) ;;
+    13) QUOTA_SHED=$((QUOTA_SHED + 1)) ;;
+    *)  fail "quota burst: unexpected exit $rc (want 0 or 13)" ;;
+  esac
+done
+[[ "$QUOTA_SHED" -ge 1 ]] \
+  || fail "quota burst never shed (expected at least one exit 13)"
+echo "   quota burst: $QUOTA_SHED shed with exit 13, $QUOTA_OK served"
+"$TOOL" client --socket "$SOCK" --type stats > stats.json
+grep -q '"serve.quota_shed.exp":[1-9]' stats.json \
+  || fail "stats missing a non-zero serve.quota_shed.exp counter"
+stop_server
+
+echo "== client --retry: a quota shed is retried, a bare client exits 13"
+# limit(2): the first (bare) client consumes one injected shed and must
+# exit 13; the retrying client consumes the second on its first attempt
+# and lands on the retry.
+start_server --fail "serve.admit=error(quota),limit(2)"
+set +e
+"$TOOL" client --socket "$SOCK" --type ping > /dev/null 2> quota.err
+rc=$?
+set -e
+[[ "$rc" -eq 13 ]] || fail "expected exit 13 (kQuotaExceeded), got $rc"
+grep -qi "quota" quota.err || fail "stderr does not name the quota shed"
+"$TOOL" client --socket "$SOCK" --type ping --retry 3 \
+  --retry-backoff-ms 10 > /dev/null \
+  || fail "client --retry did not recover from a quota shed"
+stop_server
+
 echo "== armed failpoint: injected admission overload (clean exit 12)"
 start_server --fail "serve.admit=error(overloaded),limit(1)"
 set +e
@@ -225,6 +282,28 @@ FP2="$(sed -n 's/.*fingerprint=\([0-9a-f]\{16\}\).*/\1/p' publish.out)"
 wait_for_fp "$FP2"
 grep -q '"warmed":1' standby_stats.json \
   || fail "standby installed generation 2 but is not warm"
+
+echo "== cluster: fan-out publish converges both nodes (exit 0)"
+"$TOOL" publish --views views2.txt --model model.txt \
+  --targets "unix:$PRIMARY_SOCK,unix:$STANDBY_SOCK" \
+  --retry 1 --retry-backoff-ms 10 > fanout.out
+grep -q "published 2/2 targets" fanout.out \
+  || fail "fan-out did not confirm 2/2: $(cat fanout.out)"
+[[ "$(grep -c "fingerprint $FP2" fanout.out)" -eq 2 ]] \
+  || fail "fan-out targets did not converge on $FP2: $(cat fanout.out)"
+
+echo "== cluster: fan-out with one dead target -> partial failure exit 14"
+set +e
+"$TOOL" publish --views views2.txt --model model.txt \
+  --targets "unix:$PRIMARY_SOCK,unix:$WORK/nobody-home.sock" \
+  --retry 1 --retry-backoff-ms 10 > fanout.out 2> fanout.err
+rc=$?
+set -e
+[[ "$rc" -eq 14 ]] || fail "expected exit 14 (kPartialFailure), got $rc"
+grep -q "published 1/2 targets" fanout.out \
+  || fail "partial fan-out did not report 1/2: $(cat fanout.out)"
+grep -q "never probed healthy" fanout.out \
+  || fail "dead target row missing probe diagnosis: $(cat fanout.out)"
 
 echo "== cluster: primary loss -> standby serves warm, byte-identical"
 kill -9 "$PRIMARY_PID" 2>/dev/null || true
