@@ -1,7 +1,7 @@
 // Cluster benchmark: the replication/serving additions measured end to
 // end (in-process servers + a loopback TCP primary, so the numbers track
 // the engine and the replication loop, not kernel socket throughput).
-// Three sections:
+// Four sections:
 //
 //   publish   — publish -> install latency: encode a gvexbundle-v1 and
 //               install it through the server's kInstall path (decode,
@@ -17,15 +17,25 @@
 //   routes    — per-route throughput: closed-loop pattern queries against
 //               one route vs the same offered load split across two
 //               routes in one server.
+//   fleet     — scatter-gather cost and tail control. (a) the same
+//               corpus-wide pattern queries against one server holding
+//               the union view set vs a ShardRouter over three shard
+//               slices (the fan-out + merge overhead, which the fleet
+//               buys back by running legs in parallel on real nodes);
+//               (b) p99 with an injected slow shard (failpoint
+//               serve.exec_delay) for an unhedged router vs a hedged
+//               one whose standbys absorb the delayed legs.
 //
 //   bench_cluster [--scale S] [--seed N] [--ops N]
 //
 // Writes BENCH_cluster.json (gvex-bench-v1) with install latency
-// percentiles, catch-up and first-query times, and per-route throughput.
+// percentiles, catch-up and first-query times, per-route throughput,
+// and scatter-gather / hedging percentiles.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -35,6 +45,9 @@
 #include "bench/bench_util.h"
 #include "gvex/cluster/bundle.h"
 #include "gvex/cluster/replicator.h"
+#include "gvex/cluster/router.h"
+#include "gvex/cluster/shard_map.h"
+#include "gvex/common/failpoint.h"
 #include "gvex/common/rng.h"
 #include "gvex/common/stopwatch.h"
 #include "gvex/matching/match_cache.h"
@@ -45,8 +58,14 @@
 namespace gvex {
 namespace {
 
+using cluster::LocalShardChannel;
 using cluster::Replicator;
 using cluster::ReplicatorOptions;
+using cluster::RouterOptions;
+using cluster::ShardChannel;
+using cluster::ShardEntry;
+using cluster::ShardMap;
+using cluster::ShardRouter;
 using cluster::ViewBundle;
 using serve::Endpoint;
 using serve::ExplanationServer;
@@ -126,6 +145,33 @@ double RouteGoodputRps(ExplanationServer* server,
   for (auto& t : threads) t.join();
   const double seconds = watch.ElapsedSeconds();
   return seconds > 0.0 ? static_cast<double>(ok) / seconds : 0.0;
+}
+
+// One corpus-wide pattern query per op, closed loop, against whatever
+// answers Call() — a union server or a router. Sequential on purpose:
+// the hedging section's failpoint alignment depends on one scatter's
+// failpoint hits finishing before the next scatter starts.
+std::vector<uint64_t> ScatterLatencies(
+    const std::function<Response(const Request&)>& call, size_t ops,
+    const std::vector<Graph>& pool) {
+  std::vector<uint64_t> us;
+  us.reserve(ops);
+  for (size_t i = 0; i < ops; ++i) {
+    Request req;
+    req.type = RequestType::kSupport;
+    req.route = "fleet";
+    req.label = static_cast<ClassLabel>(i % 2);
+    req.graph = pool[i % pool.size()];
+    req.has_graph = true;
+    Stopwatch rtt;
+    Response resp = call(req);
+    if (!resp.ok()) {
+      std::fprintf(stderr, "scatter query: %s\n", resp.message.c_str());
+      std::abort();
+    }
+    us.push_back(static_cast<uint64_t>(rtt.ElapsedSeconds() * 1e6));
+  }
+  return us;
 }
 
 }  // namespace
@@ -297,7 +343,138 @@ int main(int argc, char** argv) {
               "%.1f rps\n",
               rps_one, rps_two);
 
+  bench::PrintHeader("fleet: scatter-gather vs union, hedged vs unhedged");
+  Stopwatch fleet_watch;
+  std::vector<uint64_t> union_us;
+  std::vector<uint64_t> fleet_us;
+  std::vector<uint64_t> unhedged_us;
+  std::vector<uint64_t> hedged_us;
+  uint64_t hedges_fired = 0;
+  uint64_t hedge_wins = 0;
+  {
+    // Endpoints are never dialed — LocalShardChannel drives the shard
+    // servers in-process — but the map format requires them.
+    auto map = cluster::ShardMap::Create(
+        {{"left", "unix:/tmp/unused-l.sock", ""},
+         {"mid", "unix:/tmp/unused-m.sock", ""},
+         {"right", "unix:/tmp/unused-r.sock", ""}});
+    if (!map.ok()) {
+      std::fprintf(stderr, "shardmap: %s\n", map.status().ToString().c_str());
+      return 1;
+    }
+    ViewBundle bundle;
+    bundle.route = "fleet";
+    bundle.generation = 1;
+    bundle.views = views_a;
+    const std::vector<ViewBundle> parts = map->Partition(bundle);
+
+    // Enough workers that hedge-loser legs sleeping inside the injected
+    // delay never exhaust a shard's pool and queue the next scatter.
+    ServerOptions fleet_options;
+    fleet_options.num_workers = 8;
+    ViewRegistry union_registry;
+    if (!union_registry.InstallBundle(bundle).ok()) return 1;
+    ExplanationServer union_server(&union_registry, fleet_options);
+    if (!union_server.Start().ok()) return 1;
+
+    ViewRegistry shard_registries[3];
+    ViewRegistry standby_registries[3];
+    std::unique_ptr<ExplanationServer> shards[3];
+    std::unique_ptr<ExplanationServer> standbys[3];
+    for (size_t i = 0; i < 3; ++i) {
+      if (!shard_registries[i].InstallBundle(parts[i]).ok()) return 1;
+      if (!standby_registries[i].InstallBundle(parts[i]).ok()) return 1;
+      shards[i] = std::make_unique<ExplanationServer>(&shard_registries[i],
+                                                      fleet_options);
+      standbys[i] = std::make_unique<ExplanationServer>(&standby_registries[i],
+                                                        fleet_options);
+      if (!shards[i]->Start().ok() || !standbys[i]->Start().ok()) return 1;
+    }
+    auto make_channels = [&](bool with_standbys) {
+      std::vector<std::unique_ptr<ShardChannel>> channels;
+      for (size_t i = 0; i < 3; ++i) {
+        channels.push_back(std::make_unique<LocalShardChannel>(
+            shards[i].get(), with_standbys ? standbys[i].get() : nullptr));
+      }
+      return channels;
+    };
+
+    // (a) Fan-out + merge overhead on a healthy fleet: the identical
+    // corpus-wide support queries against the union server and against
+    // the router (which scatters to three shards and sums).
+    {
+      ShardRouter router(*map, make_channels(false), RouterOptions{});
+      union_us = ScatterLatencies(
+          [&](const Request& req) { return union_server.Call(req); }, ops,
+          pool);
+      fleet_us = ScatterLatencies(
+          [&](const Request& req) { return router.Call(req); }, ops, pool);
+    }
+
+    // (b) Tail latency under a slow shard. delay(50),1in(4) with
+    // sequential scatters: unhedged, each scatter hits the failpoint
+    // three times (one leg per shard), so the 50 ms stall lands inside
+    // three of every four scatters and is their answer time. Hedged,
+    // the stalled leg's standby fires after hedge_ms and its Execute is
+    // the fourth hit of the cycle (the three primaries always count
+    // first), so the standby never stalls — the slow leg costs
+    // ~hedge_ms instead of the full delay.
+    {
+      ShardRouter unhedged(*map, make_channels(false), RouterOptions{});
+      failpoint::ScopedFailpoint slow("serve.exec_delay", "delay(50),1in(4)");
+      unhedged_us = ScatterLatencies(
+          [&](const Request& req) { return unhedged.Call(req); }, ops, pool);
+    }
+    {
+      RouterOptions hedge_options;
+      hedge_options.hedge_ms = 10;
+      ShardRouter hedged(*map, make_channels(true), hedge_options);
+      failpoint::ScopedFailpoint slow("serve.exec_delay", "delay(50),1in(4)");
+      hedged_us = ScatterLatencies(
+          [&](const Request& req) { return hedged.Call(req); }, ops, pool);
+      const cluster::RouterStats stats = hedged.stats();
+      hedges_fired = stats.hedges_fired;
+      hedge_wins = stats.hedge_wins;
+    }
+
+    for (size_t i = 0; i < 3; ++i) {
+      shards[i]->Stop();
+      standbys[i]->Stop();
+    }
+    union_server.Stop();
+  }
+  const double fleet_seconds = fleet_watch.ElapsedSeconds();
+  report.AddTiming("fleet", fleet_seconds);
+  report.SetParam("scatter_union_p50_us", Percentile(union_us, 0.50));
+  report.SetParam("scatter_union_p99_us", Percentile(union_us, 0.99));
+  report.SetParam("scatter_fleet_p50_us", Percentile(fleet_us, 0.50));
+  report.SetParam("scatter_fleet_p99_us", Percentile(fleet_us, 0.99));
+  report.SetParam("scatter_unhedged_p99_us", Percentile(unhedged_us, 0.99));
+  report.SetParam("scatter_hedged_p99_us", Percentile(hedged_us, 0.99));
+  const uint64_t hedged_p99 = Percentile(hedged_us, 0.99);
+  const double hedge_speedup =
+      hedged_p99 > 0
+          ? static_cast<double>(Percentile(unhedged_us, 0.99)) /
+                static_cast<double>(hedged_p99)
+          : 0.0;
+  report.SetParam("hedged_p99_speedup", hedge_speedup);
+  report.SetParam("hedges_fired", hedges_fired);
+  report.SetParam("hedge_wins", hedge_wins);
+  std::printf("healthy: union p50 %llu us p99 %llu us, fleet p50 %llu us "
+              "p99 %llu us\n",
+              static_cast<unsigned long long>(Percentile(union_us, 0.50)),
+              static_cast<unsigned long long>(Percentile(union_us, 0.99)),
+              static_cast<unsigned long long>(Percentile(fleet_us, 0.50)),
+              static_cast<unsigned long long>(Percentile(fleet_us, 0.99)));
+  std::printf("slow shard: unhedged p99 %llu us, hedged p99 %llu us "
+              "(%.1fx; %llu hedges, %llu wins)\n",
+              static_cast<unsigned long long>(Percentile(unhedged_us, 0.99)),
+              static_cast<unsigned long long>(hedged_p99), hedge_speedup,
+              static_cast<unsigned long long>(hedges_fired),
+              static_cast<unsigned long long>(hedge_wins));
+
   report.AddTiming("total", prepare_seconds + publish_seconds +
-                                catchup_seconds + routes_seconds);
+                                catchup_seconds + routes_seconds +
+                                fleet_seconds);
   return 0;
 }

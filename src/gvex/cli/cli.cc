@@ -12,6 +12,8 @@
 #include "gvex/cluster/bundle.h"
 #include "gvex/cluster/publisher.h"
 #include "gvex/cluster/replicator.h"
+#include "gvex/cluster/router.h"
+#include "gvex/cluster/shard_map.h"
 
 #include "gvex/common/failpoint.h"
 #include "gvex/common/stopwatch.h"
@@ -43,7 +45,8 @@ class Flags {
   static Result<Flags> Parse(const std::vector<std::string>& args) {
     // Boolean flags take no value; their presence means "true".
     static const std::set<std::string> kBoolFlags = {"resume",
-                                                     "no-health-gate"};
+                                                     "no-health-gate",
+                                                     "describe"};
     Flags flags;
     for (size_t i = 0; i < args.size(); ++i) {
       if (!StartsWith(args[i], "--")) {
@@ -93,10 +96,14 @@ class Flags {
 void Usage() {
   std::fprintf(stderr,
                "usage: gvex_tool <gen|stats|train|explain|verify|fidelity|"
-               "query|serve|client|publish> [--flags]\n"
+               "query|serve|client|publish|shardmap|frontend> [--flags]\n"
                "cluster: serve --follow unix:<path>|tcp:<port> tails a "
                "primary; publish ships a view bundle to a running server "
-               "(--targets a,b,c fans out with a health gate)\n"
+               "(--targets a,b,c fans out with a health gate; --shard-map "
+               "map.bin partitions it across a fleet)\n"
+               "fleet: shardmap creates/describes a gvexshardmap-v1 "
+               "topology; frontend serves scatter-gather queries for the "
+               "whole fleet behind one socket (docs/WIRE_PROTOCOL.md)\n"
                "admission: serve --route-quota name=depth[:share] sheds a "
                "route's overflow without touching other routes\n"
                "observability: --metrics-out <file> (PerfReport JSON), "
@@ -487,6 +494,12 @@ Result<serve::Request> BuildClientRequest(const Flags& flags) {
     req.type = serve::RequestType::kFetch;
   } else if (type_name == "health") {
     req.type = serve::RequestType::kHealth;
+  } else if (type_name == "shardinfo") {
+    req.type = serve::RequestType::kShardInfo;
+  } else if (type_name == "coverage") {
+    req.type = serve::RequestType::kCoverageStats;
+  } else if (type_name == "topviews") {
+    req.type = serve::RequestType::kTopViews;
   } else {
     return Status::InvalidArgument("unknown request type: " + type_name);
   }
@@ -504,12 +517,17 @@ Result<serve::Request> BuildClientRequest(const Flags& flags) {
     return Status::InvalidArgument("unknown semantics: " + semantics);
   }
   if (auto text = flags.Get("text")) req.text = *text;
+  req.top_k = static_cast<uint32_t>(flags.GetInt("top-k", 10));
 
   // Pattern queries carry the pattern as the request graph; classify
   // carries the graph to classify (from a file or a database slot).
   if (auto pattern_path = flags.Get("pattern")) {
     GVEX_ASSIGN_OR_RETURN(req.graph, LoadGraphFile(*pattern_path));
     req.has_graph = true;
+    // --graph-index on a pattern query restricts the scan to one corpus
+    // graph's explanation subgraph — a point query the ShardRouter sends
+    // to the owning shard alone.
+    req.graph_index = flags.GetInt("graph-index", -1);
   } else if (auto graph_path = flags.Get("graph")) {
     GVEX_ASSIGN_OR_RETURN(req.graph, LoadGraphFile(*graph_path));
     req.has_graph = true;
@@ -626,6 +644,31 @@ void PrintClientResponse(const serve::Request& req,
                   h.replication_error.c_str());
       return;
     }
+    case serve::RequestType::kShardInfo:
+    case serve::RequestType::kCoverageStats:
+    case serve::RequestType::kTopViews: {
+      // Explainability prints with fixed precision so a scatter-gathered
+      // answer diffs byte-for-byte against a single union server's
+      // (per-shard summation agrees well past six decimals).
+      std::printf("coverage %zu\n", resp.coverage.size());
+      for (const serve::ViewCoverage& c : resp.coverage) {
+        std::printf("  label %d patterns %llu subgraphs %llu nodes %llu "
+                    "edges %llu explainability %.6f\n",
+                    c.label, static_cast<unsigned long long>(c.patterns),
+                    static_cast<unsigned long long>(c.subgraphs),
+                    static_cast<unsigned long long>(c.nodes),
+                    static_cast<unsigned long long>(c.edges),
+                    c.explainability);
+        if (req.type == serve::RequestType::kShardInfo) {
+          std::printf("    graphs %zu:", c.graph_indices.size());
+          for (uint64_t gi : c.graph_indices) {
+            std::printf(" %llu", static_cast<unsigned long long>(gi));
+          }
+          std::printf("\n");
+        }
+      }
+      return;
+    }
     case serve::RequestType::kStats:
     case serve::RequestType::kShutdown:
     case serve::RequestType::kInstall:
@@ -675,6 +718,24 @@ Status CmdClient(const Flags& flags) {
           cluster::RetryBackoffMs(attempt, backoff_ms, 10000)));
     }
     server.Stop();
+  } else if (auto map_path = flags.Get("shard-map")) {
+    // Library mode of the frontend: an in-process ShardRouter over the
+    // fleet in the map — the same scatter-gather the `frontend` verb
+    // serves behind a socket, without the extra hop.
+    GVEX_ASSIGN_OR_RETURN(cluster::ShardMap map,
+                          cluster::ShardMap::Load(*map_path));
+    cluster::RouterOptions ropts;
+    ropts.hedge_ms = static_cast<uint32_t>(flags.GetInt("hedge-ms", 0));
+    ropts.shard_deadline_ms =
+        static_cast<uint32_t>(flags.GetInt("shard-deadline-ms", 0));
+    GVEX_ASSIGN_OR_RETURN(std::unique_ptr<cluster::ShardRouter> router,
+                          cluster::MakeSocketRouter(std::move(map), ropts));
+    for (int attempt = 1;; ++attempt) {
+      resp = router->Call(req);
+      if (!RetryableShed(resp.code) || attempt > retries) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          cluster::RetryBackoffMs(attempt, backoff_ms, 10000)));
+    }
   } else {
     GVEX_ASSIGN_OR_RETURN(serve::Endpoint endpoint, EndpointFromFlags(flags));
     serve::SocketClient client;
@@ -685,6 +746,13 @@ Status CmdClient(const Flags& flags) {
       std::this_thread::sleep_for(std::chrono::milliseconds(
           cluster::RetryBackoffMs(attempt, backoff_ms, 10000)));
     }
+  }
+  if (resp.code == StatusCode::kPartialResult) {
+    // Print the merged partial payload, then exit with the distinct
+    // partial-result code — the caller sees both what answered and that
+    // the aggregate is incomplete (never a silently wrong total).
+    PrintClientResponse(req, resp);
+    return resp.ToStatus();
   }
   if (!resp.ok()) return resp.ToStatus();
   if (req.type == serve::RequestType::kFetch) {
@@ -722,6 +790,37 @@ Status CmdPublish(const Flags& flags) {
     std::printf("bundle -> %s (route %s, fingerprint %s)\n", out->c_str(),
                 bundle.route.c_str(), fingerprint.c_str());
     return Status::OK();
+  }
+
+  // --shard-map map.bin: partition the bundle by the map and ship each
+  // slice to its owning shard's primary — same health gate / install /
+  // fingerprint-verify protocol per shard, same kPartialFailure exit on
+  // a mixed outcome (publisher.h ShardedPublish).
+  if (auto map_path = flags.Get("shard-map")) {
+    GVEX_ASSIGN_OR_RETURN(cluster::ShardMap map,
+                          cluster::ShardMap::Load(*map_path));
+    cluster::PublishOptions popts;
+    popts.retries = static_cast<int>(flags.GetInt("retry", 2));
+    popts.backoff_base_ms =
+        static_cast<uint32_t>(flags.GetInt("retry-backoff-ms", 50));
+    popts.jitter_seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
+    popts.health_gate = !flags.Has("no-health-gate");
+    GVEX_ASSIGN_OR_RETURN(cluster::PublishReport report,
+                          cluster::ShardedPublish(bundle, map, popts));
+    for (const cluster::TargetReport& row : report.targets) {
+      if (row.status.ok()) {
+        std::printf("shard %s: ok (attempts %d, fingerprint %s)\n",
+                    row.target.c_str(), row.attempts,
+                    row.fingerprint.c_str());
+      } else {
+        std::printf("shard %s: %s (attempts %d%s)\n", row.target.c_str(),
+                    row.status.ToString().c_str(), row.attempts,
+                    row.probed ? "" : ", never probed healthy");
+      }
+    }
+    std::printf("published %zu/%zu shards\n", report.succeeded,
+                report.targets.size());
+    return report.Aggregate();
   }
 
   // --targets a,b,c: health-gated fan-out to several servers at once
@@ -772,6 +871,101 @@ Status CmdPublish(const Flags& flags) {
   return Status::OK();
 }
 
+// ---- sharded fleet ------------------------------------------------------------
+
+// `gvex_tool shardmap` — create, describe, or interrogate a
+// gvexshardmap-v1 topology file (the partitioning contract the
+// publisher and the frontend share; shard_map.h).
+Status CmdShardMap(const Flags& flags) {
+  if (flags.Has("describe") || flags.Has("owner-of")) {
+    GVEX_ASSIGN_OR_RETURN(std::string map_path, flags.Require("shard-map"));
+    GVEX_ASSIGN_OR_RETURN(cluster::ShardMap map,
+                          cluster::ShardMap::Load(map_path));
+    if (flags.Has("owner-of")) {
+      const uint64_t key =
+          static_cast<uint64_t>(flags.GetInt("owner-of", 0));
+      const std::string route =
+          flags.Get("route").value_or(cluster::kDefaultRoute);
+      const size_t owner = map.OwnerOf(route, key);
+      std::printf("route %s graph %llu -> slot %zu shard %zu (%s)\n",
+                  route.c_str(), static_cast<unsigned long long>(key),
+                  cluster::ShardMap::SlotOf(route, key), owner,
+                  map.shards()[owner].name.c_str());
+      return Status::OK();
+    }
+    std::printf("gvexshardmap-v1 version %llu, %zu slots, %zu shards\n",
+                static_cast<unsigned long long>(map.version()),
+                cluster::kShardSlots, map.shards().size());
+    for (size_t i = 0; i < map.shards().size(); ++i) {
+      const cluster::ShardEntry& shard = map.shards()[i];
+      std::printf("  shard %zu %s endpoint %s standby %s slots %zu\n", i,
+                  shard.name.c_str(), shard.endpoint.c_str(),
+                  shard.standby.empty() ? "-" : shard.standby.c_str(),
+                  map.NumSlotsOwned(i));
+    }
+    return Status::OK();
+  }
+
+  // Create: --shards "unix:a,unix:b,tcp:9001" [--standbys "unix:s,-,-"]
+  // [--names "left,mid,right"] --out map.bin. Standbys and names are
+  // positional against --shards; "-" (or a short list) means none.
+  GVEX_ASSIGN_OR_RETURN(std::string shards_spec, flags.Require("shards"));
+  GVEX_ASSIGN_OR_RETURN(std::string out, flags.Require("out"));
+  std::vector<std::string> endpoints = SplitString(shards_spec, ',');
+  std::vector<std::string> standbys;
+  if (auto spec = flags.Get("standbys")) standbys = SplitString(*spec, ',');
+  std::vector<std::string> names;
+  if (auto spec = flags.Get("names")) names = SplitString(*spec, ',');
+  std::vector<cluster::ShardEntry> entries;
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    cluster::ShardEntry entry;
+    entry.name = i < names.size() ? names[i] : "shard" + std::to_string(i);
+    entry.endpoint = endpoints[i];
+    if (i < standbys.size() && standbys[i] != "-") {
+      entry.standby = standbys[i];
+    }
+    entries.push_back(std::move(entry));
+  }
+  GVEX_ASSIGN_OR_RETURN(cluster::ShardMap map,
+                        cluster::ShardMap::Create(std::move(entries)));
+  GVEX_RETURN_NOT_OK(map.Save(out));
+  std::printf("shard map -> %s (%zu shards, %zu slots, version %llu)\n",
+              out.c_str(), map.shards().size(), cluster::kShardSlots,
+              static_cast<unsigned long long>(map.version()));
+  return Status::OK();
+}
+
+// `gvex_tool frontend` — serve a whole fleet behind one socket: every
+// request is answered by an in-process ShardRouter (point queries to the
+// owning shard, corpus-wide queries scatter-gathered; router.h).
+Status CmdFrontend(const Flags& flags) {
+  GVEX_ASSIGN_OR_RETURN(std::string map_path, flags.Require("shard-map"));
+  GVEX_ASSIGN_OR_RETURN(cluster::ShardMap map,
+                        cluster::ShardMap::Load(map_path));
+  cluster::RouterOptions ropts;
+  ropts.hedge_ms = static_cast<uint32_t>(flags.GetInt("hedge-ms", 0));
+  ropts.shard_deadline_ms =
+      static_cast<uint32_t>(flags.GetInt("shard-deadline-ms", 0));
+  GVEX_ASSIGN_OR_RETURN(std::unique_ptr<cluster::ShardRouter> router,
+                        cluster::MakeSocketRouter(std::move(map), ropts));
+
+  GVEX_ASSIGN_OR_RETURN(serve::Endpoint endpoint, EndpointFromFlags(flags));
+  cluster::ShardRouter* raw = router.get();
+  serve::SocketServer socket(serve::SocketServer::Handler(
+      [raw](const serve::Request& req) { return raw->Call(req); }));
+  GVEX_RETURN_NOT_OK(socket.Start(endpoint));
+  if (!endpoint.is_unix()) endpoint.tcp_port = socket.bound_port();
+  // Readiness line: smoke scripts poll for it before sending requests.
+  std::printf("frontend serving on %s (%zu shards, map version %llu)\n",
+              endpoint.ToString().c_str(), router->map().shards().size(),
+              static_cast<unsigned long long>(router->map().version()));
+  std::fflush(stdout);
+  socket.Wait();
+  socket.Stop();
+  std::printf("frontend stopped %s\n", router->StatsJson().c_str());
+  return Status::OK();
+}
+
 // Scripts dispatch on the exit code, so each StatusCode maps to a
 // distinct one (documented in README.md "Exit codes"). 1 is reserved
 // for crashes/signals, 2 doubles as usage error in the getopt tradition.
@@ -791,6 +985,7 @@ int ExitCodeForStatus(const Status& st) {
     case StatusCode::kOverloaded: return 12;
     case StatusCode::kQuotaExceeded: return 13;
     case StatusCode::kPartialFailure: return 14;
+    case StatusCode::kPartialResult: return 15;
   }
   return 7;
 }
@@ -856,6 +1051,10 @@ int Run(const std::vector<std::string>& argv) {
     st = CmdClient(flags);
   } else if (command == "publish") {
     st = CmdPublish(flags);
+  } else if (command == "shardmap") {
+    st = CmdShardMap(flags);
+  } else if (command == "frontend") {
+    st = CmdFrontend(flags);
   } else {
     Usage();
     return 2;

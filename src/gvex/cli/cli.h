@@ -19,19 +19,27 @@
 //                      --route NAME --route-quota "exp=8:0.25,canary=16"
 //                      --follow (unix:PATH|tcp:PORT) --poll-ms 200]
 //   gvex_tool client  (--socket PATH | --port N | --local views.txt
-//                      [--model model.txt])
+//                      [--model model.txt] | --shard-map map.bin)
 //                     --type ping|support|contains|hits|discriminative|
 //                            classify|stats|generations|health|fetch|
-//                            shutdown
+//                            shutdown|shardinfo|coverage|topviews
 //                     [--label L --against L2 --pattern p.txt
 //                      --graph g.txt | --graph-db db.txt --graph-index I
 //                      --semantics subgraph|induced --max-embeddings 64
 //                      --deadline-ms MS --text STR --route NAME
-//                      --retry N --retry-backoff-ms MS]
+//                      --retry N --retry-backoff-ms MS --top-k 10
+//                      --hedge-ms MS --shard-deadline-ms MS]
 //   gvex_tool publish --views views.txt [--model model.txt] [--route NAME]
 //                     (--socket PATH | --port N | --out bundle.bin |
-//                      --targets "unix:A,unix:B,tcp:PORT"
+//                      --targets "unix:A,unix:B,tcp:PORT" |
+//                      --shard-map map.bin
 //                      [--retry 2 --retry-backoff-ms 50 --no-health-gate])
+//   gvex_tool shardmap --shards "unix:A,unix:B" [--standbys "unix:S,-"]
+//                     [--names "left,right"] --out map.bin
+//                     | --shard-map map.bin (--describe |
+//                        --owner-of I [--route NAME])
+//   gvex_tool frontend --shard-map map.bin (--socket PATH | --port N)
+//                     [--hedge-ms MS --shard-deadline-ms MS]
 //
 // `serve` answers explanation queries over a Unix or loopback TCP socket
 // (docs/SERVING.md); `client --local` runs the identical request path
@@ -40,6 +48,15 @@
 // kTimeout). `publish --targets` fan-outs one bundle to N servers with
 // health-gated installs and per-target status rows; a mixed outcome
 // exits with the distinct kPartialFailure code (14).
+//
+// The sharded fleet (docs/ARCHITECTURE.md, docs/WIRE_PROTOCOL.md):
+// `shardmap` writes the gvexshardmap-v1 topology, `publish --shard-map`
+// partitions one bundle into per-shard slices, and `frontend` (or
+// `client --shard-map`, the same router in-process) serves the fleet —
+// point queries routed to the owning shard, corpus-wide queries
+// scatter-gathered with optional hedging (--hedge-ms) against each
+// shard's standby. A scatter missing shards exits with the distinct
+// kPartialResult code (15), never a silently wrong aggregate.
 //
 // Every subcommand accepts --fail "site=spec[;site=spec...]" to arm
 // fault-injection failpoints (see gvex/common/failpoint.h), plus

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "gvex/cluster/replicator.h"
+#include "gvex/cluster/router.h"
+#include "gvex/cluster/shard_map.h"
 #include "gvex/common/failpoint.h"
 #include "gvex/obs/obs.h"
 
@@ -140,6 +142,67 @@ Result<PublishReport> FanOutPublish(const ViewBundle& bundle,
     auto task = [&, row, endpoint] {
       row->status = PublishOne(bundle, encoded, fingerprint, *endpoint,
                                options, row);
+    };
+    if (options.sequential) {
+      task();
+    } else {
+      threads.emplace_back(task);
+    }
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (const TargetReport& row : report.targets) {
+    if (row.status.ok()) {
+      ++report.succeeded;
+    } else {
+      ++report.failed;
+      GVEX_COUNTER_INC("cluster.publish_failures");
+    }
+  }
+  return report;
+}
+
+Result<PublishReport> ShardedPublish(const ViewBundle& bundle,
+                                     const ShardMap& map,
+                                     const PublishOptions& options) {
+  if (map.shards().empty()) {
+    return Status::InvalidArgument("sharded publish needs a non-empty map");
+  }
+  const std::vector<ViewBundle> parts = map.Partition(bundle);
+
+  PublishReport report;
+  report.targets.resize(parts.size());
+  GVEX_COUNTER_ADD("cluster.publish_targets", parts.size());
+
+  // Each shard gets its own slice, so the work is per-shard FanOutPublish
+  // with one target — same health gate / install / verify protocol, and
+  // each slice verified against its own fingerprint.
+  std::vector<std::thread> threads;
+  threads.reserve(parts.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    TargetReport* row = &report.targets[i];
+    const ShardEntry& shard = map.shards()[i];
+    row->target = shard.name + "=" + shard.endpoint;
+    auto task = [&, row, i, &shard = shard] {
+      Result<serve::Endpoint> endpoint = ParseEndpointSpec(shard.endpoint);
+      if (!endpoint.ok()) {
+        row->status = endpoint.status();
+        return;
+      }
+      PublishOptions one = options;
+      one.targets = {*endpoint};
+      one.sequential = true;  // already on our own thread
+      Result<PublishReport> slice = FanOutPublish(parts[i], one);
+      if (!slice.ok()) {
+        row->status = slice.status();
+        return;
+      }
+      const TargetReport& inner = slice->targets.front();
+      row->status = inner.status;
+      row->attempts = inner.attempts;
+      row->probed = inner.probed;
+      row->health = inner.health;
+      row->fingerprint = inner.fingerprint;
     };
     if (options.sequential) {
       task();

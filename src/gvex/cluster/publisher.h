@@ -84,5 +84,17 @@ struct PublishReport {
 Result<PublishReport> FanOutPublish(const ViewBundle& bundle,
                                     const PublishOptions& options);
 
+class ShardMap;
+
+/// Partition `bundle` by the shard map and ship each slice to its owning
+/// shard's primary over the same per-target protocol (health gate,
+/// install, fingerprint verify — each slice against its own
+/// fingerprint). `options.targets` is ignored; endpoints come from the
+/// map. The report carries one row per shard, and Aggregate() folds a
+/// mixed outcome into kPartialFailure exactly like a replicated publish.
+Result<PublishReport> ShardedPublish(const ViewBundle& bundle,
+                                     const ShardMap& map,
+                                     const PublishOptions& options);
+
 }  // namespace cluster
 }  // namespace gvex

@@ -32,6 +32,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "QuotaExceeded";
     case StatusCode::kPartialFailure:
       return "PartialFailure";
+    case StatusCode::kPartialResult:
+      return "PartialResult";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode : int {
   kOverloaded = 11,  // admission control shed the request; retry later
   kQuotaExceeded = 12,  // a per-route admission quota shed the request
   kPartialFailure = 13,  // a fan-out operation succeeded on some targets only
+  kPartialResult = 14,   // a scatter-gather answer is missing some shards
 };
 
 /// \brief Outcome of a fallible operation.
@@ -81,6 +82,9 @@ class Status {
   static Status PartialFailure(std::string msg) {
     return Status(StatusCode::kPartialFailure, std::move(msg));
   }
+  static Status PartialResult(std::string msg) {
+    return Status(StatusCode::kPartialResult, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -101,6 +105,9 @@ class Status {
   }
   bool IsPartialFailure() const {
     return code() == StatusCode::kPartialFailure;
+  }
+  bool IsPartialResult() const {
+    return code() == StatusCode::kPartialResult;
   }
 
   std::string ToString() const;

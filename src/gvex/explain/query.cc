@@ -49,7 +49,18 @@ std::vector<Graph> ViewQuery::DiscriminativePatterns(
     const ExplanationView& of, const ExplanationView& against,
     const CancellationToken* cancel) const {
   std::vector<Graph> discriminative;
-  for (const Graph& p : of.patterns) {
+  for (size_t i : DiscriminativePatternIndices(of, against, cancel)) {
+    discriminative.push_back(of.patterns[i]);
+  }
+  return discriminative;
+}
+
+std::vector<size_t> ViewQuery::DiscriminativePatternIndices(
+    const ExplanationView& of, const ExplanationView& against,
+    const CancellationToken* cancel) const {
+  std::vector<size_t> discriminative;
+  for (size_t i = 0; i < of.patterns.size(); ++i) {
+    const Graph& p = of.patterns[i];
     if (Cancelled(cancel)) break;
     bool found_in_other = false;
     for (const auto& s : against.subgraphs) {
@@ -59,7 +70,7 @@ std::vector<Graph> ViewQuery::DiscriminativePatterns(
         break;
       }
     }
-    if (!found_in_other && !Cancelled(cancel)) discriminative.push_back(p);
+    if (!found_in_other && !Cancelled(cancel)) discriminative.push_back(i);
   }
   return discriminative;
 }

@@ -53,6 +53,16 @@ class ViewQuery {
       const ExplanationView& of, const ExplanationView& against,
       const CancellationToken* cancel = nullptr) const;
 
+  /// Positions (into of.patterns) of the discriminative patterns, in
+  /// tier order. The sharded fleet intersects these index sets across
+  /// shards: a pattern discriminates globally iff it matches no
+  /// `against` subgraph on any shard, and positions — unlike the
+  /// pattern graphs themselves — compare exactly even when a tier
+  /// repeats isomorphic patterns (gvex/cluster/router.h).
+  std::vector<size_t> DiscriminativePatternIndices(
+      const ExplanationView& of, const ExplanationView& against,
+      const CancellationToken* cancel = nullptr) const;
+
   /// For every pattern of `view`, its support across the view's own
   /// subgraphs (how representative each pattern is).
   std::vector<size_t> PatternSupports(

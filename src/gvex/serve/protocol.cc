@@ -73,6 +73,9 @@ const char* RequestTypeName(RequestType type) {
     case RequestType::kGenerations: return "generations";
     case RequestType::kFetch: return "fetch";
     case RequestType::kHealth: return "health";
+    case RequestType::kShardInfo: return "shardinfo";
+    case RequestType::kCoverageStats: return "coverage";
+    case RequestType::kTopViews: return "topviews";
   }
   return "unknown";
 }
@@ -89,6 +92,8 @@ std::string EncodeRequestBody(const Request& req) {
       << "\n";
   out << "deadline_ms " << req.deadline_ms << "\n";
   out << "max_embeddings " << req.max_embeddings << "\n";
+  out << "graph_index " << req.graph_index << "\n";
+  out << "top_k " << req.top_k << "\n";
   WriteBlob(&out, "text", req.text);
   WriteBlob(&out, "route", req.route);
   WriteBlob(&out, "bundle", req.bundle);
@@ -107,7 +112,7 @@ Result<Request> DecodeRequestBody(const std::string& body) {
   Request req;
   int type = 0, semantics = 0, has_graph = 0;
   GVEX_RETURN_NOT_OK(ReadField(&in, "type", &type));
-  if (type < 0 || type > static_cast<int>(RequestType::kHealth)) {
+  if (type < 0 || type > static_cast<int>(RequestType::kTopViews)) {
     return Status::InvalidArgument("unknown request type " +
                                    std::to_string(type));
   }
@@ -120,6 +125,8 @@ Result<Request> DecodeRequestBody(const std::string& body) {
       semantics != 0 ? MatchSemantics::kInduced : MatchSemantics::kSubgraph;
   GVEX_RETURN_NOT_OK(ReadField(&in, "deadline_ms", &req.deadline_ms));
   GVEX_RETURN_NOT_OK(ReadField(&in, "max_embeddings", &req.max_embeddings));
+  GVEX_RETURN_NOT_OK(ReadField(&in, "graph_index", &req.graph_index));
+  GVEX_RETURN_NOT_OK(ReadField(&in, "top_k", &req.top_k));
   GVEX_RETURN_NOT_OK(ReadBlob(&in, "text", &req.text));
   GVEX_RETURN_NOT_OK(ReadBlob(&in, "route", &req.route));
   GVEX_RETURN_NOT_OK(ReadBlob(&in, "bundle", &req.bundle));
@@ -181,6 +188,18 @@ std::string EncodeResponseBody(const Response& resp) {
           << "\n";
     }
   }
+  // Coverage rows: label, slice counts, explainability, then the
+  // (possibly empty) covered-graph-id list, all wire-inline numbers.
+  out << "coverage " << resp.coverage.size() << "\n";
+  for (const ViewCoverage& c : resp.coverage) {
+    out << c.label << " " << c.patterns << " " << c.subgraphs << " "
+        << c.nodes << " " << c.edges << " " << c.explainability << " "
+        << c.graph_indices.size();
+    for (uint64_t gi : c.graph_indices) out << " " << gi;
+    out << "\n";
+  }
+  out << "scatter " << resp.shards_total << " " << resp.shards_answered
+      << "\n";
   out << "end\n";
   return std::move(out).str();
 }
@@ -193,7 +212,7 @@ Result<Response> DecodeResponseBody(const std::string& body) {
   int code = 0;
   GVEX_RETURN_NOT_OK(ReadField(&in, "id", &resp.id));
   GVEX_RETURN_NOT_OK(ReadField(&in, "code", &code));
-  if (code < 0 || code > static_cast<int>(StatusCode::kPartialFailure)) {
+  if (code < 0 || code > static_cast<int>(StatusCode::kPartialResult)) {
     return Status::InvalidArgument("unknown status code " +
                                    std::to_string(code));
   }
@@ -270,6 +289,30 @@ Result<Response> DecodeResponseBody(const std::string& body) {
         return Status::IoError("bad health load row");
       }
     }
+  }
+  GVEX_RETURN_NOT_OK(ReadField(&in, "coverage", &n));
+  if (n > kMaxFrameBytes) return Status::IoError("coverage count exceeds cap");
+  resp.coverage.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    ViewCoverage& c = resp.coverage[i];
+    size_t gi_count = 0;
+    if (!(in >> c.label >> c.patterns >> c.subgraphs >> c.nodes >> c.edges >>
+          c.explainability >> gi_count)) {
+      return Status::IoError("bad coverage row");
+    }
+    if (gi_count > kMaxFrameBytes) {
+      return Status::IoError("coverage graph-id count exceeds cap");
+    }
+    c.graph_indices.resize(gi_count);
+    for (size_t k = 0; k < gi_count; ++k) {
+      if (!(in >> c.graph_indices[k])) {
+        return Status::IoError("bad coverage graph id");
+      }
+    }
+  }
+  GVEX_RETURN_NOT_OK(ExpectWord(&in, "scatter"));
+  if (!(in >> resp.shards_total >> resp.shards_answered)) {
+    return Status::IoError("bad scatter row");
   }
   GVEX_RETURN_NOT_OK(ExpectWord(&in, "end"));
   return resp;

@@ -47,6 +47,12 @@ enum class RequestType : uint8_t {
   kGenerations = 9,            ///< list per-route generation/fingerprint state
   kFetch = 10,                 ///< fetch the live generation of `route` as a bundle
   kHealth = 11,                ///< health probe (HealthInfo); never queued
+  // Shard / scatter-gather verbs (docs/WIRE_PROTOCOL.md). A plain server
+  // answers them from its local registry; the ShardRouter scatters them
+  // across a fleet and merges (gvex/cluster/router.h).
+  kShardInfo = 12,             ///< per-route, per-label covered graph ids
+  kCoverageStats = 13,         ///< per-label coverage summary for `route`
+  kTopViews = 14,              ///< top `top_k` labels by explainability
 };
 
 const char* RequestTypeName(RequestType type);
@@ -64,6 +70,11 @@ struct Request {
   MatchSemantics semantics = MatchSemantics::kSubgraph;
   uint32_t deadline_ms = 0;    ///< 0 = server default (which may be "none")
   uint32_t max_embeddings = 64;  ///< kFindHits per-graph cap
+  /// Pattern queries only: restrict the scan to the explanation subgraph
+  /// of this corpus graph (-1 = whole view). The ShardRouter uses it to
+  /// route a point query to the owning shard.
+  int64_t graph_index = -1;
+  uint32_t top_k = 10;         ///< kTopViews result cap
   bool has_graph = false;
   Graph graph;
   std::string text;            ///< kPing payload
@@ -103,6 +114,24 @@ struct HealthInfo {
   bool operator==(const HealthInfo&) const = default;
 };
 
+/// \brief Per-label coverage summary as reported by kCoverageStats /
+/// kTopViews / kShardInfo. Counts are local to the answering server;
+/// for a shard they describe its slice, and the ShardRouter merges rows
+/// by summation (pattern tiers are replicated, not summed). Covered
+/// graph ids ride only on kShardInfo — they are the router's
+/// translation table from shard-local subgraph indices to corpus-global
+/// ones.
+struct ViewCoverage {
+  ClassLabel label = -1;
+  uint64_t patterns = 0;    ///< pattern-tier size (replicated across shards)
+  uint64_t subgraphs = 0;   ///< lower-tier size == covered corpus graphs
+  uint64_t nodes = 0;       ///< total nodes across explanation subgraphs
+  uint64_t edges = 0;       ///< total edges across explanation subgraphs
+  double explainability = 0.0;  ///< summed subgraph explainability
+  std::vector<uint64_t> graph_indices;  ///< kShardInfo: covered graph ids
+  bool operator==(const ViewCoverage&) const = default;
+};
+
 /// \brief Per-route registry state as reported by kGenerations / kStats.
 struct RouteInfo {
   std::string route;
@@ -138,6 +167,12 @@ struct Response {
   std::string text;                  // kPing / kStats / kInstall summary
   bool has_health = false;           // kHealth
   HealthInfo health;                 // kHealth
+  std::vector<ViewCoverage> coverage;  // kShardInfo/kCoverageStats/kTopViews
+  // Scatter-gather accounting, filled by the ShardRouter: how many
+  // shards the query fanned out to and how many answered. 0/0 on a
+  // direct (non-routed) response.
+  uint32_t shards_total = 0;
+  uint32_t shards_answered = 0;
 
   bool ok() const { return code == StatusCode::kOk; }
   Status ToStatus() const {

@@ -72,8 +72,31 @@ obs::Histogram& EndpointHistogram(RequestType type) {
       &obs::Registry::Global().GetHistogram("serve.exec_generations_us"),
       &obs::Registry::Global().GetHistogram("serve.exec_fetch_us"),
       &obs::Registry::Global().GetHistogram("serve.exec_health_us"),
+      &obs::Registry::Global().GetHistogram("serve.exec_shardinfo_us"),
+      &obs::Registry::Global().GetHistogram("serve.exec_coverage_us"),
+      &obs::Registry::Global().GetHistogram("serve.exec_topviews_us"),
   };
+  static_assert(sizeof(hists) / sizeof(hists[0]) ==
+                    static_cast<size_t>(RequestType::kTopViews) + 1,
+                "one histogram per request type");
   return *hists[static_cast<size_t>(type)];
+}
+
+/// Local coverage summary of one view: what this server's slice of the
+/// corpus contributes, recomputed from the subgraph tier in tier order
+/// (the same summation order on a shard slice and on a union server).
+ViewCoverage CoverageOf(const ExplanationView& view, bool with_graph_ids) {
+  ViewCoverage c;
+  c.label = view.label;
+  c.patterns = view.patterns.size();
+  c.subgraphs = view.subgraphs.size();
+  for (const ExplanationSubgraph& sub : view.subgraphs) {
+    c.nodes += sub.subgraph.num_nodes();
+    c.edges += sub.subgraph.num_edges();
+    c.explainability += sub.explainability;
+    if (with_graph_ids) c.graph_indices.push_back(sub.graph_index);
+  }
+  return c;
 }
 
 }  // namespace
@@ -554,6 +577,34 @@ Response ExplanationServer::Execute(const Request& req,
     return ErrorResponse(req,
                          Status::FailedPrecondition("no views loaded"));
   }
+
+  // Shard / scatter-gather verbs: pure registry reads, no matching work.
+  // A shard reports its local slice; the ShardRouter merges rows by
+  // summation (docs/WIRE_PROTOCOL.md).
+  if (req.type == RequestType::kShardInfo ||
+      req.type == RequestType::kCoverageStats ||
+      req.type == RequestType::kTopViews) {
+    const bool with_ids = req.type == RequestType::kShardInfo;
+    for (const ExplanationView& view : snap->views.views) {
+      resp.coverage.push_back(CoverageOf(view, with_ids));
+    }
+    if (req.type == RequestType::kTopViews) {
+      std::sort(resp.coverage.begin(), resp.coverage.end(),
+                [](const ViewCoverage& a, const ViewCoverage& b) {
+                  if (a.explainability != b.explainability) {
+                    return a.explainability > b.explainability;
+                  }
+                  return a.label < b.label;
+                });
+      if (resp.coverage.size() > req.top_k) resp.coverage.resize(req.top_k);
+    } else {
+      std::sort(resp.coverage.begin(), resp.coverage.end(),
+                [](const ViewCoverage& a, const ViewCoverage& b) {
+                  return a.label < b.label;
+                });
+    }
+    return resp;
+  }
   MatchOptions match_options;
   match_options.semantics = req.semantics;
   ViewQuery query(match_options, options_.use_match_cache);
@@ -606,26 +657,58 @@ Response ExplanationServer::Execute(const Request& req,
                            Status::NotFound("no view for against-label " +
                                             std::to_string(req.against)));
     }
-    resp.patterns = query.DiscriminativePatterns(*view, *against, cancel);
+    // Tier positions ride along in `indices`: the ShardRouter intersects
+    // position sets across shards (positions compare exactly even when a
+    // tier repeats isomorphic patterns; see query.h).
+    const std::vector<size_t> positions =
+        query.DiscriminativePatternIndices(*view, *against, cancel);
+    resp.indices.assign(positions.begin(), positions.end());
+    resp.patterns.reserve(positions.size());
+    for (size_t i : positions) resp.patterns.push_back(view->patterns[i]);
   } else {
     if (!req.has_graph || req.graph.empty()) {
       return ErrorResponse(
           req, Status::InvalidArgument("pattern query needs a pattern graph"));
     }
+    // Point restriction: scan only the explanation subgraph of one
+    // corpus graph. `scan` stays the whole view otherwise; `base` maps
+    // scan-local subgraph positions back to view positions so contains
+    // answers are identical with and without the restriction.
+    ExplanationView point;
+    const ExplanationView* scan = view;
+    size_t base = 0;
+    if (req.graph_index >= 0) {
+      const uint64_t want = static_cast<uint64_t>(req.graph_index);
+      size_t pos = view->subgraphs.size();
+      for (size_t i = 0; i < view->subgraphs.size(); ++i) {
+        if (view->subgraphs[i].graph_index == want) pos = i;
+      }
+      if (pos == view->subgraphs.size()) {
+        return ErrorResponse(
+            req, Status::NotFound("graph " + std::to_string(want) +
+                                  " not covered by view for label " +
+                                  std::to_string(req.label)));
+      }
+      point.label = view->label;
+      point.subgraphs.push_back(view->subgraphs[pos]);
+      scan = &point;
+      base = pos;
+    }
     switch (req.type) {
       case RequestType::kSupport:
-        resp.support = query.Support(*view, req.graph, cancel);
+        resp.support = query.Support(*scan, req.graph, cancel);
         break;
       case RequestType::kSubgraphsContaining: {
         std::vector<size_t> indices =
-            query.SubgraphsContaining(*view, req.graph, cancel);
-        resp.indices.assign(indices.begin(), indices.end());
+            query.SubgraphsContaining(*scan, req.graph, cancel);
+        resp.indices.reserve(indices.size());
+        for (size_t i : indices) resp.indices.push_back(base + i);
         resp.support = resp.indices.size();
         break;
       }
       case RequestType::kFindHits: {
         std::vector<ViewQuery::Hit> hits =
-            query.FindHits(*view, req.graph, req.max_embeddings, cancel);
+            query.FindHits(*scan, req.graph, req.max_embeddings, cancel);
         resp.hits.reserve(hits.size());
         for (const auto& h : hits) {
           resp.hits.push_back({h.graph_index, h.embeddings});

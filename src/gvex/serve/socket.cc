@@ -331,7 +331,7 @@ void SocketServer::ServeConnection(int fd) {
     Response resp;
     Result<Request> decoded = DecodeRequestBody(body);
     if (decoded.ok()) {
-      resp = server_->Call(*decoded);
+      resp = handler_(*decoded);
     } else {
       // Frame boundaries are intact, so a malformed body is answered in
       // place and the connection stays usable.

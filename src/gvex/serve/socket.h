@@ -3,8 +3,9 @@
 //
 // SocketServer owns the listening socket plus one accept thread and one
 // thread per live connection; every decoded request is handed to the
-// ExplanationServer, so admission control, batching, and deadlines apply
-// identically to wire and in-process clients. A kShutdown request is
+// configured handler — normally an ExplanationServer, so admission
+// control, batching, and deadlines apply identically to wire and
+// in-process clients, or a ShardRouter fronting a whole fleet. A kShutdown request is
 // acknowledged on its own connection and then tears the listener down;
 // Wait() unblocks once the accept loop exits.
 //
@@ -24,6 +25,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -59,7 +61,14 @@ struct Endpoint {
 
 class SocketServer {
  public:
-  explicit SocketServer(ExplanationServer* server) : server_(server) {}
+  /// Answers every decoded request. The transport is handler-agnostic:
+  /// an ExplanationServer serves the query engine, a ShardRouter
+  /// (gvex/cluster/router.h) serves a whole fleet behind one socket.
+  using Handler = std::function<Response(const Request&)>;
+
+  explicit SocketServer(ExplanationServer* server)
+      : handler_([server](const Request& req) { return server->Call(req); }) {}
+  explicit SocketServer(Handler handler) : handler_(std::move(handler)) {}
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
@@ -83,7 +92,7 @@ class SocketServer {
   void ServeConnection(int fd);
   void ReapFinishedLocked();
 
-  ExplanationServer* server_;
+  Handler handler_;
   int listen_fd_ = -1;
   uint16_t bound_port_ = 0;
   std::string unix_path_;  // unlinked on Stop

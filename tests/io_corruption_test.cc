@@ -10,6 +10,7 @@
 #include <string>
 
 #include "gvex/cluster/bundle.h"
+#include "gvex/cluster/shard_map.h"
 #include "gvex/common/io_util.h"
 #include "gvex/explain/view_io.h"
 #include "gvex/gnn/serialize.h"
@@ -371,6 +372,52 @@ TEST(IoCorruptionTest, BundleRejectsInvalidRoute) {
   bundle.route = "bad route name";
   std::ostringstream out;
   EXPECT_TRUE(cluster::WriteBundle(bundle, &out).IsInvalidArgument());
+}
+
+// ---- shard maps (gvexshardmap-v1) -------------------------------------------
+
+cluster::ShardMap SmallShardMap() {
+  std::vector<cluster::ShardEntry> entries = {
+      {"left", "unix:/tmp/l.sock", "unix:/tmp/l-standby.sock"},
+      {"mid", "tcp:9001", ""},
+      {"right", "unix:/tmp/r.sock", ""}};
+  auto map = cluster::ShardMap::Create(std::move(entries));
+  EXPECT_TRUE(map.ok());
+  return std::move(map).ValueOrDie();
+}
+
+Result<std::string> RoundTripShardMap(const std::string& bytes) {
+  std::istringstream in(bytes);
+  GVEX_ASSIGN_OR_RETURN(cluster::ShardMap map, cluster::ShardMap::Read(&in));
+  std::ostringstream out;
+  GVEX_RETURN_NOT_OK(map.Write(&out));
+  return out.str();
+}
+
+TEST(IoCorruptionTest, ShardMapRoundTrip) {
+  cluster::ShardMap map = SmallShardMap();
+  std::string bytes =
+      Serialize([&](std::ostream* out) { return map.Write(out); });
+  auto again = RoundTripShardMap(bytes);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(*again, bytes);
+}
+
+TEST(IoCorruptionTest, ShardMapTruncationDetected) {
+  cluster::ShardMap map = SmallShardMap();
+  std::string bytes =
+      Serialize([&](std::ostream* out) { return map.Write(out); });
+  ExpectTruncationDetected(bytes, RoundTripShardMap);
+}
+
+TEST(IoCorruptionTest, ShardMapBitFlipsDetected) {
+  // A flipped slot-owner digit must not silently re-route corpus keys:
+  // the CRC section covers the owner table, so every flip is detected
+  // or provably benign.
+  cluster::ShardMap map = SmallShardMap();
+  std::string bytes =
+      Serialize([&](std::ostream* out) { return map.Write(out); });
+  ExpectBitFlipsDetected(bytes, RoundTripShardMap);
 }
 
 // ---- whole-file corruption of saved artifacts -------------------------------

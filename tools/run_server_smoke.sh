@@ -24,17 +24,28 @@
 # (exit 0, one fingerprint everywhere) and with one dead target (partial
 # failure, exit 14, per-target diagnosis).
 #
+# A fleet leg (docs/ARCHITECTURE.md "Sharded fleet") shards one view set
+# across three servers with `shardmap` + `publish --shard-map`, fronts
+# them with `gvex_tool frontend`, and diffs every query type — including
+# the scatter-gathered coverage/topviews/shardinfo verbs — byte-for-byte
+# against `client --local` over the unsharded views. It then kills one
+# shard mid-fleet and asserts a scatter comes back flagged with the
+# distinct kPartialResult exit (15) — merged-but-incomplete, never a
+# silently wrong aggregate — and kills the shard that has a standby to
+# prove a point query fails over and still answers byte-identically.
+#
 # Usage: tools/run_server_smoke.sh [path-to-gvex_tool] [leg]
 #   default tool: ./build/tools/gvex_tool
-#   leg: all (default) | serve | cluster
+#   leg: all (default) | serve | cluster | fleet
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 TOOL="${1:-./build/tools/gvex_tool}"
 LEG="${2:-all}"
-case "$LEG" in all|serve|cluster) ;; *)
-  echo "unknown leg '$LEG' (want all, serve, or cluster)" >&2; exit 2 ;;
+case "$LEG" in all|serve|cluster|fleet) ;; *)
+  echo "unknown leg '$LEG' (want all, serve, cluster, or fleet)" >&2
+  exit 2 ;;
 esac
 if [[ ! -x "$TOOL" ]]; then
   echo "gvex_tool not found at $TOOL (build first)" >&2
@@ -46,8 +57,13 @@ WORK="$(mktemp -d)"
 SERVER_PID=""
 PRIMARY_PID=""
 STANDBY_PID=""
+SHARD0_PID=""
+SHARD1_PID=""
+SHARD2_PID=""
+FRONT_PID=""
 cleanup() {
-  for pid in "$SERVER_PID" "$PRIMARY_PID" "$STANDBY_PID"; do
+  for pid in "$SERVER_PID" "$PRIMARY_PID" "$STANDBY_PID" \
+             "$SHARD0_PID" "$SHARD1_PID" "$SHARD2_PID" "$FRONT_PID"; do
     if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
       kill "$pid" 2>/dev/null || true
     fi
@@ -107,6 +123,17 @@ QUERIES=(
   "--type classify --graph-db db.txt --graph-index 3"
 )
 
+wait_for_line() {  # wait_for_line <log> <pid> <pattern>
+  local log="$1" pid="$2" pattern="$3"
+  for _ in $(seq 1 100); do
+    grep -q "$pattern" "$log" && return 0
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  cat "$log" >&2
+  fail "did not see '$pattern' in $log"
+}
+
 check_queries() {  # check_queries <leg-name>
   local leg="$1"
   for q in "${QUERIES[@]}"; do
@@ -122,7 +149,7 @@ check_queries() {  # check_queries <leg-name>
   echo "   $leg: all ${#QUERIES[@]} query types byte-identical to --local"
 }
 
-if [[ "$LEG" != "cluster" ]]; then
+if [[ "$LEG" == "all" || "$LEG" == "serve" ]]; then
 
 echo "== serve + client round-trip (clean server)"
 start_server
@@ -203,9 +230,9 @@ grep -qi "overloaded" overload.err || fail "stderr does not name the overload"
   --pattern pattern.txt > /dev/null || fail "server unhealthy after shed"
 stop_server
 
-fi  # LEG != cluster
+fi  # serve leg
 
-if [[ "$LEG" != "serve" ]]; then
+if [[ "$LEG" == "all" || "$LEG" == "cluster" ]]; then
 
 echo "== cluster: publish -> standby sync -> primary loss -> warm failover"
 # A second, genuinely different generation to publish (higher support
@@ -216,17 +243,6 @@ cmp -s views.txt views2.txt && fail "views2.txt is not a new generation"
 
 PRIMARY_SOCK="$WORK/primary.sock"
 STANDBY_SOCK="$WORK/standby.sock"
-
-wait_for_line() {  # wait_for_line <log> <pid> <pattern>
-  local log="$1" pid="$2" pattern="$3"
-  for _ in $(seq 1 100); do
-    grep -q "$pattern" "$log" && return 0
-    kill -0 "$pid" 2>/dev/null || break
-    sleep 0.1
-  done
-  cat "$log" >&2
-  fail "did not see '$pattern' in $log"
-}
 
 # Primary serves the first generation; its armed cluster.install
 # failpoint (limit 1) makes the FIRST published install tear.
@@ -339,6 +355,178 @@ echo "   failover: zero MatchCache re-warm (serve.warm_pairs $WARM_AFTER)"
 wait "$STANDBY_PID" || fail "standby exited non-zero after shutdown"
 STANDBY_PID=""
 
-fi  # LEG != serve
+fi  # cluster leg
+
+if [[ "$LEG" == "all" || "$LEG" == "fleet" ]]; then
+
+echo "== fleet: shard map create + describe + owner-of"
+S0="$WORK/left.sock"
+S1="$WORK/mid.sock"
+S2="$WORK/right.sock"
+SB0="$WORK/left-standby.sock"
+FRONT="$WORK/front.sock"
+
+"$TOOL" shardmap --shards "unix:$S0,unix:$S1,unix:$S2" \
+  --standbys "unix:$SB0,-,-" --names "left,mid,right" --out map.bin
+"$TOOL" shardmap --shard-map map.bin --describe > map.txt
+grep -q "3 shards" map.txt || fail "describe missing shard count"
+grep -q "shard 0 left" map.txt || fail "describe missing named shard row"
+"$TOOL" shardmap --shard-map map.bin --owner-of 0 | grep -q "shard" \
+  || fail "owner-of did not resolve an owner"
+
+echo "== fleet: three shards + left standby, then sharded publish"
+# Every shard boots on the full (unsharded) view set; the sharded
+# publish below must replace each with its slice — if a slice failed to
+# install, the scatter-gathered aggregates would triple-count and the
+# byte-diffs against --local would catch it. The left shard carries a
+# permanent armed exec delay far above the frontend's hedge budget, so
+# every query leg that lands on it must be won by the standby (the
+# hedge-win path), yet answers stay byte-identical.
+"$TOOL" serve --views views.txt --model model.txt --socket "$S0" \
+  --fail "serve.exec_delay=delay(300)" > left.log 2>&1 &
+SHARD0_PID=$!
+"$TOOL" serve --views views.txt --model model.txt --socket "$S1" \
+  > mid.log 2>&1 &
+SHARD1_PID=$!
+"$TOOL" serve --views views.txt --model model.txt --socket "$S2" \
+  > right.log 2>&1 &
+SHARD2_PID=$!
+wait_for_line left.log "$SHARD0_PID" "serving on"
+wait_for_line mid.log "$SHARD1_PID" "serving on"
+wait_for_line right.log "$SHARD2_PID" "serving on"
+
+"$TOOL" serve --follow "unix:$S0" --socket "$SB0" --poll-ms 50 \
+  > left-standby.log 2>&1 &
+STANDBY_PID=$!
+wait_for_line left-standby.log "$STANDBY_PID" "following"
+
+"$TOOL" publish --views views.txt --model model.txt --shard-map map.bin \
+  --retry 1 --retry-backoff-ms 10 > shardpub.out
+grep -q "published 3/3 shards" shardpub.out \
+  || fail "sharded publish did not confirm 3/3: $(cat shardpub.out)"
+
+# The standby must converge on left's slice before we lean on failover.
+live_fp() {  # live_fp <socket>
+  "$TOOL" client --socket "$1" --type stats \
+    | sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p'
+}
+FP_LEFT="$(live_fp "$S0")"
+[[ -n "$FP_LEFT" ]] || fail "left shard did not report a fingerprint"
+for _ in $(seq 1 100); do
+  [[ "$(live_fp "$SB0")" == "$FP_LEFT" ]] && break
+  sleep 0.1
+done
+[[ "$(live_fp "$SB0")" == "$FP_LEFT" ]] \
+  || fail "left standby never converged on slice fingerprint $FP_LEFT"
+echo "   left standby synced slice $FP_LEFT"
+
+echo "== fleet: frontend scatter-gather byte-identical to --local union"
+"$TOOL" frontend --shard-map map.bin --socket "$FRONT" --hedge-ms 50 \
+  > frontend.log 2>&1 &
+FRONT_PID=$!
+wait_for_line frontend.log "$FRONT_PID" "frontend serving on"
+
+FLEET_QUERIES=("${QUERIES[@]}"
+  "--type coverage"
+  "--type topviews --top-k 2"
+  "--type shardinfo")
+for q in "${FLEET_QUERIES[@]}"; do
+  # shellcheck disable=SC2086
+  "$TOOL" client --socket "$FRONT" $q > fleet.out
+  # shellcheck disable=SC2086
+  "$TOOL" client --local views.txt --model model.txt $q > local.out
+  if ! diff -u local.out fleet.out > /dev/null; then
+    diff -u local.out fleet.out >&2 || true
+    fail "fleet: frontend answer differs from union --local for: $q"
+  fi
+  # Library mode: the same scatter-gather without the frontend hop.
+  # shellcheck disable=SC2086
+  "$TOOL" client --shard-map map.bin --hedge-ms 50 $q > lib.out
+  if ! diff -u local.out lib.out > /dev/null; then
+    diff -u local.out lib.out >&2 || true
+    fail "fleet: client --shard-map answer differs from --local for: $q"
+  fi
+done
+echo "   fleet: all ${#FLEET_QUERIES[@]} query types byte-identical to --local"
+
+echo "== fleet: point query restricted to one covered graph"
+"$TOOL" client --socket "$FRONT" --type contains --label 1 \
+  --pattern pattern.txt > contains.out
+GI_LEFT=""
+while read -r gi; do
+  if "$TOOL" shardmap --shard-map map.bin --owner-of "$gi" \
+      | grep -q "(left)"; then
+    GI_LEFT="$gi"
+    break
+  fi
+done < <(sed -n 's/^  graph \([0-9]*\)$/\1/p' contains.out)
+[[ -n "$GI_LEFT" ]] || fail "no covered graph is owned by shard 'left'"
+PQ="--type support --label 1 --pattern pattern.txt --graph-index $GI_LEFT"
+# shellcheck disable=SC2086
+"$TOOL" client --socket "$FRONT" $PQ > fleet.out
+# shellcheck disable=SC2086
+"$TOOL" client --local views.txt --model model.txt $PQ > point_local.out
+diff -u point_local.out fleet.out > /dev/null \
+  || fail "fleet: point query to graph $GI_LEFT differs from --local"
+echo "   point query (graph $GI_LEFT, owned by left) matches --local"
+
+echo "== fleet: left primary loss -> standby failover, byte-identical"
+kill -9 "$SHARD0_PID" 2>/dev/null || true
+wait "$SHARD0_PID" 2>/dev/null || true
+SHARD0_PID=""
+# Point query to the dead shard's graph: the router fails over to the
+# standby synchronously and the answer must not change a byte.
+# shellcheck disable=SC2086
+"$TOOL" client --socket "$FRONT" $PQ > fleet.out
+diff -u point_local.out fleet.out > /dev/null \
+  || fail "failover: point query answer changed after left died"
+# Scatters stay complete too: the left leg is answered by its standby.
+"$TOOL" client --socket "$FRONT" --type coverage > fleet.out
+"$TOOL" client --local views.txt --model model.txt --type coverage \
+  > local.out
+diff -u local.out fleet.out > /dev/null \
+  || fail "failover: coverage scatter changed after left died"
+echo "   left died; standby kept point + scatter answers byte-identical"
+
+echo "== fleet: shard loss without standby -> flagged partial, exit 15"
+kill -9 "$SHARD2_PID" 2>/dev/null || true
+wait "$SHARD2_PID" 2>/dev/null || true
+SHARD2_PID=""
+set +e
+"$TOOL" client --socket "$FRONT" --type coverage > partial.out 2> partial.err
+rc=$?
+set -e
+[[ "$rc" -eq 15 ]] || fail "expected exit 15 (kPartialResult), got $rc"
+grep -q "^coverage " partial.out \
+  || fail "partial scatter printed no merged payload: $(cat partial.out)"
+grep -q "missing shards right" partial.err \
+  || fail "stderr does not name the missing shard: $(cat partial.err)"
+grep -q "(2/3 answered)" partial.err \
+  || fail "stderr missing shard accounting: $(cat partial.err)"
+# The live shards' point queries keep answering cleanly (exit 0).
+# shellcheck disable=SC2086
+"$TOOL" client --socket "$FRONT" $PQ > /dev/null \
+  || fail "point query to a live shard failed after right died"
+echo "   right died; scatter flagged partial (exit 15), never wrong"
+
+echo "== fleet: shutdown + hedge accounting"
+"$TOOL" client --socket "$FRONT" --type shutdown > /dev/null
+wait "$FRONT_PID" || fail "frontend exited non-zero after shutdown"
+FRONT_PID=""
+wait_for_line frontend.log "$$" "frontend stopped"
+grep -q '"hedge_wins":[1-9]' frontend.log \
+  || fail "frontend stats report no hedge wins: $(grep stopped frontend.log)"
+grep -q '"failovers":[1-9]' frontend.log \
+  || fail "frontend stats report no failovers: $(grep stopped frontend.log)"
+echo "   $(sed -n 's/^frontend stopped //p' frontend.log)"
+
+"$TOOL" client --socket "$S1" --type shutdown > /dev/null
+wait "$SHARD1_PID" || fail "mid shard exited non-zero after shutdown"
+SHARD1_PID=""
+"$TOOL" client --socket "$SB0" --type shutdown > /dev/null
+wait "$STANDBY_PID" || fail "left standby exited non-zero after shutdown"
+STANDBY_PID=""
+
+fi  # fleet leg
 
 echo "server smoke PASSED"
