@@ -8,15 +8,21 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <utility>
 
+#include "gvex/common/arena.h"
 #include "gvex/common/rng.h"
 #include "gvex/common/stopwatch.h"
 #include "gvex/datasets/datasets.h"
 #include "gvex/explain/psum.h"
 #include "gvex/gnn/model.h"
+#include "gvex/gnn/quantize.h"
+#include "gvex/gnn/serialize.h"
+#include "gvex/graph/csr_view.h"
 #include "gvex/influence/influence.h"
 #include "gvex/matching/match_cache.h"
 #include "gvex/matching/vf2.h"
@@ -356,6 +362,134 @@ double MeasureKernelSpeedups(gvex::obs::PerfReport* report) {
   return best;
 }
 
+// ---- compact data plane (arena + CSR + quantization) ------------------------
+//
+// Three families of params for the memory-regression gate
+// (`bench_diff --mem`) and the arena acceptance floors:
+//
+//  * bytes_per_view_{nested,csr} + the reduction percentage — resident
+//    adjacency bytes of the vector-of-vectors Graph layout vs the flat
+//    CSR view, on the same 512-node bench graph (capacity-honest on the
+//    nested side: headers + allocated slack, what the heap really holds);
+//  * model_bytes_{fp32,fp16,int8} — serialized classifier payload sizes;
+//  * vf2_arena_vs_heap_speedup — interleaved A/B rounds of the same
+//    match workload with the global arena switch on vs off. The off arm
+//    routes every CSR view and matcher scratch through operator new, the
+//    exact pre-arena behaviour through the same code path, so the ratio
+//    is an honest allocation-strategy speedup, not an algorithm change.
+//
+// peak_rss_kb (VmHWM) rides along so --mem catches gross footprint
+// regressions that no per-structure param would attribute.
+
+size_t ReadPeakRssKb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      size_t kb = 0;
+      fields >> kb;
+      return kb;
+    }
+  }
+  return 0;  // non-Linux: param reports 0, the gate treats it as absent
+}
+
+void MeasureCompactDataPlane(gvex::obs::PerfReport* report) {
+  // --- bytes per view: nested adjacency vs flat CSR -----------------------
+  {
+    Graph g = MakeBenchGraph(512, 11);
+    CsrGraphView view(g);
+    const size_t nested = NestedAdjacencyBytes(g);
+    const size_t csr = view.AdjacencyBytes();
+    const double reduction_pct =
+        nested > 0 ? 100.0 * (1.0 - static_cast<double>(csr) / nested) : 0.0;
+    std::printf("bytes_per_view: nested %zu vs csr %zu -> %.1f%% smaller "
+                "(acceptance floor: 30%%)\n",
+                nested, csr, reduction_pct);
+    report->SetParam("bytes_per_view_nested", static_cast<uint64_t>(nested));
+    report->SetParam("bytes_per_view_csr", static_cast<uint64_t>(csr));
+    report->SetParam("bytes_per_view_reduction_pct", reduction_pct);
+  }
+
+  // --- quantized model payload sizes --------------------------------------
+  {
+    // Param names end in _bytes so bench_diff --mem gates them.
+    GcnClassifier model = MakeBenchModel();
+    std::ostringstream fp32;
+    if (GcnSerializer::Write(model, &fp32).ok()) {
+      report->SetParam("model_fp32_bytes",
+                       static_cast<uint64_t>(fp32.str().size()));
+    }
+    for (WeightPrecision p : {WeightPrecision::kFp16, WeightPrecision::kInt8}) {
+      auto qm = QuantizeModel(model, p);
+      if (!qm.ok()) continue;
+      std::ostringstream out;
+      if (WriteQuantizedModel(*qm, &out).ok()) {
+        report->SetParam(
+            std::string("model_") + WeightPrecisionName(p) + "_bytes",
+            static_cast<uint64_t>(out.str().size()));
+        std::printf("model_%s_bytes: %zu (fp32: %zu)\n",
+                    WeightPrecisionName(p), out.str().size(),
+                    fp32.str().size());
+      }
+    }
+  }
+
+  // --- arena vs heap on the small-match workload --------------------------
+  //
+  // Many small matches over small targets: per-call setup (CSR build,
+  // matcher scratch) dominates the search itself, which is exactly the
+  // serving profile the request arena exists for.
+  {
+    std::vector<Graph> targets;
+    std::vector<Graph> patterns;
+    for (uint64_t seed = 0; seed < 24; ++seed) {
+      Graph target = MakeLabeledGraph(12, 4, 100 + seed);
+      Graph pattern;
+      for (NodeId v = 0; v + 3 <= target.num_nodes(); ++v) {
+        Graph cand = target.InducedSubgraph({v, v + 1, v + 2});
+        if (cand.IsConnected()) {
+          pattern = cand;
+          break;
+        }
+      }
+      if (pattern.num_nodes() == 0) continue;
+      targets.push_back(std::move(target));
+      patterns.push_back(std::move(pattern));
+    }
+    MatchOptions opts;
+    opts.semantics = MatchSemantics::kSubgraph;
+    opts.max_matches = 8;  // serving probes are capped, not exhaustive
+    auto workload = [&] {
+      for (int repeat = 0; repeat < 8; ++repeat) {
+        for (size_t i = 0; i < targets.size(); ++i) {
+          benchmark::DoNotOptimize(
+              Vf2Matcher::FindMatches(patterns[i], targets[i], opts));
+        }
+      }
+    };
+    auto [arena_s, heap_s] = AbRounds(
+        16,
+        [&] {
+          gvex::arena::SetEnabled(true);
+          workload();
+        },
+        [&] {
+          gvex::arena::SetEnabled(false);
+          workload();
+        });
+    gvex::arena::SetEnabled(true);
+    const double speedup = arena_s > 0.0 ? heap_s / arena_s : 0.0;
+    std::printf("vf2 small-match arena vs heap: heap %.4fs vs arena %.4fs "
+                "-> %.2fx (acceptance floor: 1.3x)\n",
+                heap_s, arena_s, speedup);
+    report->SetParam("vf2_arena_vs_heap_speedup", speedup);
+  }
+
+  report->SetParam("peak_rss_kb", static_cast<uint64_t>(ReadPeakRssKb()));
+}
+
 // Console reporter that also captures per-kernel real times for the
 // BENCH_micro_kernels.json report.
 class CapturingReporter : public benchmark::ConsoleReporter {
@@ -390,6 +524,7 @@ int main(int argc, char** argv) {
 
   double overhead_pct = gvex::MeasureObsOverheadPct(&report);
   double best_speedup = gvex::MeasureKernelSpeedups(&report);
+  gvex::MeasureCompactDataPlane(&report);
   std::printf("best optimized-kernel speedup vs reference: %.2fx "
               "(acceptance floor: 2x on at least one probe)\n",
               best_speedup);

@@ -369,6 +369,19 @@ Status CmdServe(const Flags& flags) {
   if (!cluster::IsValidRouteName(route)) {
     return Status::InvalidArgument("invalid route name: '" + route + "'");
   }
+  // --exact-fp32 a,b: pin routes to full-precision models. The policy
+  // sits in the registry's publish funnel, so wire installs, fetched
+  // bundles, and local loads are all covered by the same rejection.
+  if (auto exact_spec = flags.Get("exact-fp32")) {
+    for (const std::string& entry : SplitString(*exact_spec, ',')) {
+      if (entry.empty()) continue;
+      if (!cluster::IsValidRouteName(entry)) {
+        return Status::InvalidArgument("--exact-fp32: invalid route name '" +
+                                       entry + "'");
+      }
+      registry.SetExactFp32(entry, true);
+    }
+  }
   const auto views_path = flags.Get("views");
   const auto follow = flags.Get("follow");
   if (!views_path && !follow) {
@@ -778,6 +791,23 @@ Status CmdPublish(const Flags& flags) {
                           GcnSerializer::Load(*model_path));
     bundle.model = std::make_shared<const GcnClassifier>(std::move(model));
   }
+  // --quantize fp16|int8: ship the model in reduced precision (bundle
+  // v2). Receivers dequantize on load; routes pinned `--exact-fp32`
+  // refuse the install (gnn/quantize.h).
+  if (auto quantize = flags.Get("quantize")) {
+    if (bundle.model == nullptr) {
+      return Status::InvalidArgument("--quantize needs --model");
+    }
+    GVEX_ASSIGN_OR_RETURN(WeightPrecision precision,
+                          ParseWeightPrecision(*quantize));
+    if (precision == WeightPrecision::kFp32) {
+      return Status::InvalidArgument(
+          "--quantize fp32 is a no-op; omit the flag to ship fp32");
+    }
+    GVEX_ASSIGN_OR_RETURN(QuantizedModel qm,
+                          QuantizeModel(*bundle.model, precision));
+    bundle.qmodel = std::make_shared<const QuantizedModel>(std::move(qm));
+  }
   bundle.route = flags.Get("route").value_or(cluster::kDefaultRoute);
   bundle.generation = static_cast<uint64_t>(flags.GetInt("generation", 0));
 
@@ -787,8 +817,15 @@ Status CmdPublish(const Flags& flags) {
     GVEX_RETURN_NOT_OK(cluster::SaveBundle(bundle, *out));
     GVEX_ASSIGN_OR_RETURN(std::string fingerprint,
                           cluster::BundleFingerprint(bundle));
-    std::printf("bundle -> %s (route %s, fingerprint %s)\n", out->c_str(),
-                bundle.route.c_str(), fingerprint.c_str());
+    if (bundle.qmodel != nullptr) {
+      std::printf("bundle -> %s (route %s, precision %s, fingerprint %s)\n",
+                  out->c_str(), bundle.route.c_str(),
+                  WeightPrecisionName(bundle.qmodel->precision),
+                  fingerprint.c_str());
+    } else {
+      std::printf("bundle -> %s (route %s, fingerprint %s)\n", out->c_str(),
+                  bundle.route.c_str(), fingerprint.c_str());
+    }
     return Status::OK();
   }
 

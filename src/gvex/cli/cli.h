@@ -17,6 +17,7 @@
 //                     (--socket /tmp/gvex.sock | --port N)
 //                     [--workers 4 --queue 256 --batch 8 --deadline-ms 0
 //                      --route NAME --route-quota "exp=8:0.25,canary=16"
+//                      --exact-fp32 "routeA,routeB"
 //                      --follow (unix:PATH|tcp:PORT) --poll-ms 200]
 //   gvex_tool client  (--socket PATH | --port N | --local views.txt
 //                      [--model model.txt] | --shard-map map.bin)
@@ -30,6 +31,7 @@
 //                      --retry N --retry-backoff-ms MS --top-k 10
 //                      --hedge-ms MS --shard-deadline-ms MS]
 //   gvex_tool publish --views views.txt [--model model.txt] [--route NAME]
+//                     [--quantize fp16|int8]
 //                     (--socket PATH | --port N | --out bundle.bin |
 //                      --targets "unix:A,unix:B,tcp:PORT" |
 //                      --shard-map map.bin

@@ -17,6 +17,7 @@ namespace cluster {
 namespace {
 
 constexpr const char* kMagic = "gvexbundle-v1";
+constexpr const char* kMagicV2 = "gvexbundle-v2";  // quantized model payload
 constexpr const char* kEndTag = "gvexbundle-end";
 
 // 64-bit content fingerprint: two CRC32 passes with distinct seeds over
@@ -47,7 +48,14 @@ Result<SerializedContent> SerializeContent(const ViewBundle& bundle) {
   SetMaxPrecision(&views_out);
   GVEX_RETURN_NOT_OK(WriteViewSet(bundle.views, &views_out));
   content.views = std::move(views_out).str();
-  if (bundle.model != nullptr) {
+  // The quantized payload, when present, is the model of record: the
+  // fingerprint covers its bytes, and the fp32 twin in `model` is never
+  // re-serialized (re-quantizing it is not guaranteed byte-stable).
+  if (bundle.qmodel != nullptr) {
+    std::ostringstream model_out;
+    GVEX_RETURN_NOT_OK(WriteQuantizedModel(*bundle.qmodel, &model_out));
+    content.model = std::move(model_out).str();
+  } else if (bundle.model != nullptr) {
     std::ostringstream model_out;
     SetMaxPrecision(&model_out);
     GVEX_RETURN_NOT_OK(GcnSerializer::Write(*bundle.model, &model_out));
@@ -78,18 +86,24 @@ Status WriteBundle(const ViewBundle& bundle, std::ostream* out) {
     return Status::InvalidArgument("invalid route name: '" + bundle.route +
                                    "' (want 1..64 chars of [A-Za-z0-9_.-])");
   }
+  const bool quantized = bundle.qmodel != nullptr;
+  const bool has_model = quantized || bundle.model != nullptr;
   GVEX_ASSIGN_OR_RETURN(SerializedContent content, SerializeContent(bundle));
   SetMaxPrecision(out);
-  (*out) << kMagic << "\n";
+  (*out) << (quantized ? kMagicV2 : kMagic) << "\n";
   std::ostringstream header;
   header << "route " << bundle.route << "\n"
          << "generation " << bundle.generation << "\n"
-         << "has_model " << (bundle.model != nullptr ? 1 : 0) << "\n"
-         << "fingerprint " << FingerprintOf(content.views, content.model)
+         << "has_model " << (has_model ? 1 : 0) << "\n";
+  if (quantized) {
+    header << "precision " << WeightPrecisionName(bundle.qmodel->precision)
+           << "\n";
+  }
+  header << "fingerprint " << FingerprintOf(content.views, content.model)
          << "\n";
   GVEX_RETURN_NOT_OK(WriteSection(out, header.str()));
   GVEX_RETURN_NOT_OK(WriteSection(out, content.views));
-  if (bundle.model != nullptr) {
+  if (has_model) {
     GVEX_RETURN_NOT_OK(WriteSection(out, content.model));
   }
   (*out) << kEndTag << "\n";
@@ -100,13 +114,15 @@ Status WriteBundle(const ViewBundle& bundle, std::ostream* out) {
 Result<ViewBundle> ReadBundle(std::istream* in) {
   GVEX_FAILPOINT_RETURN("cluster.bundle_read");
   std::string magic;
-  if (!((*in) >> magic) || magic != kMagic) {
+  if (!((*in) >> magic) || (magic != kMagic && magic != kMagicV2)) {
     return Status::IoError("bad bundle magic");
   }
+  const bool v2 = magic == kMagicV2;
   GVEX_ASSIGN_OR_RETURN(std::string header, ReadSection(in));
 
   ViewBundle bundle;
   int has_model = 0;
+  WeightPrecision precision = WeightPrecision::kFp32;
   std::string declared_fingerprint;
   {
     std::istringstream hin(header);
@@ -120,6 +136,16 @@ Result<ViewBundle> ReadBundle(std::istream* in) {
     if (!(hin >> key >> has_model) || key != "has_model" ||
         (has_model != 0 && has_model != 1)) {
       return Status::IoError("bad bundle header: has_model");
+    }
+    if (v2) {
+      std::string precision_name;
+      if (!(hin >> key >> precision_name) || key != "precision") {
+        return Status::IoError("bad bundle header: precision");
+      }
+      GVEX_ASSIGN_OR_RETURN(precision, ParseWeightPrecision(precision_name));
+      if (precision == WeightPrecision::kFp32 || has_model == 0) {
+        return Status::IoError("v2 bundle must carry a quantized model");
+      }
     }
     if (!(hin >> key >> declared_fingerprint) || key != "fingerprint" ||
         declared_fingerprint.size() != 16) {
@@ -155,8 +181,20 @@ Result<ViewBundle> ReadBundle(std::istream* in) {
   }
   if (has_model != 0) {
     std::istringstream min(model_bytes);
-    GVEX_ASSIGN_OR_RETURN(GcnClassifier model, GcnSerializer::Read(&min));
-    bundle.model = std::make_shared<const GcnClassifier>(std::move(model));
+    if (v2) {
+      // Keep the quantized payload verbatim (it is what the fingerprint
+      // covers) and serve its dequantized fp32 twin.
+      GVEX_ASSIGN_OR_RETURN(QuantizedModel qm, ReadQuantizedModel(&min));
+      if (qm.precision != precision) {
+        return Status::IoError("bundle precision disagrees with payload");
+      }
+      GVEX_ASSIGN_OR_RETURN(GcnClassifier model, DequantizeModel(qm));
+      bundle.qmodel = std::make_shared<const QuantizedModel>(std::move(qm));
+      bundle.model = std::make_shared<const GcnClassifier>(std::move(model));
+    } else {
+      GVEX_ASSIGN_OR_RETURN(GcnClassifier model, GcnSerializer::Read(&min));
+      bundle.model = std::make_shared<const GcnClassifier>(std::move(model));
+    }
   }
   return bundle;
 }

@@ -10,6 +10,15 @@
 //   <CRC section: model   — gvexgcn-v2 bytes, only when has_model>
 //   gvexbundle-end
 //
+// A bundle whose model was quantized (gnn/quantize.h) is written with
+// magic `gvexbundle-v2` instead; its header carries one extra
+// `precision fp16|int8` line and its model section holds gvexgcnq-v1
+// bytes. Readers accept both: fp32 bundles keep the v1 encoding
+// bit-for-bit (their fingerprints never churn), and a v2 bundle is
+// dequantized back to an fp32 classifier on load while the quantized
+// payload is retained verbatim — re-publishing a fetched v2 bundle
+// re-encodes the same bytes, so fingerprints are replication-stable.
+//
 // Every section rides the shared CRC framing (io_util.h), so truncation
 // and bit rot are detected before any payload parsing; on top of that the
 // header carries a 64-bit *content fingerprint* over the views+model
@@ -31,6 +40,7 @@
 #include "gvex/common/result.h"
 #include "gvex/explain/view.h"
 #include "gvex/gnn/model.h"
+#include "gvex/gnn/quantize.h"
 
 namespace gvex {
 namespace cluster {
@@ -53,6 +63,15 @@ struct ViewBundle {
   std::string fingerprint;
   ExplanationViewSet views;
   std::shared_ptr<const GcnClassifier> model;  ///< may be null
+  /// Quantized model payload; null for fp32 bundles. When set, this is
+  /// what the model section serializes (v2 encoding) and `model` holds
+  /// its dequantized fp32 twin — the payload of record stays quantized
+  /// so round-trips never re-quantize.
+  std::shared_ptr<const QuantizedModel> qmodel;
+  /// kFp32 unless `qmodel` is set.
+  WeightPrecision precision() const {
+    return qmodel != nullptr ? qmodel->precision : WeightPrecision::kFp32;
+  }
 };
 
 /// The fingerprint Write would stamp for this content (hex16).

@@ -171,7 +171,8 @@ std::vector<ViewBundle> ShardMap::Partition(const ViewBundle& bundle) const {
   for (size_t i = 0; i < parts.size(); ++i) {
     parts[i].route = bundle.route;
     parts[i].generation = bundle.generation;
-    parts[i].model = bundle.model;  // replicated (shared, never copied)
+    parts[i].model = bundle.model;    // replicated (shared, never copied)
+    parts[i].qmodel = bundle.qmodel;  // quantized slices stay quantized
   }
   for (const ExplanationView& view : bundle.views.views) {
     for (ViewBundle& part : parts) {

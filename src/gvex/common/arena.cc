@@ -1,0 +1,96 @@
+#include "gvex/common/arena.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+namespace gvex {
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  assert(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  EnsureBlock(bytes + alignment - 1);
+  Block& b = blocks_[current_];
+  uintptr_t base = reinterpret_cast<uintptr_t>(b.data.get()) + b.used;
+  uintptr_t aligned = (base + alignment - 1) & ~(alignment - 1);
+  const size_t padding = aligned - base;
+  b.used += padding + bytes;
+  assert(b.used <= b.size);
+  high_water_ = std::max(high_water_, bytes_before_current_ + b.used);
+  return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::EnsureBlock(size_t bytes) {
+  if (!blocks_.empty() &&
+      blocks_[current_].size - blocks_[current_].used >= bytes) {
+    return;
+  }
+  // Advance through retained blocks before growing.
+  size_t next = 0;
+  if (!blocks_.empty()) {
+    bytes_before_current_ += blocks_[current_].used;
+    next = current_ + 1;
+  }
+  while (next < blocks_.size()) {
+    blocks_[next].used = 0;  // a skipped-over block holds no live bytes
+    if (blocks_[next].size >= bytes) {
+      current_ = next;
+      return;
+    }
+    ++next;
+  }
+  size_t grow = blocks_.empty()
+                    ? initial_block_bytes_
+                    : std::min(blocks_.back().size * 2, kMaxBlockBytes);
+  grow = std::max(grow, bytes);
+  Block b;
+  b.data = std::make_unique<char[]>(grow);
+  b.size = grow;
+  b.used = 0;
+  blocks_.push_back(std::move(b));
+  current_ = blocks_.size() - 1;
+}
+
+void Arena::Rewind(const Mark& mark) {
+  ++resets_;
+  if (blocks_.empty()) return;
+  assert(mark.block < blocks_.size());
+  for (size_t i = mark.block + 1; i < blocks_.size(); ++i) blocks_[i].used = 0;
+  blocks_[mark.block].used = mark.used;
+  current_ = mark.block;
+  bytes_before_current_ = 0;
+  for (size_t i = 0; i < current_; ++i) bytes_before_current_ += blocks_[i].used;
+}
+
+Arena::Stats Arena::stats() const {
+  Stats s;
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    s.bytes_reserved += blocks_[i].size;
+    if (i <= current_) s.bytes_in_use += blocks_[i].used;
+  }
+  s.high_water = high_water_;
+  s.blocks = blocks_.size();
+  s.resets = resets_;
+  return s;
+}
+
+namespace arena {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+Arena& ThreadLocal() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace arena
+
+}  // namespace gvex

@@ -1,0 +1,161 @@
+// Bump-pointer arenas — the allocation backbone of the compact data
+// plane (docs/PERFORMANCE.md §"Arena-backed data plane").
+//
+// An Arena hands out raw memory from chained blocks with a pointer bump;
+// nothing is freed individually. Two lifetimes matter here:
+//
+//  * per-request: every serve worker owns a thread-local arena that is
+//    rewound after each request, so all the scratch a request touches
+//    (CSR target views, match scratch, candidate sets) costs one pointer
+//    bump instead of a malloc/free pair;
+//  * per-run: hot kernels (VF2, coverage, pgen's ESU enumeration) open a
+//    ScopedArenaMark around one run and rewind on exit, which makes
+//    nested uses safe — an inner run rewinds to its own mark, never
+//    clobbering the outer run's allocations.
+//
+// The global kill switch (arena::SetEnabled) routes every ArenaAllocator
+// through plain operator new/delete instead, reproducing the pre-arena
+// allocation behaviour through the *same* code path. bench_micro_kernels
+// flips it to measure the honest arena-vs-heap speedup, and it doubles
+// as an operational escape hatch (mirrors obs::SetEnabled).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace gvex {
+
+/// \brief Chained-block bump allocator. Not thread-safe; use one arena
+/// per thread (see arena::ThreadLocal()).
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+  static constexpr size_t kMaxBlockBytes = 1024 * 1024;
+
+  explicit Arena(size_t initial_block_bytes = kDefaultBlockBytes)
+      : initial_block_bytes_(initial_block_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw allocation; memory is uninitialized and lives until the next
+  /// Reset()/Rewind() past it. Never returns nullptr (throws bad_alloc).
+  void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t));
+
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// A rewind point: everything allocated after Mark() is reclaimed by
+  /// Rewind(mark). Blocks are retained, so steady-state allocation after
+  /// a rewind touches warm memory and never calls malloc.
+  struct Mark {
+    size_t block = 0;
+    size_t used = 0;
+  };
+  Mark CurrentMark() const { return {current_, CurrentUsed()}; }
+  void Rewind(const Mark& mark);
+
+  /// Rewind to empty (blocks retained).
+  void Reset() { Rewind(Mark{}); }
+
+  struct Stats {
+    size_t bytes_in_use = 0;    ///< live bytes since the last reset
+    size_t bytes_reserved = 0;  ///< total block capacity held
+    size_t high_water = 0;      ///< max bytes_in_use ever observed
+    size_t blocks = 0;
+    size_t resets = 0;          ///< Reset()/Rewind() calls
+  };
+  Stats stats() const;
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  size_t CurrentUsed() const {
+    return blocks_.empty() ? 0 : blocks_[current_].used;
+  }
+  /// Make blocks_[current_] able to fit `bytes`; grows geometrically.
+  void EnsureBlock(size_t bytes);
+
+  size_t initial_block_bytes_;
+  std::vector<Block> blocks_;
+  size_t current_ = 0;
+  size_t bytes_before_current_ = 0;  ///< live bytes in blocks [0, current_)
+  size_t high_water_ = 0;
+  size_t resets_ = 0;
+};
+
+/// RAII mark/rewind. Opening one around a kernel run makes all arena
+/// allocations inside the run scoped to it; nests safely.
+class ScopedArenaMark {
+ public:
+  explicit ScopedArenaMark(Arena* arena)
+      : arena_(arena), mark_(arena->CurrentMark()) {}
+  ~ScopedArenaMark() { arena_->Rewind(mark_); }
+  ScopedArenaMark(const ScopedArenaMark&) = delete;
+  ScopedArenaMark& operator=(const ScopedArenaMark&) = delete;
+
+ private:
+  Arena* arena_;
+  Arena::Mark mark_;
+};
+
+namespace arena {
+
+/// Global kill switch (default on). When off, ArenaAllocator falls back
+/// to operator new/delete and the matcher scratch is rebuilt per call —
+/// the exact pre-arena behaviour, through the same code path.
+void SetEnabled(bool enabled);
+bool Enabled();
+
+/// The calling thread's arena (per-request lifetime under gvex::serve:
+/// workers rewind it after every request; kernels mark/rewind inside).
+Arena& ThreadLocal();
+
+}  // namespace arena
+
+/// \brief std::allocator adapter over an Arena. With a null arena — or
+/// the global switch off — it degrades to plain new/delete, so the same
+/// container type serves both sides of the arena-vs-heap A/B probe.
+/// deallocate() is a no-op for arena memory (reclaimed by Rewind).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() : arena_(nullptr) {}
+  explicit ArenaAllocator(Arena* a) : arena_(arena::Enabled() ? a : nullptr) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    if (arena_ != nullptr) return arena_->AllocateArray<T>(n);
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) {
+    (void)n;
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace gvex

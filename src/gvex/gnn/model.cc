@@ -80,7 +80,7 @@ GcnTrace GcnClassifier::ForwardWithPropagation(const Matrix& x0,
     // pre = S * X * W + b ; X' = ReLU(pre)
     Matrix agg = s.MultiplyDense(trace.x.back());
     Matrix pre = MatMul(agg, conv_weights_[i]);
-    AddRowBias(&pre, conv_biases_[i].GetRow(0));
+    AddRowBias(&pre, conv_biases_[i].Row(0));
     trace.x.push_back(Relu(pre));
     trace.pre.push_back(std::move(pre));
   }

@@ -1,0 +1,124 @@
+#include "gvex/graph/csr_view.h"
+
+namespace gvex {
+
+void CsrGraphView::Build(const Graph& g, Arena* arena) {
+  directed_ = g.directed();
+  num_nodes_ = g.num_nodes();
+  num_edges_ = g.num_edges();
+  node_types_ = g.node_types().data();
+
+  const size_t n = num_nodes_;
+  size_t total = 0;
+  for (NodeId v = 0; v < n; ++v) total += g.degree(v);
+
+  uint32_t* offsets;
+  NodeId* neighbors;
+  EdgeType* edge_types;
+  uint32_t* rev_offsets = nullptr;
+  NodeId* rev_neighbors = nullptr;
+  if (arena != nullptr && arena::Enabled()) {
+    offsets = arena->AllocateArray<uint32_t>(n + 1);
+    neighbors = arena->AllocateArray<NodeId>(total);
+    edge_types = arena->AllocateArray<EdgeType>(total);
+    if (directed_) {
+      rev_offsets = arena->AllocateArray<uint32_t>(n + 1);
+      rev_neighbors = arena->AllocateArray<NodeId>(total);
+    }
+  } else {
+    own_offsets_.resize(n + 1);
+    own_neighbors_.resize(total);
+    own_edge_types_.resize(total);
+    offsets = own_offsets_.data();
+    neighbors = own_neighbors_.data();
+    edge_types = own_edge_types_.data();
+    if (directed_) {
+      own_rev_offsets_.resize(n + 1);
+      own_rev_neighbors_.resize(total);
+      rev_offsets = own_rev_offsets_.data();
+      rev_neighbors = own_rev_neighbors_.data();
+    }
+  }
+
+  // Forward CSR in the Graph's stored per-node order (the order the
+  // match-sequence contract pins).
+  uint32_t pos = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    offsets[v] = pos;
+    for (const auto& nb : g.neighbors(v)) {
+      neighbors[pos] = nb.node;
+      edge_types[pos] = nb.edge_type;
+      ++pos;
+    }
+  }
+  offsets[n] = pos;
+
+  if (directed_) {
+    // Counting sort by destination; sources land in ascending order
+    // because the outer scan is ascending — the same order the matcher's
+    // old reverse_adj_ produced.
+    for (NodeId v = 0; v <= n; ++v) rev_offsets[v] = 0;
+    for (size_t i = 0; i < pos; ++i) ++rev_offsets[neighbors[i] + 1];
+    for (NodeId v = 0; v < n; ++v) rev_offsets[v + 1] += rev_offsets[v];
+    std::vector<uint32_t> cursor(rev_offsets, rev_offsets + n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (uint32_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+        rev_neighbors[cursor[neighbors[i]]++] = u;
+      }
+    }
+  }
+
+  offsets_ = offsets;
+  neighbors_ = neighbors;
+  edge_types_ = edge_types;
+  rev_offsets_ = rev_offsets;
+  rev_neighbors_ = rev_neighbors;
+}
+
+bool CsrGraphView::HasEdge(NodeId u, NodeId v) const {
+  if (u >= num_nodes_ || v >= num_nodes_) return false;
+  // Like Graph::HasEdge, scan the shorter endpoint list when undirected
+  // (membership is order-independent: AddEdge rejects duplicates).
+  NodeId from = u, to = v;
+  if (!directed_ && degree(v) < degree(u)) {
+    from = v;
+    to = u;
+  }
+  for (NodeId w : neighbors(from)) {
+    if (w == to) return true;
+  }
+  return false;
+}
+
+EdgeType CsrGraphView::GetEdgeType(NodeId u, NodeId v) const {
+  if (u >= num_nodes_) return -1;
+  const auto nbrs = neighbors(u);
+  const auto types = edge_types(u);
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == v) return types[i];
+  }
+  // Directed graphs store an edge only at its source (Graph::GetEdgeType
+  // falls back the same way).
+  if (directed_ && v < num_nodes_) {
+    const auto vnbrs = neighbors(v);
+    const auto vtypes = edge_types(v);
+    for (size_t i = 0; i < vnbrs.size(); ++i) {
+      if (vnbrs[i] == u) return vtypes[i];
+    }
+  }
+  return -1;
+}
+
+size_t CsrGraphView::AdjacencyBytes() const {
+  size_t bytes = (num_nodes_ + 1) * sizeof(uint32_t);
+  const size_t entries = offsets_ == nullptr ? 0 : offsets_[num_nodes_];
+  bytes += entries * (sizeof(NodeId) + sizeof(EdgeType));
+  if (directed_) {
+    bytes += (num_nodes_ + 1) * sizeof(uint32_t) + entries * sizeof(NodeId);
+  }
+  return bytes;
+}
+
+size_t NestedAdjacencyBytes(const Graph& g) { return g.AdjacencyBytes(); }
+
+}  // namespace gvex

@@ -1,0 +1,100 @@
+// Compact CSR/SoA view of a Graph — the data-plane layout the hot
+// kernels (indexed VF2, coverage, Jacobian influence) traverse instead
+// of the builder-friendly vector-of-vectors adjacency in graph.h.
+//
+// Layout: one offsets array (n+1), one flat neighbor-id array, and one
+// flat edge-type array parallel to it (structure of arrays: a matcher
+// scanning candidate ids never drags edge types through the cache, and
+// each adjacency list is contiguous with its successor — no per-node
+// heap block, no per-node capacity slack). Directed graphs additionally
+// carry a reverse CSR (in-neighbors, ascending source order) so in-edge
+// anchors are indexed, matching the reverse_adj_ the indexed matcher
+// used to rebuild per run.
+//
+// Per-node neighbor order is exactly the Graph's stored order, and the
+// reverse CSR enumerates sources in ascending order — the two facts the
+// byte-identical match-sequence contract of vf2.h rests on.
+//
+// A view borrows node types from the Graph and copies adjacency into
+// either heap-backed vectors or a caller-provided Arena (per-request /
+// per-run lifetime, see common/arena.h); it must not outlive the Graph
+// or the arena scope it was built in.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "gvex/common/arena.h"
+#include "gvex/graph/graph.h"
+
+namespace gvex {
+
+class CsrGraphView {
+ public:
+  CsrGraphView() = default;
+  /// Heap-backed view (owns its arrays).
+  explicit CsrGraphView(const Graph& g) { Build(g, nullptr); }
+  /// Arena-backed view: arrays live in `*arena` and are reclaimed by the
+  /// enclosing rewind; nothing to destruct. Falls back to heap storage
+  /// when `arena` is null or the global arena switch is off.
+  CsrGraphView(const Graph& g, Arena* arena) { Build(g, arena); }
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return num_edges_; }
+  bool directed() const { return directed_; }
+
+  NodeType node_type(NodeId v) const { return node_types_[v]; }
+  size_t degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Out-neighbors of v in the Graph's stored order.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {neighbors_ + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+  /// Edge types parallel to neighbors(v).
+  std::span<const EdgeType> edge_types(NodeId v) const {
+    return {edge_types_ + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Sources of in-edges of v, ascending (directed graphs only; empty
+  /// span for undirected views, whose adjacency is already symmetric).
+  std::span<const NodeId> in_neighbors(NodeId v) const {
+    if (!directed_) return {};
+    return {rev_neighbors_ + rev_offsets_[v],
+            rev_offsets_[v + 1] - rev_offsets_[v]};
+  }
+
+  /// Same answers as Graph::HasEdge / Graph::GetEdgeType.
+  bool HasEdge(NodeId u, NodeId v) const;
+  EdgeType GetEdgeType(NodeId u, NodeId v) const;
+
+  /// Bytes resident in the view's flat arrays (offsets + neighbor ids +
+  /// edge types + reverse CSR; node types are borrowed, not counted).
+  size_t AdjacencyBytes() const;
+
+ private:
+  void Build(const Graph& g, Arena* arena);
+
+  bool directed_ = false;
+  size_t num_nodes_ = 0;
+  size_t num_edges_ = 0;
+  const NodeType* node_types_ = nullptr;  // borrowed from the Graph
+  const uint32_t* offsets_ = nullptr;     // n + 1
+  const NodeId* neighbors_ = nullptr;     // offsets_[n] entries
+  const EdgeType* edge_types_ = nullptr;  // parallel to neighbors_
+  const uint32_t* rev_offsets_ = nullptr;  // directed only
+  const NodeId* rev_neighbors_ = nullptr;  // directed only
+
+  // Heap fallback storage (unused for arena-backed views).
+  std::vector<uint32_t> own_offsets_;
+  std::vector<NodeId> own_neighbors_;
+  std::vector<EdgeType> own_edge_types_;
+  std::vector<uint32_t> own_rev_offsets_;
+  std::vector<NodeId> own_rev_neighbors_;
+};
+
+/// Bytes resident in the Graph's nested vector-of-vectors adjacency:
+/// per-node vector headers plus each list's allocated capacity. The
+/// "before" side of the bytes_per_view bench param.
+size_t NestedAdjacencyBytes(const Graph& g);
+
+}  // namespace gvex

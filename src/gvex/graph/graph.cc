@@ -309,6 +309,12 @@ uint64_t Graph::StructureSignature() const {
   return h;
 }
 
+size_t Graph::AdjacencyBytes() const {
+  size_t bytes = adj_.capacity() * sizeof(std::vector<Neighbor>);
+  for (const auto& list : adj_) bytes += list.capacity() * sizeof(Neighbor);
+  return bytes;
+}
+
 std::string Graph::DebugString() const {
   std::string out = StrFormat("Graph(n=%zu, m=%zu, %s", num_nodes(),
                               num_edges_, directed_ ? "directed" : "undirected");

@@ -138,6 +138,12 @@ class Graph {
   /// disagree.
   uint64_t StructureSignature() const;
 
+  /// Bytes resident in the nested adjacency representation: per-node
+  /// vector headers plus each list's allocated *capacity* (push_back's
+  /// doubling growth leaves slack in every list). The "before" side of
+  /// the bytes_per_view comparison against CsrGraphView::AdjacencyBytes.
+  size_t AdjacencyBytes() const;
+
   std::string DebugString() const;
 
  private:

@@ -32,17 +32,33 @@ Matrix ExactJacobianInfluence(const GcnClassifier& model, const Graph& g,
 
   // Column view of S, built once: the seed loop needs S[*, u], and probing
   // trace.s.At(v, u) densely costs a per-cell row scan (O(n * nnz) over
-  // the whole backend). One CSR pass yields each column's nonzeros in
-  // ascending v, matching the dense loop's visit order exactly.
-  std::vector<std::vector<std::pair<uint32_t, float>>> columns(n);
+  // the whole backend). Flat SoA CSC (col_ptr / row_idx / values) instead
+  // of a vector-of-vectors: one counting-sort pass yields each column's
+  // nonzeros in ascending v — the same visit order, no per-column heap
+  // block. Workers share these read-only arrays.
+  std::vector<uint32_t> col_ptr(n + 1, 0);
+  std::vector<uint32_t> row_idx;
+  std::vector<float> col_values;
   {
     const std::vector<size_t>& row_ptr = trace.s.row_ptr();
     const std::vector<size_t>& col_idx = trace.s.col_idx();
     const std::vector<float>& values = trace.s.values();
+    size_t nnz = 0;
+    for (size_t p = 0; p < values.size(); ++p) {
+      if (values[p] == 0.0f) continue;
+      ++col_ptr[col_idx[p] + 1];
+      ++nnz;
+    }
+    for (size_t u = 0; u < n; ++u) col_ptr[u + 1] += col_ptr[u];
+    row_idx.resize(nnz);
+    col_values.resize(nnz);
+    std::vector<uint32_t> cursor(col_ptr.begin(), col_ptr.end() - 1);
     for (size_t v = 0; v < n; ++v) {
       for (size_t p = row_ptr[v]; p < row_ptr[v + 1]; ++p) {
         if (values[p] == 0.0f) continue;
-        columns[col_idx[p]].emplace_back(static_cast<uint32_t>(v), values[p]);
+        const size_t slot = cursor[col_idx[p]]++;
+        row_idx[slot] = static_cast<uint32_t>(v);
+        col_values[slot] = values[p];
       }
     }
   }
@@ -57,7 +73,9 @@ Matrix ExactJacobianInfluence(const GcnClassifier& model, const Graph& g,
     for (size_t j = 0; j < d_in; ++j) {
       // Layer 0 applied to T^0 = e_u e_j^T: (S T^0 W)[v, :] = S[v,u] * W[j, :].
       std::fill(t0.data(), t0.data() + t0.size(), 0.0f);
-      for (const auto& [v, s_vu] : columns[u]) {
+      for (uint32_t p = col_ptr[u]; p < col_ptr[u + 1]; ++p) {
+        const uint32_t v = row_idx[p];
+        const float s_vu = col_values[p];
         for (size_t c = 0; c < w0.cols(); ++c) {
           t0.At(v, c) = s_vu * w0.At(j, c);
         }

@@ -2,44 +2,94 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
+#include <memory>
 
+#include "gvex/common/arena.h"
 #include "gvex/obs/obs.h"
 
 namespace gvex {
 namespace {
 
-// Search state for one (pattern, target) matching run — the indexed fast
-// path (see vf2.h and docs/PERFORMANCE.md for the index design).
-class Vf2State {
- public:
-  Vf2State(const Graph& pattern, const Graph& target,
-           const MatchOptions& options,
-           const std::function<bool(const Match&)>& cb)
-      : pattern_(pattern),
-        target_(target),
-        options_(options),
-        cb_(cb),
-        assignment_(pattern.num_nodes(), kInvalidNode),
-        used_(target.num_nodes(), false) {
-    // Undirected adjacency view of the pattern (for ordering and anchor
-    // selection; feasibility still checks directions).
-    pattern_undirected_.resize(pattern.num_nodes());
-    for (NodeId u = 0; u < pattern.num_nodes(); ++u) {
-      for (const auto& nb : pattern.neighbors(u)) {
-        pattern_undirected_[u].push_back(nb.node);
-        if (pattern.directed()) pattern_undirected_[nb.node].push_back(u);
+// Reusable scratch for one matching run: every buffer the indexed search
+// needs, hoisted out of per-call allocation. Vectors are resized, never
+// reconstructed, so steady-state runs touch warm capacity and perform no
+// heap allocation at all. One instance lives per thread; nested runs
+// (a callback that matches again) and the arena kill switch fall back to
+// a fresh heap-backed instance — the exact pre-arena behaviour.
+struct MatcherScratch {
+  struct LabelNeed {
+    NodeType label;
+    size_t need = 0;
+    size_t have = 0;
+  };
+
+  // Flat undirected pattern adjacency (offsets + ids), in the same
+  // insertion order the old vector-of-vectors build produced.
+  std::vector<uint32_t> pu_offsets;
+  std::vector<NodeId> pu_data;
+  std::vector<uint32_t> pu_cursor;
+  std::vector<uint8_t> placed;       // BuildOrder
+  std::vector<NodeId> order;
+  Match assignment;
+  std::vector<uint8_t> used;
+  std::vector<NodeId> root_candidates;
+  std::vector<LabelNeed> hist;       // label histogram (few distinct labels)
+  bool in_use = false;
+
+  static MatcherScratch& ThreadInstance() {
+    thread_local MatcherScratch scratch;
+    return scratch;
+  }
+
+  // Borrow the thread's scratch, or own a fresh one when it is taken
+  // (nested matching) or the arena/scratch switch is off.
+  class Lease {
+   public:
+    Lease() {
+      MatcherScratch& tls = ThreadInstance();
+      if (arena::Enabled() && !tls.in_use) {
+        scratch_ = &tls;
+        tls.in_use = true;
+      } else {
+        owned_ = std::make_unique<MatcherScratch>();
+        scratch_ = owned_.get();
       }
     }
+    ~Lease() {
+      if (owned_ == nullptr) scratch_->in_use = false;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    MatcherScratch& operator*() const { return *scratch_; }
+
+   private:
+    MatcherScratch* scratch_;
+    std::unique_ptr<MatcherScratch> owned_;
+  };
+};
+
+// Search state for one (pattern, target) matching run — the indexed fast
+// path (see vf2.h and docs/PERFORMANCE.md for the index design). The
+// target is traversed through its compact CSR view; all scratch comes
+// from the leased MatcherScratch.
+class Vf2State {
+ public:
+  Vf2State(const Graph& pattern, const CsrGraphView& target,
+           const MatchOptions& options,
+           const std::function<bool(const Match&)>& cb, MatcherScratch& s)
+      : pattern_(pattern), target_(target), options_(options), cb_(cb), s_(s) {
+    s_.assignment.assign(pattern.num_nodes(), kInvalidNode);
+    s_.used.assign(target.num_nodes(), 0);
+    BuildPatternUndirected();
     BuildOrder();
-    if (order_.empty()) return;  // disconnected: Run() rejects
+    if (s_.order.empty()) return;  // disconnected: Run() rejects
     BuildIndex();
   }
 
   size_t Run() {
     GVEX_SPAN("vf2.match");
     GVEX_COUNTER_INC("vf2.calls");
-    if (order_.empty() || pattern_.num_nodes() > target_.num_nodes()) {
+    if (s_.order.empty() || pattern_.num_nodes() > target_.num_nodes()) {
       return 0;
     }
     if (label_infeasible_) {
@@ -59,55 +109,74 @@ class Vf2State {
   }
 
  private:
+  std::span<const NodeId> PatternUndirected(NodeId v) const {
+    return {s_.pu_data.data() + s_.pu_offsets[v],
+            s_.pu_offsets[v + 1] - s_.pu_offsets[v]};
+  }
+
+  // Undirected adjacency view of the pattern (for ordering and anchor
+  // selection; feasibility still checks directions). Flat CSR built with
+  // the same insertion sequence as the old per-node push_back loops, so
+  // each node's neighbor order — and therefore anchor selection and the
+  // delivered match sequence — is unchanged.
+  void BuildPatternUndirected() {
+    const size_t np = pattern_.num_nodes();
+    s_.pu_offsets.assign(np + 1, 0);
+    for (NodeId u = 0; u < np; ++u) {
+      for (const auto& nb : pattern_.neighbors(u)) {
+        ++s_.pu_offsets[u + 1];
+        if (pattern_.directed()) ++s_.pu_offsets[nb.node + 1];
+      }
+    }
+    for (NodeId v = 0; v < np; ++v) s_.pu_offsets[v + 1] += s_.pu_offsets[v];
+    s_.pu_data.resize(s_.pu_offsets[np]);
+    s_.pu_cursor.assign(s_.pu_offsets.begin(), s_.pu_offsets.end() - 1);
+    for (NodeId u = 0; u < np; ++u) {
+      for (const auto& nb : pattern_.neighbors(u)) {
+        s_.pu_data[s_.pu_cursor[u]++] = nb.node;
+        if (pattern_.directed()) s_.pu_data[s_.pu_cursor[nb.node]++] = u;
+      }
+    }
+  }
+
   // One pass over the target builds everything the search needs: the
   // root's label bucket (ascending node order — a subsequence of the
-  // reference's full node scan), a per-pattern-label count for the
-  // histogram subsumption test, and — for directed targets — a reverse
-  // adjacency list. Patterns have few distinct labels, so the histogram
-  // is a small linear-scan table rather than a hash map.
+  // reference's full node scan) and a per-pattern-label count for the
+  // histogram subsumption test. Patterns have few distinct labels, so
+  // the histogram is a small linear-scan table rather than a hash map.
+  // (Directed targets' reverse adjacency now comes prebuilt with the
+  // CSR view instead of being rebuilt per run.)
   void BuildIndex() {
-    struct LabelNeed {
-      NodeType label;
-      size_t need = 0;
-      size_t have = 0;
-    };
-    std::vector<LabelNeed> hist;
+    s_.hist.clear();
     for (NodeId v = 0; v < pattern_.num_nodes(); ++v) {
       NodeType t = pattern_.node_type(v);
       bool found = false;
-      for (auto& e : hist) {
+      for (auto& e : s_.hist) {
         if (e.label == t) {
           ++e.need;
           found = true;
           break;
         }
       }
-      if (!found) hist.push_back({t, 1, 0});
+      if (!found) s_.hist.push_back({t, 1, 0});
     }
-    const NodeType root_label = pattern_.node_type(order_[0]);
-    root_candidates_.reserve(target_.num_nodes() / (hist.size() + 1) + 1);
+    const NodeType root_label = pattern_.node_type(s_.order[0]);
+    s_.root_candidates.clear();
+    s_.root_candidates.reserve(target_.num_nodes() / (s_.hist.size() + 1) + 1);
     for (NodeId v = 0; v < target_.num_nodes(); ++v) {
       NodeType t = target_.node_type(v);
-      for (auto& e : hist) {
+      for (auto& e : s_.hist) {
         if (e.label == t) {
           ++e.have;
           break;
         }
       }
-      if (t == root_label) root_candidates_.push_back(v);
+      if (t == root_label) s_.root_candidates.push_back(v);
     }
-    for (const auto& e : hist) {
+    for (const auto& e : s_.hist) {
       if (e.have < e.need) {
         label_infeasible_ = true;
         return;
-      }
-    }
-    if (target_.directed()) {
-      reverse_adj_.resize(target_.num_nodes());
-      for (NodeId u = 0; u < target_.num_nodes(); ++u) {
-        for (const auto& nb : target_.neighbors(u)) {
-          reverse_adj_[nb.node].push_back(u);
-        }
       }
     }
   }
@@ -117,26 +186,27 @@ class Vf2State {
   // components, which we disallow — patterns must be connected) has at
   // least one already-matched neighbor, enabling candidate restriction.
   void BuildOrder() {
+    s_.order.clear();
     const size_t np = pattern_.num_nodes();
     if (np == 0) return;
-    std::vector<bool> placed(np, false);
+    s_.placed.assign(np, 0);
     NodeId root = 0;
     for (NodeId v = 1; v < np; ++v) {
-      if (pattern_undirected_[v].size() > pattern_undirected_[root].size()) {
+      if (PatternUndirected(v).size() > PatternUndirected(root).size()) {
         root = v;
       }
     }
-    order_.push_back(root);
-    placed[root] = true;
+    s_.order.push_back(root);
+    s_.placed[root] = 1;
     // Greedy BFS-like extension preferring nodes with most placed neighbors.
-    while (order_.size() < np) {
+    while (s_.order.size() < np) {
       NodeId best = kInvalidNode;
       size_t best_links = 0;
       for (NodeId v = 0; v < np; ++v) {
-        if (placed[v]) continue;
+        if (s_.placed[v]) continue;
         size_t links = 0;
-        for (NodeId u : pattern_undirected_[v]) {
-          if (placed[u]) ++links;
+        for (NodeId u : PatternUndirected(v)) {
+          if (s_.placed[u]) ++links;
         }
         if (links > best_links ||
             (best == kInvalidNode && links > 0 && best_links == 0)) {
@@ -146,11 +216,11 @@ class Vf2State {
       }
       if (best == kInvalidNode || best_links == 0) {
         // Disconnected pattern: refuse (paper patterns are connected).
-        order_.clear();
+        s_.order.clear();
         return;
       }
-      order_.push_back(best);
-      placed[best] = true;
+      s_.order.push_back(best);
+      s_.placed[best] = 1;
     }
   }
 
@@ -193,7 +263,7 @@ class Vf2State {
       return true;
     };
     for (NodeId pu = 0; pu < pattern_.num_nodes(); ++pu) {
-      NodeId tu = assignment_[pu];
+      NodeId tu = s_.assignment[pu];
       if (tu == kInvalidNode || pu == pv) continue;
       if (!check_direction(pu, pv, tu, tv)) return false;
       if (pattern_.directed() && !check_direction(pv, pu, tv, tu)) {
@@ -206,20 +276,20 @@ class Vf2State {
   // Returns false to abort the whole search (budget exhausted / cb stop).
   bool Extend(size_t depth) {
     if (options_.max_steps > 0 && ++steps_ > options_.max_steps) return false;
-    if (depth == order_.size()) {
+    if (depth == s_.order.size()) {
       ++delivered_;
-      if (!cb_(assignment_)) return false;
+      if (!cb_(s_.assignment)) return false;
       if (options_.max_matches > 0 && delivered_ >= options_.max_matches) {
         return false;
       }
       return true;
     }
-    NodeId pv = order_[depth];
+    NodeId pv = s_.order[depth];
     if (depth == 0) {
       // Root candidates come straight from the label bucket (ascending
       // node order, a subsequence of the reference's full node scan).
       const size_t need = pattern_.degree(pv);
-      for (NodeId tv : root_candidates_) {
+      for (NodeId tv : s_.root_candidates) {
         if (target_.degree(tv) < need) {
           ++pruned_;
           continue;
@@ -230,23 +300,24 @@ class Vf2State {
       // Restrict candidates to neighbors of an already-matched pattern
       // neighbor (always possible beyond the root).
       NodeId anchor_p = kInvalidNode;
-      for (NodeId u : pattern_undirected_[pv]) {
-        if (assignment_[u] != kInvalidNode) {
+      for (NodeId u : PatternUndirected(pv)) {
+        if (s_.assignment[u] != kInvalidNode) {
           anchor_p = u;
           break;
         }
       }
       assert(anchor_p != kInvalidNode);
-      NodeId anchor_t = assignment_[anchor_p];
-      for (const auto& nb : target_.neighbors(anchor_t)) {
-        if (!QuickFeasible(pv, nb.node)) continue;
-        if (!TryAssign(pv, nb.node, depth)) return false;
+      NodeId anchor_t = s_.assignment[anchor_p];
+      for (NodeId tv : target_.neighbors(anchor_t)) {
+        if (!QuickFeasible(pv, tv)) continue;
+        if (!TryAssign(pv, tv, depth)) return false;
       }
       // Directed targets store out-edges at the source; if the pattern edge
       // may be realized as an in-edge of anchor_t, scan its sources too
-      // (prebuilt reverse adjacency instead of an all-node HasEdge scan).
+      // (the CSR view's prebuilt reverse adjacency instead of an all-node
+      // HasEdge scan).
       if (target_.directed()) {
-        for (NodeId tu : reverse_adj_[anchor_t]) {
+        for (NodeId tu : target_.in_neighbors(anchor_t)) {
           if (!QuickFeasible(pv, tu)) continue;
           if (!TryAssign(pv, tu, depth)) return false;
         }
@@ -256,34 +327,30 @@ class Vf2State {
   }
 
   bool TryAssign(NodeId pv, NodeId tv, size_t depth) {
-    if (used_[tv]) return true;
+    if (s_.used[tv]) return true;
     if (!Consistent(pv, tv)) return true;
-    assignment_[pv] = tv;
-    used_[tv] = true;
+    s_.assignment[pv] = tv;
+    s_.used[tv] = 1;
     bool keep_going = Extend(depth + 1);
-    assignment_[pv] = kInvalidNode;
-    used_[tv] = false;
+    s_.assignment[pv] = kInvalidNode;
+    s_.used[tv] = 0;
     return keep_going;
   }
 
   const Graph& pattern_;
-  const Graph& target_;
+  const CsrGraphView& target_;
   const MatchOptions& options_;
   const std::function<bool(const Match&)>& cb_;
-  std::vector<std::vector<NodeId>> pattern_undirected_;
-  std::vector<NodeId> order_;
-  Match assignment_;
-  std::vector<bool> used_;
-  std::vector<NodeId> root_candidates_;  // the root label's bucket
-  std::vector<std::vector<NodeId>> reverse_adj_;  // directed targets only
+  MatcherScratch& s_;
   bool label_infeasible_ = false;
   size_t steps_ = 0;
   size_t delivered_ = 0;
   size_t pruned_ = 0;
 };
 
-// The original unindexed search, kept verbatim (minus obs instrumentation)
-// as the reference oracle behind Vf2ReferenceMatcher.
+// The original unindexed search, kept verbatim (minus obs instrumentation
+// and with BuildOrder's `placed` scratch hoisted into the state) as the
+// reference oracle behind Vf2ReferenceMatcher.
 class ReferenceVf2State {
  public:
   ReferenceVf2State(const Graph& pattern, const Graph& target,
@@ -317,7 +384,7 @@ class ReferenceVf2State {
   void BuildOrder() {
     const size_t np = pattern_.num_nodes();
     if (np == 0) return;
-    std::vector<bool> placed(np, false);
+    placed_.assign(np, 0);
     NodeId root = 0;
     for (NodeId v = 1; v < np; ++v) {
       if (pattern_undirected_[v].size() > pattern_undirected_[root].size()) {
@@ -325,15 +392,15 @@ class ReferenceVf2State {
       }
     }
     order_.push_back(root);
-    placed[root] = true;
+    placed_[root] = 1;
     while (order_.size() < np) {
       NodeId best = kInvalidNode;
       size_t best_links = 0;
       for (NodeId v = 0; v < np; ++v) {
-        if (placed[v]) continue;
+        if (placed_[v]) continue;
         size_t links = 0;
         for (NodeId u : pattern_undirected_[v]) {
-          if (placed[u]) ++links;
+          if (placed_[u]) ++links;
         }
         if (links > best_links ||
             (best == kInvalidNode && links > 0 && best_links == 0)) {
@@ -346,7 +413,7 @@ class ReferenceVf2State {
         return;
       }
       order_.push_back(best);
-      placed[best] = true;
+      placed_[best] = 1;
     }
   }
 
@@ -439,6 +506,7 @@ class ReferenceVf2State {
   std::vector<NodeId> order_;
   Match assignment_;
   std::vector<bool> used_;
+  std::vector<uint8_t> placed_;
   size_t steps_ = 0;
   size_t delivered_ = 0;
 };
@@ -446,11 +514,25 @@ class ReferenceVf2State {
 }  // namespace
 
 size_t Vf2Matcher::EnumerateMatches(
+    const Graph& pattern, const CsrGraphView& target,
+    const MatchOptions& options, const std::function<bool(const Match&)>& cb) {
+  if (pattern.num_nodes() == 0) return 0;
+  MatcherScratch::Lease scratch;
+  Vf2State state(pattern, target, options, cb, *scratch);
+  return state.Run();
+}
+
+size_t Vf2Matcher::EnumerateMatches(
     const Graph& pattern, const Graph& target, const MatchOptions& options,
     const std::function<bool(const Match&)>& cb) {
   if (pattern.num_nodes() == 0) return 0;
-  Vf2State state(pattern, target, options, cb);
-  return state.Run();
+  // One arena-backed CSR view per run, reclaimed on exit. With the arena
+  // switch off the view falls back to heap storage (the A/B probe's
+  // "heap" side).
+  Arena& arena = arena::ThreadLocal();
+  ScopedArenaMark mark(&arena);
+  CsrGraphView view(target, &arena);
+  return EnumerateMatches(pattern, view, options, cb);
 }
 
 std::vector<Match> Vf2Matcher::FindMatches(const Graph& pattern,
@@ -464,7 +546,26 @@ std::vector<Match> Vf2Matcher::FindMatches(const Graph& pattern,
   return matches;
 }
 
+std::vector<Match> Vf2Matcher::FindMatches(const Graph& pattern,
+                                           const CsrGraphView& target,
+                                           const MatchOptions& options) {
+  std::vector<Match> matches;
+  EnumerateMatches(pattern, target, options, [&](const Match& m) {
+    matches.push_back(m);
+    return true;
+  });
+  return matches;
+}
+
 bool Vf2Matcher::HasMatch(const Graph& pattern, const Graph& target,
+                          const MatchOptions& options) {
+  MatchOptions first_only = options;
+  first_only.max_matches = 1;
+  return EnumerateMatches(pattern, target, first_only,
+                          [](const Match&) { return false; }) > 0;
+}
+
+bool Vf2Matcher::HasMatch(const Graph& pattern, const CsrGraphView& target,
                           const MatchOptions& options) {
   MatchOptions first_only = options;
   first_only.max_matches = 1;
@@ -510,27 +611,53 @@ std::vector<std::pair<NodeId, NodeId>> EdgeList(const Graph& g) {
   return edges;
 }
 
+std::vector<std::pair<NodeId, NodeId>> EdgeList(const CsrGraphView& g) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (!g.directed() && v < u) continue;
+      edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
 CoverageResult ComputeCoverage(const std::vector<Graph>& patterns,
                                const Graph& target,
+                               const MatchOptions& options) {
+  // One CSR view serves every pattern's enumeration.
+  Arena& arena = arena::ThreadLocal();
+  ScopedArenaMark mark(&arena);
+  CsrGraphView view(target, &arena);
+  return ComputeCoverage(patterns, view, options);
+}
+
+CoverageResult ComputeCoverage(const std::vector<Graph>& patterns,
+                               const CsrGraphView& target,
                                const MatchOptions& options) {
   CoverageResult result;
   result.covered_nodes = DynamicBitset(target.num_nodes());
   auto edges = EdgeList(target);
   result.covered_edges = DynamicBitset(edges.size());
 
-  // Edge -> index lookup for marking covered edges during enumeration.
-  std::unordered_map<uint64_t, size_t> edge_index;
-  edge_index.reserve(edges.size());
-  auto edge_key = [](NodeId u, NodeId v) {
-    return (static_cast<uint64_t>(u) << 32) | v;
-  };
-  for (size_t i = 0; i < edges.size(); ++i) {
-    edge_index[edge_key(edges[i].first, edges[i].second)] = i;
-  }
+  // EdgeList is grouped by ascending source, so a prefix array over the
+  // sources replaces the old hash map: edge_start[u] .. edge_start[u+1]
+  // brackets u's edges, and the within-bracket scan is bounded by the
+  // degree. Arena-backed — reclaimed with the run.
+  Arena& arena = arena::ThreadLocal();
+  ScopedArenaMark mark(&arena);
+  const size_t n = target.num_nodes();
+  ArenaVector<uint32_t> edge_start(n + 1, 0,
+                                   ArenaAllocator<uint32_t>(&arena));
+  for (const auto& [u, v] : edges) ++edge_start[u + 1];
+  for (size_t u = 0; u < n; ++u) edge_start[u + 1] += edge_start[u];
   auto edge_id = [&](NodeId u, NodeId v) -> size_t {
     if (!target.directed() && u > v) std::swap(u, v);
-    auto it = edge_index.find(edge_key(u, v));
-    return it == edge_index.end() ? static_cast<size_t>(-1) : it->second;
+    for (uint32_t i = edge_start[u]; i < edge_start[u + 1]; ++i) {
+      if (edges[i].second == v) return i;
+    }
+    return static_cast<size_t>(-1);
   };
 
   for (const Graph& p : patterns) {

@@ -17,6 +17,7 @@
 
 #include "gvex/common/bitset.h"
 #include "gvex/common/stopwatch.h"
+#include "gvex/graph/csr_view.h"
 #include "gvex/graph/graph.h"
 
 namespace gvex {
@@ -83,6 +84,21 @@ class Vf2Matcher {
   static size_t EnumerateMatches(const Graph& pattern, const Graph& target,
                                  const MatchOptions& options,
                                  const std::function<bool(const Match&)>& cb);
+
+  // The matcher traverses the compact CSR/SoA layout (csr_view.h); the
+  // Graph-target overloads above build an arena-backed view per run.
+  // Callers matching many patterns into one target (coverage, warm-up)
+  // build the view once and pass it here. The delivered match sequence
+  // is identical either way.
+  static std::vector<Match> FindMatches(const Graph& pattern,
+                                        const CsrGraphView& target,
+                                        const MatchOptions& options = {});
+  static bool HasMatch(const Graph& pattern, const CsrGraphView& target,
+                       const MatchOptions& options = {});
+  static size_t EnumerateMatches(const Graph& pattern,
+                                 const CsrGraphView& target,
+                                 const MatchOptions& options,
+                                 const std::function<bool(const Match&)>& cb);
 };
 
 /// \brief The pre-index reference matcher, kept verbatim as the
@@ -113,12 +129,19 @@ struct CoverageResult {
 };
 
 /// Canonical edge list of a graph: pairs (u, v) with u < v for undirected
-/// graphs, (u, v) as stored for directed. Index order is deterministic.
+/// graphs, (u, v) as stored for directed. Index order is deterministic,
+/// and identical between a Graph and any CsrGraphView of it.
 std::vector<std::pair<NodeId, NodeId>> EdgeList(const Graph& g);
+std::vector<std::pair<NodeId, NodeId>> EdgeList(const CsrGraphView& g);
 
-/// Coverage of `target` by every pattern in `patterns`.
+/// Coverage of `target` by every pattern in `patterns`. The Graph
+/// overload builds one arena-backed CSR view and reuses it across all
+/// patterns; pass a prebuilt view to amortize it further.
 CoverageResult ComputeCoverage(const std::vector<Graph>& patterns,
                                const Graph& target,
+                               const MatchOptions& options = {});
+CoverageResult ComputeCoverage(const std::vector<Graph>& patterns,
+                               const CsrGraphView& target,
                                const MatchOptions& options = {});
 
 }  // namespace gvex

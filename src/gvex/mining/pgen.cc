@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "gvex/common/arena.h"
 #include "gvex/common/thread_pool.h"
 #include "gvex/mining/canonical.h"
 #include "gvex/obs/obs.h"
@@ -14,9 +15,14 @@ namespace {
 
 // ESU extension step. `sub` is the current connected set, `ext` the legal
 // extension candidates, `root` the anchor enforcing uniqueness (only nodes
-// with id > root ever join).
+// with id > root ever join). The per-step extension-set copies the
+// recursion needs come from the thread's arena (one mark/rewind per
+// step, so live memory is bounded by the recursion depth, not by the
+// number of enumerated subgraphs); the sorted emission buffer is reused
+// across emits.
 struct EsuDriver {
   const Graph& g;
+  Arena& arena;
   size_t min_nodes;
   size_t max_nodes;
   size_t max_enumerated;
@@ -25,8 +31,9 @@ struct EsuDriver {
   bool aborted = false;
 
   // Neighborhood-of-subgraph membership, maintained incrementally.
-  std::vector<bool> in_sub;
-  std::vector<bool> in_neighborhood;
+  std::vector<uint8_t> in_sub;
+  std::vector<uint8_t> in_neighborhood;
+  std::vector<NodeId> sorted_scratch;
 
   bool Emit(const std::vector<NodeId>& sub) {
     if (++emitted > max_enumerated) {
@@ -34,9 +41,9 @@ struct EsuDriver {
       return false;
     }
     if (sub.size() >= min_nodes) {
-      std::vector<NodeId> sorted = sub;
-      std::sort(sorted.begin(), sorted.end());
-      if (!cb(sorted)) {
+      sorted_scratch.assign(sub.begin(), sub.end());
+      std::sort(sorted_scratch.begin(), sorted_scratch.end());
+      if (!cb(sorted_scratch)) {
         aborted = true;
         return false;
       }
@@ -44,29 +51,36 @@ struct EsuDriver {
     return true;
   }
 
-  bool Extend(std::vector<NodeId>* sub, std::vector<NodeId> ext, NodeId root) {
+  bool Extend(std::vector<NodeId>* sub, ArenaVector<NodeId>& ext,
+              NodeId root) {
     if (!Emit(*sub)) return false;
     if (sub->size() == max_nodes) return true;
     while (!ext.empty()) {
       NodeId w = ext.back();
       ext.pop_back();
-      // New extension set: old ext plus exclusive neighbors of w.
-      std::vector<NodeId> next_ext = ext;
-      std::vector<NodeId> newly_flagged;
-      for (const auto& nb : g.neighbors(w)) {
-        NodeId u = nb.node;
-        if (u > root && !in_sub[u] && !in_neighborhood[u]) {
-          next_ext.push_back(u);
-          in_neighborhood[u] = true;
-          newly_flagged.push_back(u);
+      bool keep_going;
+      {
+        ScopedArenaMark step(&arena);
+        // New extension set: old ext plus exclusive neighbors of w.
+        ArenaVector<NodeId> next_ext{ArenaAllocator<NodeId>(&arena)};
+        next_ext.reserve(ext.size() + g.degree(w));
+        next_ext.assign(ext.begin(), ext.end());
+        ArenaVector<NodeId> newly_flagged{ArenaAllocator<NodeId>(&arena)};
+        for (const auto& nb : g.neighbors(w)) {
+          NodeId u = nb.node;
+          if (u > root && !in_sub[u] && !in_neighborhood[u]) {
+            next_ext.push_back(u);
+            in_neighborhood[u] = true;
+            newly_flagged.push_back(u);
+          }
         }
+        sub->push_back(w);
+        in_sub[w] = true;
+        keep_going = Extend(sub, next_ext, root);
+        in_sub[w] = false;
+        sub->pop_back();
+        for (NodeId u : newly_flagged) in_neighborhood[u] = false;
       }
-      sub->push_back(w);
-      in_sub[w] = true;
-      bool keep_going = Extend(sub, std::move(next_ext), root);
-      in_sub[w] = false;
-      sub->pop_back();
-      for (NodeId u : newly_flagged) in_neighborhood[u] = false;
       if (!keep_going) return false;
     }
     return true;
@@ -79,31 +93,36 @@ bool EnumerateConnectedSubgraphs(
     const Graph& g, size_t min_nodes, size_t max_nodes, size_t max_enumerated,
     const std::function<bool(const std::vector<NodeId>&)>& cb) {
   if (g.num_nodes() == 0 || max_nodes == 0) return true;
-  EsuDriver driver{g, min_nodes, max_nodes,
+  Arena& arena = arena::ThreadLocal();
+  ScopedArenaMark run_mark(&arena);
+  EsuDriver driver{g,
+                   arena,
+                   min_nodes,
+                   max_nodes,
                    max_enumerated == 0 ? static_cast<size_t>(-1)
                                        : max_enumerated,
-                   cb,
-                   /*emitted=*/0,
-                   /*aborted=*/false,
-                   /*in_sub=*/{},
-                   /*in_neighborhood=*/{}};
-  driver.in_sub.assign(g.num_nodes(), false);
-  driver.in_neighborhood.assign(g.num_nodes(), false);
+                   cb};
+  driver.in_sub.assign(g.num_nodes(), 0);
+  driver.in_neighborhood.assign(g.num_nodes(), 0);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    std::vector<NodeId> ext;
-    std::vector<NodeId> flagged;
-    for (const auto& nb : g.neighbors(v)) {
-      if (nb.node > v && !driver.in_neighborhood[nb.node]) {
-        ext.push_back(nb.node);
-        driver.in_neighborhood[nb.node] = true;
-        flagged.push_back(nb.node);
+    bool keep_going;
+    {
+      ScopedArenaMark root_mark(&arena);
+      ArenaVector<NodeId> ext{ArenaAllocator<NodeId>(&arena)};
+      ArenaVector<NodeId> flagged{ArenaAllocator<NodeId>(&arena)};
+      for (const auto& nb : g.neighbors(v)) {
+        if (nb.node > v && !driver.in_neighborhood[nb.node]) {
+          ext.push_back(nb.node);
+          driver.in_neighborhood[nb.node] = true;
+          flagged.push_back(nb.node);
+        }
       }
+      std::vector<NodeId> sub{v};
+      driver.in_sub[v] = true;
+      keep_going = driver.Extend(&sub, ext, v);
+      driver.in_sub[v] = false;
+      for (NodeId u : flagged) driver.in_neighborhood[u] = false;
     }
-    std::vector<NodeId> sub{v};
-    driver.in_sub[v] = true;
-    bool keep_going = driver.Extend(&sub, std::move(ext), v);
-    driver.in_sub[v] = false;
-    for (NodeId u : flagged) driver.in_neighborhood[u] = false;
     if (!keep_going) {
       GVEX_COUNTER_ADD("pgen.enumerated", driver.emitted);
       return !driver.aborted;

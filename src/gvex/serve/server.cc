@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "gvex/common/arena.h"
 #include "gvex/common/failpoint.h"
 #include "gvex/explain/query.h"
 #include "gvex/matching/match_cache.h"
@@ -427,6 +428,10 @@ void ExplanationServer::WorkerLoop() {
     for (auto& item : batch) {
       Process(item.get(), snap.get());
     }
+    // Request-scoped memory: everything the batch's kernels carved out of
+    // this worker's arena (CSR target views, VF2/ESU scratch) dies here in
+    // one bump-pointer reset; the blocks stay resident for the next batch.
+    arena::ThreadLocal().Reset();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --route_load_[route].active;

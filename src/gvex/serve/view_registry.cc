@@ -42,9 +42,15 @@ Status ViewRegistry::Validate(const ExplanationViewSet& set) {
 Status ViewRegistry::Publish(const std::string& route, ExplanationViewSet views,
                              std::string source_path,
                              std::shared_ptr<const GcnClassifier> model,
-                             uint64_t source_generation) {
+                             uint64_t source_generation,
+                             std::shared_ptr<const QuantizedModel> qmodel) {
   if (!cluster::IsValidRouteName(route)) {
     return Status::InvalidArgument("invalid route name: '" + route + "'");
+  }
+  if (qmodel != nullptr && IsExactFp32(route)) {
+    return Status::FailedPrecondition(
+        "route '" + route + "' is pinned exact-fp32; refusing " +
+        WeightPrecisionName(qmodel->precision) + " install");
   }
   GVEX_RETURN_NOT_OK(Validate(views));
   auto next = std::make_shared<LoadedViewSet>();
@@ -52,6 +58,7 @@ Status ViewRegistry::Publish(const std::string& route, ExplanationViewSet views,
   next->views = std::move(views);
   next->source_path = std::move(source_path);
   next->model = std::move(model);
+  next->qmodel = std::move(qmodel);
   next->source_generation = source_generation;
   {
     // Local publishes stamp the same content fingerprint a bundle would
@@ -61,6 +68,7 @@ Status ViewRegistry::Publish(const std::string& route, ExplanationViewSet views,
     probe.route = route;
     probe.views = next->views;
     probe.model = next->model;
+    probe.qmodel = next->qmodel;
     GVEX_ASSIGN_OR_RETURN(next->fingerprint, cluster::BundleFingerprint(probe));
   }
   {
@@ -83,12 +91,16 @@ Status ViewRegistry::LoadViews(const std::string& route,
                                const std::string& path) {
   GVEX_FAILPOINT_RETURN("serve.registry_load");
   GVEX_ASSIGN_OR_RETURN(ExplanationViewSet set, LoadViewSet(path));
-  // Carry the current model forward so a view refresh does not drop the
-  // classifier half of the snapshot.
+  // Carry the current model (and its quantized payload, if any) forward
+  // so a view refresh does not drop the classifier half of the snapshot.
   std::shared_ptr<const GcnClassifier> model;
-  if (auto snap = Snapshot(route)) model = snap->model;
+  std::shared_ptr<const QuantizedModel> qmodel;
+  if (auto snap = Snapshot(route)) {
+    model = snap->model;
+    qmodel = snap->qmodel;
+  }
   return Publish(route, std::move(set), path, std::move(model),
-                 /*source_generation=*/0);
+                 /*source_generation=*/0, std::move(qmodel));
 }
 
 Status ViewRegistry::LoadModel(const std::string& path) {
@@ -110,9 +122,13 @@ Status ViewRegistry::InstallViews(ExplanationViewSet set) {
 Status ViewRegistry::InstallViews(const std::string& route,
                                   ExplanationViewSet set) {
   std::shared_ptr<const GcnClassifier> model;
-  if (auto snap = Snapshot(route)) model = snap->model;
+  std::shared_ptr<const QuantizedModel> qmodel;
+  if (auto snap = Snapshot(route)) {
+    model = snap->model;
+    qmodel = snap->qmodel;
+  }
   return Publish(route, std::move(set), "", std::move(model),
-                 /*source_generation=*/0);
+                 /*source_generation=*/0, std::move(qmodel));
 }
 
 void ViewRegistry::InstallModel(std::shared_ptr<const GcnClassifier> model) {
@@ -140,7 +156,7 @@ void ViewRegistry::InstallModel(std::shared_ptr<const GcnClassifier> model) {
 Status ViewRegistry::InstallBundle(const cluster::ViewBundle& bundle) {
   GVEX_FAILPOINT_RETURN("cluster.install");
   GVEX_RETURN_NOT_OK(Publish(bundle.route, bundle.views, "", bundle.model,
-                             bundle.generation));
+                             bundle.generation, bundle.qmodel));
   GVEX_COUNTER_INC("cluster.installs");
   return Status::OK();
 }
@@ -157,6 +173,7 @@ Result<cluster::ViewBundle> ViewRegistry::MakeBundle(
   bundle.fingerprint = snap->fingerprint;
   bundle.views = snap->views;
   bundle.model = snap->model;
+  bundle.qmodel = snap->qmodel;
   return bundle;
 }
 
@@ -215,6 +232,20 @@ size_t ViewRegistry::WarmMatchCache(const std::string& route) {
     }
   }
   return touched;
+}
+
+void ViewRegistry::SetExactFp32(const std::string& route, bool exact) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (exact) {
+    exact_fp32_routes_.insert(route);
+  } else {
+    exact_fp32_routes_.erase(route);
+  }
+}
+
+bool ViewRegistry::IsExactFp32(const std::string& route) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exact_fp32_routes_.count(route) != 0;
 }
 
 std::vector<std::string> ViewRegistry::Routes() const {

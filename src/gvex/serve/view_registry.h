@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,14 @@ struct LoadedViewSet {
   std::string source_path;  ///< empty for in-process / wire installs
   ExplanationViewSet views;
   std::shared_ptr<const GcnClassifier> model;  ///< may be null
+  /// Quantized payload of record when this generation arrived as a v2
+  /// bundle (null for fp32 generations). MakeBundle re-ships it verbatim,
+  /// which is what keeps fingerprints stable across fetch/re-publish.
+  std::shared_ptr<const QuantizedModel> qmodel;
+
+  WeightPrecision precision() const {
+    return qmodel != nullptr ? qmodel->precision : WeightPrecision::kFp32;
+  }
 
   const ExplanationView* ForLabel(ClassLabel label) const {
     return views.ForLabel(label);
@@ -123,6 +132,14 @@ class ViewRegistry {
 
   size_t WarmMatchCache(const std::string& route);
 
+  /// Per-route exact-fp32 policy (`serve --exact-fp32`): a marked route
+  /// refuses quantized generations at the publish funnel, so everything
+  /// it ever serves stays byte-identical to the fp32 reference. The
+  /// policy is advisory-free — it does not evict an already-live
+  /// quantized generation, it only rejects new ones.
+  void SetExactFp32(const std::string& route, bool exact);
+  bool IsExactFp32(const std::string& route) const;
+
   /// Every route that has published at least one generation, sorted.
   std::vector<std::string> Routes() const;
 
@@ -145,10 +162,12 @@ class ViewRegistry {
   Status Publish(const std::string& route, ExplanationViewSet views,
                  std::string source_path,
                  std::shared_ptr<const GcnClassifier> model,
-                 uint64_t source_generation);
+                 uint64_t source_generation,
+                 std::shared_ptr<const QuantizedModel> qmodel = nullptr);
 
   mutable std::mutex mu_;
   std::map<std::string, RouteState> routes_;
+  std::set<std::string> exact_fp32_routes_;
 };
 
 }  // namespace serve

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,11 @@ class Matrix {
 
   float* RowPtr(size_t r) { return data_.data() + r * cols_; }
   const float* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Span view of a row — the no-copy alternative to GetRow/SetRow for
+  /// hot callers (GetRow allocates a fresh vector per call).
+  std::span<float> Row(size_t r) { return {RowPtr(r), cols_}; }
+  std::span<const float> Row(size_t r) const { return {RowPtr(r), cols_}; }
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }

@@ -259,12 +259,16 @@ Matrix RowSoftmax(const Matrix& logits) {
   return out;
 }
 
-void AddRowBias(Matrix* x, const std::vector<float>& bias) {
+void AddRowBias(Matrix* x, std::span<const float> bias) {
   assert(bias.size() == x->cols());
   for (size_t r = 0; r < x->rows(); ++r) {
     float* p = x->RowPtr(r);
     for (size_t c = 0; c < x->cols(); ++c) p[c] += bias[c];
   }
+}
+
+void AddRowBias(Matrix* x, const std::vector<float>& bias) {
+  AddRowBias(x, std::span<const float>(bias));
 }
 
 void ColumnMax(const Matrix& x, std::vector<float>* max_values,

@@ -2,6 +2,7 @@
 // embedding-distance computations.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "gvex/tensor/matrix.h"
@@ -50,7 +51,10 @@ Matrix ReluBackward(const Matrix& x, const Matrix& dy);
 /// Row-wise softmax (numerically stabilized).
 Matrix RowSoftmax(const Matrix& logits);
 
-/// Add a row-broadcast bias: x[r] += bias for every row r.
+/// Add a row-broadcast bias: x[r] += bias for every row r. The span
+/// overload is the hot-path form (a Matrix::Row view, no copy); the
+/// vector overload forwards to it.
+void AddRowBias(Matrix* x, std::span<const float> bias);
 void AddRowBias(Matrix* x, const std::vector<float>& bias);
 
 /// Column-wise max over rows; also reports the argmax row per column

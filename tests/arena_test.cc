@@ -1,0 +1,266 @@
+// Arena + CSR view tests: bump-allocator lifetime semantics (mark/rewind
+// nesting, block retention, the global kill switch) and the CsrGraphView
+// equivalence contract — a view must answer exactly like the Graph it was
+// built from, including per-node neighbor order and (directed) ascending
+// in-neighbor order, because the byte-identical match-sequence guarantee
+// of vf2.h rests on those two facts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gvex/common/arena.h"
+#include "gvex/common/rng.h"
+#include "gvex/graph/csr_view.h"
+#include "gvex/matching/vf2.h"
+
+namespace gvex {
+namespace {
+
+// Restores the global arena switch no matter how the test exits.
+class ArenaSwitchGuard {
+ public:
+  explicit ArenaSwitchGuard(bool enabled) { arena::SetEnabled(enabled); }
+  ~ArenaSwitchGuard() { arena::SetEnabled(true); }
+};
+
+TEST(ArenaTest, AllocationsAreAlignedAndDistinct) {
+  Arena arena(256);
+  char* a = static_cast<char*>(arena.Allocate(3, 1));
+  char* b = static_cast<char*>(arena.Allocate(8, 8));
+  char* c = static_cast<char*>(arena.Allocate(1, 64));
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % 64, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  // All three are live at once: writes must not overlap.
+  a[0] = 'a';
+  b[0] = 'b';
+  c[0] = 'c';
+  EXPECT_EQ(a[0], 'a');
+  EXPECT_EQ(b[0], 'b');
+}
+
+TEST(ArenaTest, GrowsPastInitialBlockAndRetainsBlocksOnReset) {
+  Arena arena(64);
+  for (int i = 0; i < 100; ++i) (void)arena.Allocate(48);
+  const Arena::Stats grown = arena.stats();
+  EXPECT_GT(grown.blocks, 1u);
+  EXPECT_GE(grown.bytes_in_use, 100u * 48u);
+  EXPECT_GE(grown.high_water, grown.bytes_in_use);
+
+  arena.Reset();
+  const Arena::Stats after = arena.stats();
+  EXPECT_EQ(after.bytes_in_use, 0u);
+  EXPECT_EQ(after.blocks, grown.blocks);  // blocks retained, not freed
+  EXPECT_EQ(after.bytes_reserved, grown.bytes_reserved);
+  EXPECT_EQ(after.high_water, grown.high_water);
+
+  // Steady state: refilling the same footprint allocates no new blocks.
+  for (int i = 0; i < 100; ++i) (void)arena.Allocate(48);
+  EXPECT_EQ(arena.stats().blocks, grown.blocks);
+}
+
+TEST(ArenaTest, OversizedAllocationGetsItsOwnBlock) {
+  Arena arena(64);
+  void* big = arena.Allocate(Arena::kMaxBlockBytes + 1024);
+  ASSERT_NE(big, nullptr);
+  EXPECT_GE(arena.stats().bytes_reserved, Arena::kMaxBlockBytes + 1024);
+}
+
+TEST(ArenaTest, MarkRewindNestsLifoAndReclaims) {
+  Arena arena(128);
+  (void)arena.Allocate(100);
+  const size_t outer_live = arena.stats().bytes_in_use;
+
+  Arena::Mark outer = arena.CurrentMark();
+  (void)arena.Allocate(1000);
+  {
+    ScopedArenaMark inner(&arena);
+    (void)arena.Allocate(5000);
+    EXPECT_GT(arena.stats().bytes_in_use, outer_live + 1000);
+  }
+  // Inner rewind reclaimed the 5000 but kept the outer 1000.
+  EXPECT_GE(arena.stats().bytes_in_use, outer_live + 1000);
+  EXPECT_LT(arena.stats().bytes_in_use, outer_live + 1000 + 5000);
+
+  arena.Rewind(outer);
+  EXPECT_EQ(arena.stats().bytes_in_use, outer_live);
+
+  // Allocation after a rewind reuses the rewound space: no block growth.
+  const size_t blocks_before = arena.stats().blocks;
+  char* p = static_cast<char*>(arena.Allocate(1000));
+  p[999] = 'x';
+  EXPECT_EQ(arena.stats().blocks, blocks_before);
+}
+
+TEST(ArenaTest, ArenaVectorUsesArenaAndKillSwitchFallsBackToHeap) {
+  Arena arena(1024);
+  {
+    ArenaVector<int> v{ArenaAllocator<int>(&arena)};
+    for (int i = 0; i < 100; ++i) v.push_back(i);
+    EXPECT_GT(arena.stats().bytes_in_use, 0u);
+    EXPECT_EQ(v[99], 99);
+  }
+  arena.Reset();
+
+  ArenaSwitchGuard off(false);
+  EXPECT_FALSE(arena::Enabled());
+  ArenaVector<int> v{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  // Disabled switch: the allocator degraded to heap, the arena untouched.
+  EXPECT_EQ(arena.stats().bytes_in_use, 0u);
+  EXPECT_EQ(v[99], 99);
+}
+
+// ---- CSR view equivalence ---------------------------------------------------
+
+Graph RandomGraph(Rng& rng, bool directed, size_t n, double edge_prob) {
+  Graph g(directed);
+  for (size_t i = 0; i < n; ++i) {
+    g.AddNode(static_cast<NodeType>(rng.NextBounded(4)));
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = directed ? 0 : u + 1; v < n; ++v) {
+      if (u == v || g.HasEdge(u, v)) continue;
+      if (rng.NextBool(edge_prob)) {
+        EXPECT_TRUE(
+            g.AddEdge(u, v, static_cast<EdgeType>(rng.NextBounded(3))).ok());
+      }
+    }
+  }
+  return g;
+}
+
+void ExpectViewMatchesGraph(const Graph& g, const CsrGraphView& view) {
+  ASSERT_EQ(view.num_nodes(), g.num_nodes());
+  ASSERT_EQ(view.num_edges(), g.num_edges());
+  ASSERT_EQ(view.directed(), g.directed());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(view.node_type(v), g.node_type(v));
+    const auto graph_nbrs = g.neighbors(v);
+    const auto view_nbrs = view.neighbors(v);
+    const auto view_types = view.edge_types(v);
+    ASSERT_EQ(view.degree(v), graph_nbrs.size());
+    ASSERT_EQ(view_nbrs.size(), graph_nbrs.size());
+    for (size_t i = 0; i < graph_nbrs.size(); ++i) {
+      // Stored order, exactly — not just the same set.
+      EXPECT_EQ(view_nbrs[i], graph_nbrs[i].node);
+      EXPECT_EQ(view_types[i], graph_nbrs[i].edge_type);
+    }
+  }
+  // Membership answers agree on every pair, present or absent.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(view.HasEdge(u, v), g.HasEdge(u, v));
+      EXPECT_EQ(view.GetEdgeType(u, v), g.GetEdgeType(u, v));
+    }
+  }
+  if (g.directed()) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      std::vector<NodeId> expected;
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (g.HasEdge(u, v)) expected.push_back(u);
+      }
+      const auto got = view.in_neighbors(v);
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(got[i], expected[i]);  // ascending source order
+      }
+    }
+  }
+}
+
+TEST(CsrViewTest, EquivalentToGraphAcrossRandomGraphs) {
+  Rng rng(20260809);
+  for (bool directed : {false, true}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      Graph g = RandomGraph(rng, directed, 24, 0.2);
+      CsrGraphView heap_view(g);
+      ExpectViewMatchesGraph(g, heap_view);
+
+      Arena arena;
+      ScopedArenaMark mark(&arena);
+      CsrGraphView arena_view(g, &arena);
+      ExpectViewMatchesGraph(g, arena_view);
+      EXPECT_GT(arena.stats().bytes_in_use, 0u);
+    }
+  }
+}
+
+TEST(CsrViewTest, EmptyAndEdgelessGraphs) {
+  Graph empty(false);
+  CsrGraphView empty_view(empty);
+  EXPECT_EQ(empty_view.num_nodes(), 0u);
+  EXPECT_EQ(empty_view.num_edges(), 0u);
+
+  Graph nodes_only(true);
+  nodes_only.AddNode(1);
+  nodes_only.AddNode(2);
+  CsrGraphView view(nodes_only);
+  EXPECT_EQ(view.num_nodes(), 2u);
+  EXPECT_EQ(view.degree(0), 0u);
+  EXPECT_TRUE(view.neighbors(0).empty());
+  EXPECT_TRUE(view.in_neighbors(1).empty());
+}
+
+TEST(CsrViewTest, FlatLayoutIsSmallerThanNestedAdjacency) {
+  Rng rng(7);
+  Graph g = RandomGraph(rng, false, 128, 0.05);
+  CsrGraphView view(g);
+  // The headline bytes_per_view claim, in miniature: flat CSR beats the
+  // vector-of-vectors layout (per-node header + capacity slack).
+  EXPECT_LT(view.AdjacencyBytes(), NestedAdjacencyBytes(g));
+  EXPECT_GT(view.AdjacencyBytes(), 0u);
+}
+
+// The matcher's CsrGraphView overload must deliver the same match
+// sequence as the Graph overload (which itself is pinned byte-identical
+// to the reference matcher by match_equivalence_test).
+TEST(CsrViewTest, MatcherViewOverloadDeliversIdenticalSequences) {
+  Rng rng(99);
+  Vf2Matcher matcher;
+  for (bool directed : {false, true}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      Graph target = RandomGraph(rng, directed, 20, 0.25);
+      Graph pattern = RandomGraph(rng, directed, 3, 0.8);
+      MatchOptions options;
+      options.semantics = MatchSemantics::kSubgraph;
+      options.max_matches = 0;
+
+      const auto via_graph = matcher.FindMatches(pattern, target, options);
+      CsrGraphView view(target);
+      const auto via_view = matcher.FindMatches(pattern, view, options);
+      ASSERT_EQ(via_graph.size(), via_view.size());
+      for (size_t i = 0; i < via_graph.size(); ++i) {
+        EXPECT_EQ(via_graph[i], via_view[i]);
+      }
+    }
+  }
+}
+
+// With the kill switch off, matching must still produce identical
+// results — the A/B probe flips allocation strategy, never semantics.
+TEST(CsrViewTest, MatcherIdenticalWithArenaDisabled) {
+  Rng rng(4242);
+  Vf2Matcher matcher;
+  Graph target = RandomGraph(rng, false, 24, 0.2);
+  Graph pattern = RandomGraph(rng, false, 3, 0.9);
+  MatchOptions options;
+  options.semantics = MatchSemantics::kSubgraph;
+
+  const auto with_arena = matcher.FindMatches(pattern, target, options);
+  std::vector<Match> without_arena;
+  {
+    ArenaSwitchGuard off(false);
+    without_arena = matcher.FindMatches(pattern, target, options);
+  }
+  ASSERT_EQ(with_arena.size(), without_arena.size());
+  for (size_t i = 0; i < with_arena.size(); ++i) {
+    EXPECT_EQ(with_arena[i], without_arena[i]);
+  }
+}
+
+}  // namespace
+}  // namespace gvex

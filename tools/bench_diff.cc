@@ -4,10 +4,18 @@
 //
 //   bench_diff <baseline.json> <current.json> [tolerance]
 //   bench_diff --validate <report.json>...
+//   bench_diff --mem <baseline.json> <current.json> [tolerance]
 //
 // --validate parses each file and checks the gvex-bench-v1 shape (schema
 // tag plus a timings array) without comparing anything; the bench runner
 // uses it to fail fast on truncated or malformed reports.
+//
+// --mem is the memory-regression gate: it compares the *params* whose
+// names look like memory metrics (prefix "bytes_" or suffix "_bytes" /
+// "_kb") and fails when the current value GREW past tolerance. One-sided
+// on purpose — memory shrinking is an improvement, never a regression —
+// and param-based because memory metrics are sizes, not seconds, so the
+// timing floor above would misclassify them.
 //
 // tolerance is the allowed relative drift (default 0.30 = +/-30%).
 // A timing is skipped when either side is below the absolute floor
@@ -76,9 +84,86 @@ int ValidateReports(int count, char** paths) {
   return bad == 0 ? 0 : 2;
 }
 
+bool IsMemoryParam(const std::string& name) {
+  auto ends_with = [&](const char* suffix) {
+    const size_t n = std::string(suffix).size();
+    return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+  };
+  // Derived ratios (e.g. bytes_per_view_reduction_pct) are excluded:
+  // they grow when memory *shrinks*, so the one-sided gate would read
+  // an improvement as a regression.
+  if (ends_with("_pct")) return false;
+  return name.rfind("bytes_", 0) == 0 || ends_with("_bytes") ||
+         ends_with("_kb");
+}
+
+gvex::Result<gvex::obs::JsonValue> LoadReport(const char* path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return gvex::Status::IoError(std::string("cannot open ") + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return gvex::obs::ParseJson(buf.str());
+}
+
+int DiffMemoryParams(const char* base_path, const char* cur_path,
+                     double tolerance) {
+  gvex::obs::JsonValue reports[2];
+  const char* paths[2] = {base_path, cur_path};
+  for (int i = 0; i < 2; ++i) {
+    auto value = LoadReport(paths[i]);
+    if (!value.ok()) {
+      std::fprintf(stderr, "%s: %s\n", paths[i],
+                   value.status().ToString().c_str());
+      return 2;
+    }
+    reports[i] = std::move(*value);
+  }
+  const gvex::obs::JsonValue* base_params = reports[0].Find("params");
+  const gvex::obs::JsonValue* cur_params = reports[1].Find("params");
+  if (base_params == nullptr || cur_params == nullptr) {
+    std::fprintf(stderr, "missing params object\n");
+    return 2;
+  }
+  int compared = 0;
+  int failed = 0;
+  for (const auto& [name, value] : base_params->members) {
+    if (!IsMemoryParam(name)) continue;
+    const gvex::obs::JsonValue* cur = cur_params->Find(name);
+    if (cur == nullptr) {
+      std::printf("  ~ %-40s only in baseline\n", name.c_str());
+      continue;
+    }
+    // PerfReport serializes params as strings; parse the numbers back.
+    const double base_v = std::atof(value.string_value.c_str());
+    const double cur_v = std::atof(cur->string_value.c_str());
+    ++compared;
+    const double growth =
+        base_v > 0.0 ? (cur_v - base_v) / base_v : (cur_v > 0.0 ? 1e9 : 0.0);
+    const bool ok = growth <= tolerance;  // shrinking always passes
+    if (!ok) ++failed;
+    std::printf("  %s %-40s base %14.0f cur %14.0f growth %+7.1f%%\n",
+                ok ? "." : "!", name.c_str(), base_v, cur_v, 100.0 * growth);
+  }
+  std::printf("%d memory params compared, %d grew beyond +%.0f%%\n", compared,
+              failed, 100.0 * tolerance);
+  return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--mem") {
+    if (argc < 4) {
+      std::fprintf(stderr,
+                   "usage: bench_diff --mem <baseline.json> <current.json> "
+                   "[tolerance=0.30]\n");
+      return 2;
+    }
+    const double tolerance = argc > 4 ? std::atof(argv[4]) : 0.30;
+    return DiffMemoryParams(argv[2], argv[3], tolerance);
+  }
   if (argc >= 2 && std::string(argv[1]) == "--validate") {
     if (argc < 3) {
       std::fprintf(stderr, "usage: bench_diff --validate <report.json>...\n");

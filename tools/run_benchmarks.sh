@@ -110,6 +110,21 @@ for report in "$RESULTS"/BENCH_*.json; do
   fi
 done
 
+# Memory-regression gate: micro_kernels publishes the compact-data-plane
+# footprint params (bytes_per_view_*, model_bytes_*, peak_rss_kb);
+# bench_diff --mem fails only when a memory metric GREW past tolerance —
+# shrinkage is an improvement, and the timing floor above would
+# misclassify byte counts as sub-floor rows.
+MEM_REPORT="$RESULTS/BENCH_micro_kernels.json"
+MEM_BASE="$BASELINES/BENCH_micro_kernels.json"
+if [[ -f "$MEM_BASE" ]]; then
+  echo
+  echo "== memory gate (micro_kernels params, tolerance +$(awk "BEGIN{print 100*$TOLERANCE}")%)"
+  if ! ./build/tools/bench_diff --mem "$MEM_BASE" "$MEM_REPORT" "$TOLERANCE"; then
+    FAILED=1
+  fi
+fi
+
 if [[ "$FAILED" -ne 0 ]]; then
   echo "benchmark regression gate FAILED (drift beyond +/-$(awk "BEGIN{print 100*$TOLERANCE}")%)" >&2
   exit 1

@@ -33,3 +33,12 @@ ctest --test-dir build-asan --output-on-failure -L chaos-smoke
 # primary->standby replication loop; under ASan/UBSan it doubles as a
 # thread-lifecycle and use-after-free gate.
 tools/run_server_smoke.sh build-asan/tools/gvex_tool all
+
+# The compact-data-plane suites — run explicitly for the same reason as
+# the chaos smoke above. The arena hands out raw bump-pointer memory and
+# the CSR view aliases Graph internals, so mark/rewind lifetime bugs and
+# view out-of-bounds reads only surface under ASan; the quantize suite
+# covers the fp16/int8 codecs and the bundle-v2 loader against the same
+# out-of-bounds class the io_corruption tests gate for v1 loaders.
+ctest --test-dir build-asan --output-on-failure \
+  -R 'ArenaTest|CsrViewTest|Fp16Test|Int8Test|QuantizedModelTest|QuantizedBundleTest'

@@ -449,6 +449,35 @@ for q in "${FLEET_QUERIES[@]}"; do
 done
 echo "   fleet: all ${#FLEET_QUERIES[@]} query types byte-identical to --local"
 
+echo "== fleet: quantized publish serves through the sharded frontend"
+# Re-publish the same views with int8 weights. Precision is content, so
+# every shard must converge on a NEW fingerprint, and the view-only
+# queries must keep answering byte-identically to the fp32 --local union
+# (the views are untouched; only the model payload was quantized).
+"$TOOL" publish --views views.txt --model model.txt --quantize int8 \
+  --shard-map map.bin --retry 1 --retry-backoff-ms 10 > qpub.out
+grep -q "published 3/3 shards" qpub.out \
+  || fail "quantized sharded publish did not confirm 3/3: $(cat qpub.out)"
+FP_LEFT_Q="$(live_fp "$S0")"
+[[ -n "$FP_LEFT_Q" && "$FP_LEFT_Q" != "$FP_LEFT" ]] \
+  || fail "quantized publish did not change left's fingerprint ($FP_LEFT_Q)"
+for _ in $(seq 1 100); do
+  [[ "$(live_fp "$SB0")" == "$FP_LEFT_Q" ]] && break
+  sleep 0.1
+done
+[[ "$(live_fp "$SB0")" == "$FP_LEFT_Q" ]] \
+  || fail "left standby never converged on quantized slice $FP_LEFT_Q"
+"$TOOL" client --socket "$FRONT" --type coverage > fleet.out
+"$TOOL" client --local views.txt --model model.txt --type coverage \
+  > local.out
+diff -u local.out fleet.out > /dev/null \
+  || fail "fleet: coverage scatter changed after quantized publish"
+# Model-backed queries keep working against the dequantized twin.
+"$TOOL" client --socket "$FRONT" --type classify \
+  --graph-db db.txt --graph-index 3 > /dev/null \
+  || fail "fleet: classify failed on the quantized generation"
+echo "   quantized slices live on all shards (fingerprint $FP_LEFT_Q)"
+
 echo "== fleet: point query restricted to one covered graph"
 "$TOOL" client --socket "$FRONT" --type contains --label 1 \
   --pattern pattern.txt > contains.out
