@@ -1,6 +1,8 @@
 #include "gvex/cli/cli.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -29,6 +31,7 @@
 #include "gvex/gnn/serialize.h"
 #include "gvex/gnn/trainer.h"
 #include "gvex/graph/graph_io.h"
+#include "gvex/ingest/ingest.h"
 #include "gvex/metrics/metrics.h"
 #include "gvex/obs/obs.h"
 #include "gvex/obs/report.h"
@@ -46,7 +49,10 @@ class Flags {
     // Boolean flags take no value; their presence means "true".
     static const std::set<std::string> kBoolFlags = {"resume",
                                                      "no-health-gate",
-                                                     "describe"};
+                                                     "describe",
+                                                     "ingest",
+                                                     "publish",
+                                                     "status"};
     Flags flags;
     for (size_t i = 0; i < args.size(); ++i) {
       if (!StartsWith(args[i], "--")) {
@@ -96,11 +102,16 @@ class Flags {
 void Usage() {
   std::fprintf(stderr,
                "usage: gvex_tool <gen|stats|train|explain|verify|fidelity|"
-               "query|serve|client|publish|shardmap|frontend> [--flags]\n"
+               "query|serve|client|publish|ingest|shardmap|frontend> "
+               "[--flags]\n"
                "cluster: serve --follow unix:<path>|tcp:<port> tails a "
                "primary; publish ships a view bundle to a running server "
                "(--targets a,b,c fans out with a health gate; --shard-map "
                "map.bin partitions it across a fleet)\n"
+               "live ingest: serve --ingest keeps a resident StreamGVEX "
+               "behind the server (journaled, drift-triggered auto-publish); "
+               "ingest streams a graph database into it "
+               "(docs/SERVING.md \"Live ingest\")\n"
                "fleet: shardmap creates/describes a gvexshardmap-v1 "
                "topology; frontend serves scatter-gather queries for the "
                "whole fleet behind one socket (docs/WIRE_PROTOCOL.md)\n"
@@ -384,9 +395,11 @@ Status CmdServe(const Flags& flags) {
   }
   const auto views_path = flags.Get("views");
   const auto follow = flags.Get("follow");
-  if (!views_path && !follow) {
+  const bool live_ingest = flags.Has("ingest");
+  if (!views_path && !follow && !live_ingest) {
     return Status::InvalidArgument(
-        "need --views <file> (or --follow <primary> for a standby)");
+        "need --views <file> (or --follow <primary> for a standby, or "
+        "--ingest to bootstrap from the live write path)");
   }
   size_t warm = 0;
   if (views_path) {
@@ -412,6 +425,53 @@ Status CmdServe(const Flags& flags) {
     replicator = std::make_unique<cluster::Replicator>(&registry, ropts);
   }
 
+  // --ingest: a resident StreamGVEX behind this server (gvex::ingest).
+  // kIngest requests bypass the query queue into the manager's dedicated
+  // worker; drift past --drift-threshold cuts a bundle and hot-swaps it
+  // into the registry (and fans out to --targets / --shard-map followers,
+  // reusing the publish grammar). --ingest-journal + --resume give
+  // crash-exact restart (docs/SERVING.md "Live ingest & freshness SLO").
+  std::unique_ptr<ingest::IngestManager> ingester;
+  if (live_ingest) {
+    GVEX_ASSIGN_OR_RETURN(std::string model_path, flags.Require("model"));
+    GVEX_ASSIGN_OR_RETURN(GcnClassifier ingest_model,
+                          GcnSerializer::Load(model_path));
+    ingest::IngestOptions iopts;
+    iopts.route = route;
+    iopts.max_pending = static_cast<size_t>(flags.GetInt("ingest-queue", 64));
+    iopts.drift_threshold = flags.GetDouble("drift-threshold", 0.25);
+    iopts.drift_window =
+        static_cast<size_t>(flags.GetInt("drift-window", 16));
+    iopts.checkpoint_cadence =
+        static_cast<size_t>(flags.GetInt("ingest-cadence", 8));
+    iopts.journal_path = flags.Get("ingest-journal").value_or("");
+    iopts.resume = flags.Has("resume");
+    iopts.config = ConfigFromFlags(flags);
+    if (auto targets_spec = flags.Get("targets")) {
+      for (const std::string& entry : SplitString(*targets_spec, ',')) {
+        if (entry.empty()) continue;
+        GVEX_ASSIGN_OR_RETURN(serve::Endpoint target,
+                              ParseFollowTarget(entry));
+        iopts.targets.push_back(std::move(target));
+      }
+    }
+    if (auto map_path = flags.Get("shard-map")) {
+      GVEX_ASSIGN_OR_RETURN(cluster::ShardMap map,
+                            cluster::ShardMap::Load(*map_path));
+      iopts.shard_map =
+          std::make_shared<const cluster::ShardMap>(std::move(map));
+    }
+    iopts.publish.retries = static_cast<int>(flags.GetInt("retry", 2));
+    iopts.publish.backoff_base_ms =
+        static_cast<uint32_t>(flags.GetInt("retry-backoff-ms", 50));
+    iopts.publish.jitter_seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
+    iopts.publish.health_gate = !flags.Has("no-health-gate");
+    ingester = std::make_unique<ingest::IngestManager>(
+        &registry,
+        std::make_shared<const GcnClassifier>(std::move(ingest_model)),
+        std::move(iopts));
+  }
+
   serve::ServerOptions options;
   options.num_workers = static_cast<size_t>(flags.GetInt("workers", 4));
   options.max_queue = static_cast<size_t>(flags.GetInt("queue", 256));
@@ -429,16 +489,38 @@ Status CmdServe(const Flags& flags) {
     }
   }
   serve::ExplanationServer server(&registry, options);
-  if (replicator != nullptr) {
-    // kHealth reports replication lag next to admission state; the hook
-    // keeps serve/ free of a cluster/ dependency.
-    cluster::Replicator* repl = replicator.get();
-    server.SetHealthHook([repl](serve::HealthInfo* health) {
-      const cluster::ReplicatorStats stats = repl->stats();
-      health->following = true;
-      health->replication_installs = stats.installs;
-      health->replication_lag_polls = stats.consecutive_failures;
-      health->replication_error = stats.last_error;
+  cluster::Replicator* repl = replicator.get();
+  ingest::IngestManager* live = ingester.get();
+  if (repl != nullptr || live != nullptr) {
+    // kHealth reports replication lag and ingest freshness next to
+    // admission state; the hook keeps serve/ free of cluster/ and
+    // ingest/ dependencies.
+    server.SetHealthHook([repl, live](serve::HealthInfo* health) {
+      if (repl != nullptr) {
+        const cluster::ReplicatorStats stats = repl->stats();
+        health->following = true;
+        health->replication_installs = stats.installs;
+        health->replication_lag_polls = stats.consecutive_failures;
+        health->replication_error = stats.last_error;
+      }
+      if (live != nullptr) {
+        const ingest::IngestInfo info = live->Info();
+        health->ingesting = info.running;
+        health->ingest_pending = info.pending;
+        health->ingest_accepted = info.accepted;
+        health->ingest_published = info.published;
+        health->ingest_drift_bp = static_cast<uint64_t>(
+            std::lround(std::max(0.0, info.drift) * 10000.0));
+        health->ingest_staleness_ms = info.staleness_ms;
+      }
+    });
+  }
+  if (live != nullptr) {
+    // Start before the socket accepts: journal replay must finish before
+    // the first kIngest frame can land on the dedicated worker.
+    GVEX_RETURN_NOT_OK(ingester->Start());
+    server.SetIngestHandler([live](serve::Request req) {
+      return live->Submit(std::move(req));
     });
   }
   GVEX_RETURN_NOT_OK(server.Start());
@@ -462,14 +544,30 @@ Status CmdServe(const Flags& flags) {
     if (!following.ok()) {
       socket.Stop();
       server.Stop();
+      if (ingester != nullptr) ingester->Stop();
       return following;
     }
     std::printf("following %s\n", follow->c_str());
     std::fflush(stdout);
   }
+  if (ingester != nullptr) {
+    // Smoke scripts poll this line before streaming: resident/next-seq
+    // prove the journal replay landed (the crash-resume leg asserts it).
+    const ingest::IngestInfo info = ingester->Info();
+    std::printf("ingesting route %s (journal %s, resident %llu, "
+                "next seq %llu)\n",
+                route.c_str(),
+                ingester->options().journal_path.empty()
+                    ? "-"
+                    : ingester->options().journal_path.c_str(),
+                static_cast<unsigned long long>(info.resident_graphs),
+                static_cast<unsigned long long>(info.next_seq));
+    std::fflush(stdout);
+  }
 
   socket.Wait();
   if (replicator != nullptr) replicator->Stop();
+  if (ingester != nullptr) ingester->Stop();
   socket.Stop();
   server.Stop();
   std::printf("server stopped\n");
@@ -513,6 +611,8 @@ Result<serve::Request> BuildClientRequest(const Flags& flags) {
     req.type = serve::RequestType::kCoverageStats;
   } else if (type_name == "topviews") {
     req.type = serve::RequestType::kTopViews;
+  } else if (type_name == "ingest") {
+    req.type = serve::RequestType::kIngest;
   } else {
     return Status::InvalidArgument("unknown request type: " + type_name);
   }
@@ -685,6 +785,7 @@ void PrintClientResponse(const serve::Request& req,
     case serve::RequestType::kStats:
     case serve::RequestType::kShutdown:
     case serve::RequestType::kInstall:
+    case serve::RequestType::kIngest:
       std::printf("%s\n", resp.text.c_str());
       return;
   }
@@ -908,6 +1009,92 @@ Status CmdPublish(const Flags& flags) {
   return Status::OK();
 }
 
+// `gvex_tool ingest` — stream a graph database into a live-ingest server
+// (serve --ingest), one kIngest frame per graph over the ordinary
+// gvexserve-v1 wire. Labels default to the database's ground truth;
+// --label overrides them all. --id-base B assigns stable idempotency
+// keys B, B+1, ... so a re-run after a client or server crash answers
+// "duplicate" instead of double-feeding (the keys survive the server's
+// journal). --publish forces a bundle cut after the stream; --status
+// reports the manager's counters. --retry re-issues kOverloaded sheds
+// with the shared backoff schedule, which is safe exactly because of the
+// idempotency keys.
+Status CmdIngest(const Flags& flags) {
+  GVEX_ASSIGN_OR_RETURN(serve::Endpoint endpoint, EndpointFromFlags(flags));
+  serve::SocketClient client;
+  GVEX_RETURN_NOT_OK(client.Connect(endpoint));
+  const std::string route =
+      flags.Get("route").value_or(cluster::kDefaultRoute);
+  const int retries = static_cast<int>(flags.GetInt("retry", 0));
+  const uint32_t backoff_ms =
+      static_cast<uint32_t>(flags.GetInt("retry-backoff-ms", 100));
+  auto call = [&](const serve::Request& req) -> Result<serve::Response> {
+    for (int attempt = 1;; ++attempt) {
+      GVEX_ASSIGN_OR_RETURN(serve::Response resp, client.Call(req));
+      if (!RetryableShed(resp.code) || attempt > retries) return resp;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          cluster::RetryBackoffMs(attempt, backoff_ms, 10000)));
+    }
+  };
+
+  size_t sent = 0;
+  if (auto db_path = flags.Get("graph-db")) {
+    GVEX_ASSIGN_OR_RETURN(GraphDatabase db, LoadDatabase(*db_path));
+    const long from_l = flags.GetInt("from", 0);
+    if (from_l < 0 || static_cast<size_t>(from_l) > db.size()) {
+      return Status::OutOfRange("--from " + std::to_string(from_l) +
+                                " outside database of " +
+                                std::to_string(db.size()) + " graphs");
+    }
+    const size_t from = static_cast<size_t>(from_l);
+    size_t count = db.size() - from;
+    if (flags.Has("count")) {
+      const long count_l = flags.GetInt("count", 0);
+      if (count_l < 0) {
+        return Status::InvalidArgument("--count must be non-negative");
+      }
+      count = std::min(count, static_cast<size_t>(count_l));
+    }
+    const uint64_t id_base = static_cast<uint64_t>(flags.GetInt("id-base", 1));
+    const long label_override = flags.GetInt("label", -1);
+    const uint32_t deadline_ms =
+        static_cast<uint32_t>(flags.GetInt("deadline-ms", 0));
+    for (size_t i = from; i < from + count; ++i) {
+      serve::Request req;
+      req.type = serve::RequestType::kIngest;
+      req.route = route;
+      req.id = id_base + (i - from);
+      req.label = label_override >= 0
+                      ? static_cast<ClassLabel>(label_override)
+                      : db.label(i);
+      req.deadline_ms = deadline_ms;
+      req.graph = db.graph(i);
+      req.has_graph = true;
+      GVEX_ASSIGN_OR_RETURN(serve::Response resp, call(req));
+      if (!resp.ok()) return resp.ToStatus();
+      std::printf("%s\n", resp.text.c_str());
+      ++sent;
+    }
+  }
+  if (flags.Has("publish") || flags.Has("status")) {
+    for (const char* verb : {"publish", "status"}) {
+      if (!flags.Has(verb)) continue;
+      serve::Request req;
+      req.type = serve::RequestType::kIngest;
+      req.route = route;
+      req.text = verb;
+      GVEX_ASSIGN_OR_RETURN(serve::Response resp, call(req));
+      if (!resp.ok()) return resp.ToStatus();
+      std::printf("%s\n", resp.text.c_str());
+    }
+  } else if (sent == 0 && !flags.Has("graph-db")) {
+    return Status::InvalidArgument(
+        "ingest needs --graph-db, --publish, or --status");
+  }
+  if (sent > 0) std::printf("ingest done (%zu graphs sent)\n", sent);
+  return Status::OK();
+}
+
 // ---- sharded fleet ------------------------------------------------------------
 
 // `gvex_tool shardmap` — create, describe, or interrogate a
@@ -1088,6 +1275,8 @@ int Run(const std::vector<std::string>& argv) {
     st = CmdClient(flags);
   } else if (command == "publish") {
     st = CmdPublish(flags);
+  } else if (command == "ingest") {
+    st = CmdIngest(flags);
   } else if (command == "shardmap") {
     st = CmdShardMap(flags);
   } else if (command == "frontend") {

@@ -19,11 +19,21 @@
 //                      --route NAME --route-quota "exp=8:0.25,canary=16"
 //                      --exact-fp32 "routeA,routeB"
 //                      --follow (unix:PATH|tcp:PORT) --poll-ms 200]
+//                     [--ingest --model model.txt
+//                      --ingest-journal wal.bin --resume
+//                      --drift-threshold 0.25 --drift-window 16
+//                      --ingest-queue 64 --ingest-cadence 8
+//                      --targets "unix:A,tcp:PORT" | --shard-map map.bin]
+//   gvex_tool ingest  (--socket PATH | --port N) [--graph-db db.txt]
+//                     [--from 0 --count N --label L --id-base 1
+//                      --deadline-ms MS --route NAME
+//                      --retry N --retry-backoff-ms MS]
+//                     [--publish] [--status]
 //   gvex_tool client  (--socket PATH | --port N | --local views.txt
 //                      [--model model.txt] | --shard-map map.bin)
 //                     --type ping|support|contains|hits|discriminative|
 //                            classify|stats|generations|health|fetch|
-//                            shutdown|shardinfo|coverage|topviews
+//                            shutdown|shardinfo|coverage|topviews|ingest
 //                     [--label L --against L2 --pattern p.txt
 //                      --graph g.txt | --graph-db db.txt --graph-index I
 //                      --semantics subgraph|induced --max-embeddings 64
@@ -50,6 +60,17 @@
 // kTimeout). `publish --targets` fan-outs one bundle to N servers with
 // health-gated installs and per-target status rows; a mixed outcome
 // exits with the distinct kPartialFailure code (14).
+//
+// Live ingest (docs/SERVING.md "Live ingest & freshness SLO"): `serve
+// --ingest` keeps one resident StreamGVEX per label behind the server;
+// `ingest` streams a graph database into it as kIngest frames. Accepted
+// graphs are journaled (--ingest-journal) before they touch the solver,
+// so `--resume` after a crash replays to byte-identical resident views.
+// When the sliding-window drift (--drift-window) against the served
+// generation crosses --drift-threshold, the manager cuts a bundle and
+// hot-swaps it locally — and fans it out to --targets or a --shard-map
+// fleet with the same health-gated publish protocol. `ingest --publish`
+// forces a cut; `ingest --status` reports freshness counters.
 //
 // The sharded fleet (docs/ARCHITECTURE.md, docs/WIRE_PROTOCOL.md):
 // `shardmap` writes the gvexshardmap-v1 topology, `publish --shard-map`

@@ -644,7 +644,13 @@ StreamGvexSnapshot StreamGvex::Snapshot() const {
   return snap;
 }
 
-void StreamGvex::Restore(const StreamGvexSnapshot& snapshot) {
+Status StreamGvex::Restore(const StreamGvexSnapshot& snapshot) {
+  if (label_in_progress_) {
+    return Status::FailedPrecondition(
+        "restore into a solver with resident state for label " +
+        std::to_string(resume_label_) +
+        " (finish or discard the in-flight run first)");
+  }
   label_in_progress_ = snapshot.in_progress;
   resume_label_ = snapshot.label;
   group_pos_ = snapshot.graphs_done;
@@ -654,6 +660,57 @@ void StreamGvex::Restore(const StreamGvexSnapshot& snapshot) {
   label_codes_.insert(snapshot.codes.begin(), snapshot.codes.end());
   stats_ = snapshot.stats;
   committed_stats_ = snapshot.stats;
+  return Status::OK();
+}
+
+Status StreamGvex::IngestGraph(const Graph& g, size_t graph_index,
+                               ClassLabel l, double* explainability) {
+  if (!label_in_progress_) {
+    label_in_progress_ = true;
+    resume_label_ = l;
+    group_pos_ = 0;
+    partial_view_ = ExplanationView{};
+    partial_view_.label = l;
+    label_patterns_.clear();
+    label_codes_.clear();
+    committed_stats_ = stats_;
+  } else if (resume_label_ != l) {
+    return Status::FailedPrecondition(
+        "resident session holds label " + std::to_string(resume_label_) +
+        ", cannot ingest label " + std::to_string(l));
+  }
+  Result<ExplanationSubgraph> sub =
+      ExplainGraphStream(g, graph_index, l, &label_patterns_, &label_codes_);
+  if (!sub.ok()) {
+    if (sub.status().IsInfeasible()) {
+      // An unexplainable graph still advances the committed position so a
+      // journal replay lands on the same state.
+      ++group_pos_;
+      committed_stats_ = stats_;
+    } else {
+      stats_ = committed_stats_;  // roll back the half-processed graph
+    }
+    return sub.status();
+  }
+  if (explainability != nullptr) *explainability = sub->explainability;
+  partial_view_.explainability += sub->explainability;
+  partial_view_.subgraphs.push_back(std::move(*sub));
+  ++group_pos_;
+  committed_stats_ = stats_;
+  return Status::OK();
+}
+
+Result<ExplanationView> StreamGvex::ResidentView() const {
+  if (!label_in_progress_) {
+    return Status::FailedPrecondition("no resident ingest state to finalize");
+  }
+  ExplanationView view = partial_view_;
+  std::vector<Graph> raw;
+  raw.reserve(view.subgraphs.size());
+  for (const auto& s : view.subgraphs) raw.push_back(s.subgraph);
+  PatternReduction reduction = ReducePatterns(label_patterns_, raw, config_);
+  view.patterns = std::move(reduction.patterns);
+  return view;
 }
 
 Result<ExplanationViewSet> StreamGvex::Explain(

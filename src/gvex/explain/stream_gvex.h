@@ -95,15 +95,44 @@ class StreamGvex {
                                      const Deadline* deadline = nullptr,
                                      uint64_t order_seed = 0);
 
+  /// Live ingest (gvex::ingest): feed one graph into the resident per-label
+  /// state without a surrounding ExplainLabel call. The first call opens a
+  /// resident session for `l`; later calls must carry the same label
+  /// (kFailedPrecondition otherwise — one solver instance holds one label's
+  /// incremental state). Accepted and infeasible graphs both advance the
+  /// committed position, so Snapshot()/Restore() capture ingest state at
+  /// graph granularity exactly as they do for an interrupted ExplainLabel.
+  /// Nodes stream in natural order (0..n-1) so replaying the same graphs in
+  /// the same order rebuilds byte-identical state. On success
+  /// `explainability` (when given) receives the accepted subgraph's
+  /// contribution.
+  Status IngestGraph(const Graph& g, size_t graph_index, ClassLabel l,
+                     double* explainability = nullptr);
+
+  /// Finalized copy of the resident ingest state: the partial view with
+  /// ReducePatterns applied, leaving the resident session untouched so
+  /// ingest continues afterwards. kFailedPrecondition when no session is
+  /// open.
+  Result<ExplanationView> ResidentView() const;
+
+  /// Graphs committed into the resident session (0 when none is open).
+  size_t resident_graphs() const { return label_in_progress_ ? group_pos_ : 0; }
+
+  /// True while an ExplainLabel resume point or ingest session is held.
+  bool in_progress() const { return label_in_progress_; }
+
   /// Capture the resumable state of an ExplainLabel call that returned an
   /// error (deadline expiry, injected fault, ...). State is committed per
   /// completed graph; a half-processed graph is rolled back and replayed.
   StreamGvexSnapshot Snapshot() const;
 
-  /// Restore a snapshot (possibly into a fresh solver). The next
-  /// ExplainLabel call for the snapshot's label continues after the last
-  /// completed graph instead of starting over.
-  void Restore(const StreamGvexSnapshot& snapshot);
+  /// Restore a snapshot into a *fresh* solver (or one whose previous run
+  /// completed). The next ExplainLabel call for the snapshot's label
+  /// continues after the last completed graph instead of starting over.
+  /// A solver that already holds resident state rejects the restore with
+  /// kFailedPrecondition — silently merging two runs' pattern state would
+  /// corrupt both.
+  Status Restore(const StreamGvexSnapshot& snapshot);
 
  private:
   const GcnClassifier* model_;

@@ -76,6 +76,7 @@ const char* RequestTypeName(RequestType type) {
     case RequestType::kShardInfo: return "shardinfo";
     case RequestType::kCoverageStats: return "coverage";
     case RequestType::kTopViews: return "topviews";
+    case RequestType::kIngest: return "ingest";
   }
   return "unknown";
 }
@@ -112,7 +113,7 @@ Result<Request> DecodeRequestBody(const std::string& body) {
   Request req;
   int type = 0, semantics = 0, has_graph = 0;
   GVEX_RETURN_NOT_OK(ReadField(&in, "type", &type));
-  if (type < 0 || type > static_cast<int>(RequestType::kTopViews)) {
+  if (type < 0 || type > static_cast<int>(RequestType::kIngest)) {
     return Status::InvalidArgument("unknown request type " +
                                    std::to_string(type));
   }
@@ -197,6 +198,17 @@ std::string EncodeResponseBody(const Response& resp) {
         << c.graph_indices.size();
     for (uint64_t gi : c.graph_indices) out << " " << gi;
     out << "\n";
+  }
+  // Live-ingest freshness rows (kHealth on an ingesting server). Appended
+  // before the scatter/end tail per the v1 evolution rule instead of
+  // widening the hstate row, which strict decoders pin.
+  out << "ingest " << (resp.has_health && resp.health.ingesting ? 1 : 0)
+      << "\n";
+  if (resp.has_health && resp.health.ingesting) {
+    const HealthInfo& h = resp.health;
+    out << "istate " << h.ingest_pending << " " << h.ingest_accepted << " "
+        << h.ingest_published << " " << h.ingest_drift_bp << " "
+        << h.ingest_staleness_ms << "\n";
   }
   out << "scatter " << resp.shards_total << " " << resp.shards_answered
       << "\n";
@@ -308,6 +320,17 @@ Result<Response> DecodeResponseBody(const std::string& body) {
       if (!(in >> c.graph_indices[k])) {
         return Status::IoError("bad coverage graph id");
       }
+    }
+  }
+  int ingesting = 0;
+  GVEX_RETURN_NOT_OK(ReadField(&in, "ingest", &ingesting));
+  if (ingesting != 0) {
+    HealthInfo& h = resp.health;
+    h.ingesting = true;
+    GVEX_RETURN_NOT_OK(ExpectWord(&in, "istate"));
+    if (!(in >> h.ingest_pending >> h.ingest_accepted >> h.ingest_published >>
+          h.ingest_drift_bp >> h.ingest_staleness_ms)) {
+      return Status::IoError("bad ingest state row");
     }
   }
   GVEX_RETURN_NOT_OK(ExpectWord(&in, "scatter"));

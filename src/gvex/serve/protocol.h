@@ -53,6 +53,13 @@ enum class RequestType : uint8_t {
   kShardInfo = 12,             ///< per-route, per-label covered graph ids
   kCoverageStats = 13,         ///< per-label coverage summary for `route`
   kTopViews = 14,              ///< top `top_k` labels by explainability
+  /// Live ingest (gvex/ingest): feed `graph` to the resident StreamGVEX
+  /// solver for `label`. Never rides the shared query queue — the server
+  /// hands it to the dedicated ingest worker at admission time. Without a
+  /// graph, `text` selects a control verb ("publish" forces a bundle cut,
+  /// "status" reports ingest state). kFailedPrecondition when the server
+  /// runs without `--ingest`.
+  kIngest = 15,
 };
 
 const char* RequestTypeName(RequestType type);
@@ -111,6 +118,18 @@ struct HealthInfo {
   /// poll reached the primary.
   uint64_t replication_lag_polls = 0;
   std::string replication_error;  ///< last poll error ("" when healthy)
+  // Live ingest (servers started with --ingest; all-zero otherwise).
+  // Rides its own response rows ("ingest"/"istate"), appended per the
+  // v1 evolution rule — never widening existing rows.
+  bool ingesting = false;
+  uint64_t ingest_pending = 0;    ///< ingest queue occupancy
+  uint64_t ingest_accepted = 0;   ///< graphs fed to the resident solver
+  uint64_t ingest_published = 0;  ///< drift-triggered auto-publishes
+  /// Freshness SLO signals: current window drift in basis points and
+  /// milliseconds since the resident state last reached a served
+  /// generation.
+  uint64_t ingest_drift_bp = 0;
+  uint64_t ingest_staleness_ms = 0;
   bool operator==(const HealthInfo&) const = default;
 };
 

@@ -76,9 +76,10 @@ obs::Histogram& EndpointHistogram(RequestType type) {
       &obs::Registry::Global().GetHistogram("serve.exec_shardinfo_us"),
       &obs::Registry::Global().GetHistogram("serve.exec_coverage_us"),
       &obs::Registry::Global().GetHistogram("serve.exec_topviews_us"),
+      &obs::Registry::Global().GetHistogram("serve.exec_ingest_us"),
   };
   static_assert(sizeof(hists) / sizeof(hists[0]) ==
-                    static_cast<size_t>(RequestType::kTopViews) + 1,
+                    static_cast<size_t>(RequestType::kIngest) + 1,
                 "one histogram per request type");
   return *hists[static_cast<size_t>(type)];
 }
@@ -266,6 +267,30 @@ std::future<Response> ExplanationServer::Submit(Request req) {
     }
     item->promise.set_value(Execute(item->req, nullptr, item->cancel.get()));
     return future;
+  }
+
+  // Ingest never touches the shared query queue: the process owner's
+  // handler (gvex/ingest) runs its own admission-bounded queue behind a
+  // dedicated worker, so a burst of writes cannot starve readers of
+  // workers and a full read queue cannot shed writes.
+  if (item->req.type == RequestType::kIngest) {
+    IngestHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!started_ || stopping_) {
+        item->promise.set_value(ErrorResponse(
+            item->req, Status::FailedPrecondition("server is not running")));
+        return future;
+      }
+      handler = ingest_handler_;
+    }
+    if (handler == nullptr) {
+      item->promise.set_value(ErrorResponse(
+          item->req, Status::FailedPrecondition(
+                         "live ingest is not enabled (serve --ingest)")));
+      return future;
+    }
+    return handler(std::move(item->req));
   }
 
   const uint32_t deadline_ms = item->req.deadline_ms != 0
@@ -508,6 +533,12 @@ Response ExplanationServer::Execute(const Request& req,
       // the request only acknowledges.
       resp.text = "shutting down";
       return resp;
+    case RequestType::kIngest:
+      // Routed at admission (Submit) to the dedicated ingest worker; a
+      // request can only land here through a path with no handler.
+      return ErrorResponse(
+          req, Status::FailedPrecondition(
+                   "live ingest is not enabled (serve --ingest)"));
     default:
       break;
   }
@@ -781,6 +812,11 @@ void ExplanationServer::SetHealthHook(std::function<void(HealthInfo*)> hook) {
   health_hook_ = std::move(hook);
 }
 
+void ExplanationServer::SetIngestHandler(IngestHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ingest_handler_ = std::move(handler);
+}
+
 std::string ExplanationServer::StatsJson() const {
   obs::JsonWriter json;
   json.BeginObject();
@@ -846,7 +882,8 @@ std::string ExplanationServer::StatsJson() const {
   json.Key("counters");
   json.BeginObject();
   for (const auto& c : obs::Registry::Global().Counters()) {
-    if (c.name.rfind("serve.", 0) != 0 && c.name.rfind("cluster.", 0) != 0)
+    if (c.name.rfind("serve.", 0) != 0 && c.name.rfind("cluster.", 0) != 0 &&
+        c.name.rfind("ingest.", 0) != 0)
       continue;
     json.Key(c.name);
     json.Uint(c.value);
@@ -855,7 +892,8 @@ std::string ExplanationServer::StatsJson() const {
   json.Key("histograms");
   json.BeginObject();
   for (const auto& h : obs::Registry::Global().Histograms()) {
-    if (h.name.rfind("serve.", 0) != 0) continue;
+    if (h.name.rfind("serve.", 0) != 0 && h.name.rfind("ingest.", 0) != 0)
+      continue;
     json.Key(h.name);
     json.BeginObject();
     json.Key("count");

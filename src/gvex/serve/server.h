@@ -144,6 +144,14 @@ class ExplanationServer {
   /// fields. Pass nullptr to clear. Must not call back into the server.
   void SetHealthHook(std::function<void(HealthInfo*)> hook);
 
+  /// Routes kIngest requests to the live-ingest subsystem (gvex::ingest)
+  /// at admission time, bypassing the shared query queue entirely — the
+  /// handler owns its own admission bound and dedicated worker. Without a
+  /// handler, kIngest answers kFailedPrecondition. Pass nullptr to clear.
+  /// Must not call back into the server.
+  using IngestHandler = std::function<std::future<Response>(Request)>;
+  void SetIngestHandler(IngestHandler handler);
+
  private:
   struct Item {
     Request req;
@@ -204,6 +212,7 @@ class ExplanationServer {
   bool stopping_ = false;
   std::map<std::string, RouteCounters> route_load_;
   std::function<void(HealthInfo*)> health_hook_;
+  IngestHandler ingest_handler_;
 
   std::vector<std::thread> workers_;
   DeadlineMonitor monitor_;

@@ -494,7 +494,7 @@ TEST(StreamSnapshotTest, RestoreContinuesToStraightThroughResult) {
 
   // Restore into a fresh solver and continue.
   StreamGvex resumed(&ctx.model, config);
-  resumed.Restore(snap);
+  ASSERT_TRUE(resumed.Restore(snap).ok());
   auto resumed_view = resumed.ExplainLabel(ctx.db, ctx.assigned, 1);
   ASSERT_TRUE(resumed_view.ok());
 

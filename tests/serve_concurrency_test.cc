@@ -17,6 +17,7 @@
 #include "gvex/datasets/datasets.h"
 #include "gvex/explain/approx_gvex.h"
 #include "gvex/explain/query.h"
+#include "gvex/ingest/ingest.h"
 #include "gvex/matching/match_cache.h"
 #include "gvex/serve/server.h"
 #include "gvex/serve/view_registry.h"
@@ -420,6 +421,155 @@ TEST(ServeConcurrencyTest, StatsJsonStaysParseableAndMonotonicUnderLoad) {
   uint64_t final_requests = 0;
   ASSERT_TRUE(ExtractUint(resp.text, "serve.requests", &final_requests));
   EXPECT_GE(final_requests, last_requests);
+  server.Stop();
+}
+
+// ---- live ingest vs. queries ------------------------------------------------
+
+// Eight threads — four querying, four streaming kIngest graphs through
+// the server's ingest hook — against one server. The ingest worker never
+// touches the query queue, so with auto-publish disabled every query
+// answer stays byte-identical to the pre-ingest reference; meanwhile the
+// "ingest.*" counters in the stats JSON only ever move forward. A forced
+// cut at the end proves the resident state was really accumulating.
+TEST(ServeConcurrencyTest, IngestAndQueriesShareAServerWithoutInterference) {
+  const ConcurrencyFixture& fx = Fixture();
+  const auto& ctx = MutagenicityContext();
+  MatchOptions loose;
+  loose.semantics = MatchSemantics::kSubgraph;
+  ViewQuery direct(loose);
+  const Graph nitro = datasets::NitroGroupPattern();
+  const ExplanationView* mutagen = fx.set.ForLabel(1);
+  ASSERT_NE(mutagen, nullptr);
+  const size_t want_support = direct.Support(*mutagen, nitro);
+  const std::vector<size_t> want_indices =
+      direct.SubgraphsContaining(*mutagen, nitro);
+
+  ViewRegistry registry;
+  ASSERT_TRUE(registry.InstallViews(fx.set).ok());
+  ServerOptions options;
+  options.num_workers = 4;
+  ExplanationServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ingest::IngestOptions iopts;
+  iopts.drift_threshold = 2.0;  // unreachable: no auto-publish mid-run
+  Configuration config;
+  config.theta = 0.08f;
+  config.default_coverage = {0, 8};
+  iopts.config = config;
+  ingest::IngestManager manager(
+      &registry,
+      std::shared_ptr<const GcnClassifier>(
+          std::shared_ptr<const GcnClassifier>(), &ctx.model),
+      iopts);
+  ASSERT_TRUE(manager.Start().ok());
+  server.SetIngestHandler([&manager](Request req) {
+    return manager.Submit(std::move(req));
+  });
+
+  // One ingest up front so every "ingest.*" counter the sampler reads
+  // exists before the first sample (obs counters appear on first use).
+  {
+    Request warmup;
+    warmup.type = RequestType::kIngest;
+    warmup.label = ctx.assigned[0];
+    warmup.graph = ctx.db.graph(0);
+    warmup.has_graph = true;
+    ASSERT_TRUE(server.Call(warmup).ok());
+  }
+  const uint64_t generation_before = registry.generation();
+
+  constexpr int kQueryThreads = 4;
+  constexpr int kIngestThreads = 4;
+  constexpr int kPerThread = 12;
+  std::atomic<int> mismatches{0};
+  std::atomic<uint64_t> ingested{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Request req;
+        req.type = (i % 2 == 0) ? RequestType::kSupport
+                                : RequestType::kSubgraphsContaining;
+        req.label = 1;
+        req.graph = nitro;
+        req.has_graph = true;
+        Response resp = server.Call(req);
+        if (!resp.ok()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        if (req.type == RequestType::kSupport) {
+          if (resp.support != want_support) mismatches.fetch_add(1);
+        } else if (resp.indices !=
+                   std::vector<uint64_t>(want_indices.begin(),
+                                         want_indices.end())) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kIngestThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const size_t gi =
+            (static_cast<size_t>(t) * kPerThread + i + 1) % ctx.db.size();
+        Request req;
+        req.type = RequestType::kIngest;
+        req.label = ctx.assigned[gi];
+        req.graph = ctx.db.graph(gi);
+        req.has_graph = true;
+        Response resp = server.Call(req);
+        // kOverloaded sheds are legal under the ingest bound; anything
+        // else must succeed.
+        if (resp.ok()) {
+          ingested.fetch_add(1);
+        } else if (resp.code != StatusCode::kOverloaded) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Sample the stats JSON while both request classes are in flight: it
+  // must stay parseable and the ingest counters monotone.
+  uint64_t last_requests = 0, last_accepted = 0;
+  for (int i = 0; i < 30; ++i) {
+    const std::string json = server.StatsJson();
+    EXPECT_TRUE(JsonValidator(json).Valid())
+        << "sample " << i << " is not valid JSON:\n" << json;
+    uint64_t requests = 0, accepted = 0;
+    ASSERT_TRUE(ExtractUint(json, "ingest.requests", &requests));
+    ASSERT_TRUE(ExtractUint(json, "ingest.accepted", &accepted));
+    EXPECT_GE(requests, last_requests) << "ingest.requests moved backwards";
+    EXPECT_GE(accepted, last_accepted) << "ingest.accepted moved backwards";
+    last_requests = requests;
+    last_accepted = accepted;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(ingested.load(), 0u);
+  // No swap happened mid-run: every answer above was against the same
+  // pre-ingest generation.
+  EXPECT_EQ(registry.generation(), generation_before);
+
+  // The resident state was really accumulating: a forced cut publishes a
+  // new generation, and queries keep answering across the swap.
+  auto gen = manager.PublishNow();
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  EXPECT_GT(registry.generation(), generation_before);
+  Request after;
+  after.type = RequestType::kSupport;
+  after.label = 1;
+  after.graph = nitro;
+  after.has_graph = true;
+  EXPECT_TRUE(server.Call(after).ok());
+
+  server.SetIngestHandler(nullptr);
+  manager.Stop();
   server.Stop();
 }
 

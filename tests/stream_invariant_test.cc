@@ -92,6 +92,38 @@ TEST(StreamInvariantTest, StatsAccounting) {
   EXPECT_GT(stats.everify_calls, 0u);
 }
 
+// Restore() must never clobber resident state: a solver mid-run (its
+// pattern pool and partial view alive) rejects the snapshot with
+// kFailedPrecondition and keeps its state intact. Guards the ingest
+// replay path, where a restore landing on a warm solver would silently
+// fork the deterministic resume contract.
+TEST(StreamInvariantTest, RestoreIntoResidentStateRejected) {
+  const auto& ctx = MutagenicityContext();
+  StreamGvex donor(&ctx.model, TestConfig());
+  auto group = GraphDatabase::LabelGroup(ctx.assigned, 1);
+  ASSERT_GE(group.size(), 2u);
+  // Infeasible is fine too; the session is resident either way.
+  (void)donor.IngestGraph(ctx.db.graph(group[0]), group[0], 1);
+  StreamGvexSnapshot snap = donor.Snapshot();
+  ASSERT_TRUE(snap.in_progress);
+
+  // A warm solver refuses the restore...
+  StreamGvex resident(&ctx.model, TestConfig());
+  (void)resident.IngestGraph(ctx.db.graph(group[1]), group[1], 1);
+  ASSERT_TRUE(resident.in_progress());
+  const size_t before = resident.resident_graphs();
+  Status st = resident.Restore(snap);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << st.ToString();
+  // ...and keeps its own session untouched.
+  EXPECT_TRUE(resident.in_progress());
+  EXPECT_EQ(resident.resident_graphs(), before);
+
+  // A fresh solver accepts the same snapshot.
+  StreamGvex fresh(&ctx.model, TestConfig());
+  EXPECT_TRUE(fresh.Restore(snap).ok());
+  EXPECT_EQ(fresh.resident_graphs(), donor.resident_graphs());
+}
+
 TEST(StreamInvariantTest, ExplainedPlusInfeasibleEqualsGroup) {
   const auto& ctx = MutagenicityContext();
   StreamGvex solver(&ctx.model, TestConfig());

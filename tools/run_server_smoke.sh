@@ -24,6 +24,15 @@
 # (exit 0, one fingerprint everywhere) and with one dead target (partial
 # failure, exit 14, per-target diagnosis).
 #
+# An ingest leg (docs/SERVING.md "Live ingest & freshness SLO") proves
+# the write path end to end: `serve --ingest` bootstraps a generation
+# from the live feed (drift-triggered auto-publish against the empty
+# route), and a crash-exact resume run feeds the same graphs, takes a
+# `kill -9` mid-stream, restarts with --resume, blindly re-sends the
+# whole range under the same idempotency keys (journaled ids answer
+# `duplicate`), and asserts the forced cut's fingerprint is
+# byte-identical to an uninterrupted run's.
+#
 # A fleet leg (docs/ARCHITECTURE.md "Sharded fleet") shards one view set
 # across three servers with `shardmap` + `publish --shard-map`, fronts
 # them with `gvex_tool frontend`, and diffs every query type — including
@@ -36,15 +45,15 @@
 #
 # Usage: tools/run_server_smoke.sh [path-to-gvex_tool] [leg]
 #   default tool: ./build/tools/gvex_tool
-#   leg: all (default) | serve | cluster | fleet
+#   leg: all (default) | serve | cluster | ingest | fleet
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 TOOL="${1:-./build/tools/gvex_tool}"
 LEG="${2:-all}"
-case "$LEG" in all|serve|cluster|fleet) ;; *)
-  echo "unknown leg '$LEG' (want all, serve, cluster, or fleet)" >&2
+case "$LEG" in all|serve|cluster|ingest|fleet) ;; *)
+  echo "unknown leg '$LEG' (want all, serve, cluster, ingest, or fleet)" >&2
   exit 2 ;;
 esac
 if [[ ! -x "$TOOL" ]]; then
@@ -61,9 +70,11 @@ SHARD0_PID=""
 SHARD1_PID=""
 SHARD2_PID=""
 FRONT_PID=""
+INGEST_PID=""
 cleanup() {
   for pid in "$SERVER_PID" "$PRIMARY_PID" "$STANDBY_PID" \
-             "$SHARD0_PID" "$SHARD1_PID" "$SHARD2_PID" "$FRONT_PID"; do
+             "$SHARD0_PID" "$SHARD1_PID" "$SHARD2_PID" "$FRONT_PID" \
+             "$INGEST_PID"; do
     if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
       kill "$pid" 2>/dev/null || true
     fi
@@ -356,6 +367,106 @@ wait "$STANDBY_PID" || fail "standby exited non-zero after shutdown"
 STANDBY_PID=""
 
 fi  # cluster leg
+
+if [[ "$LEG" == "all" || "$LEG" == "ingest" ]]; then
+
+echo "== ingest: live write path bootstraps a generation (auto-publish)"
+# No --views at all: the server starts with an empty route, so drift
+# begins at 1.0 and the first accepted graph must cut a generation.
+ISOCK="$WORK/ingest.sock"
+"$TOOL" serve --ingest --model model.txt --socket "$ISOCK" \
+  --ingest-journal "$WORK/wal_boot.bin" > ingest_boot.log 2>&1 &
+INGEST_PID=$!
+wait_for_line ingest_boot.log "$INGEST_PID" "ingesting route"
+"$TOOL" ingest --socket "$ISOCK" --graph-db db.txt --from 0 --count 6 \
+  --id-base 100 > feed_boot.out
+grep -q "published generation=" feed_boot.out \
+  || fail "ingest: bootstrap feed never auto-published"
+"$TOOL" ingest --socket "$ISOCK" --status > istatus.out
+grep -q "ingesting route=default" istatus.out \
+  || fail "ingest: status verb did not answer: $(cat istatus.out)"
+"$TOOL" client --socket "$ISOCK" --type stats > stats.json
+grep -q '"ingest.accepted":[1-9]' stats.json \
+  || fail "ingest: stats missing a non-zero ingest.accepted counter"
+grep -q '"ingest.publishes":[1-9]' stats.json \
+  || fail "ingest: stats missing a non-zero ingest.publishes counter"
+grep -q '"generation":[1-9]' stats.json \
+  || fail "ingest: auto-publish left no live generation"
+echo "   bootstrap feed auto-published a live generation"
+"$TOOL" client --socket "$ISOCK" --type shutdown > /dev/null
+wait "$INGEST_PID" || fail "ingesting server exited non-zero after shutdown"
+INGEST_PID=""
+
+echo "== ingest: crash-exact resume (kill -9 mid-stream, byte-identical cut)"
+# Straight run: feed all 12 graphs, force a cut, remember its
+# fingerprint. --drift-threshold 2 is unreachable (drift <= 1), so the
+# forced cut is the only publish in both runs.
+SOCK_A="$WORK/ingest_a.sock"
+"$TOOL" serve --ingest --model model.txt --socket "$SOCK_A" \
+  --ingest-journal "$WORK/wal_a.bin" --drift-threshold 2 \
+  --ingest-cadence 3 > ingest_a.log 2>&1 &
+INGEST_PID=$!
+wait_for_line ingest_a.log "$INGEST_PID" "ingesting route"
+"$TOOL" ingest --socket "$SOCK_A" --graph-db db.txt --from 0 --count 12 \
+  --id-base 100 > /dev/null
+"$TOOL" ingest --socket "$SOCK_A" --publish > pub_a.out
+FP_A="$(sed -n 's/.*fingerprint=\([0-9a-f]*\).*/\1/p' pub_a.out)"
+[[ -n "$FP_A" ]] || fail "straight run printed no fingerprint: $(cat pub_a.out)"
+"$TOOL" client --socket "$SOCK_A" --type shutdown > /dev/null
+wait "$INGEST_PID" || fail "straight-run server exited non-zero"
+INGEST_PID=""
+
+# Interrupted run: the armed ingest.feed delay slows each feed to
+# ~80ms, so the kill -9 below lands mid-stream deterministically.
+SOCK_B="$WORK/ingest_b.sock"
+WAL_B="$WORK/wal_b.bin"
+"$TOOL" serve --ingest --model model.txt --socket "$SOCK_B" \
+  --ingest-journal "$WAL_B" --drift-threshold 2 --ingest-cadence 3 \
+  --fail "ingest.feed=delay(80)" > ingest_b.log 2>&1 &
+INGEST_PID=$!
+wait_for_line ingest_b.log "$INGEST_PID" "ingesting route"
+set +e
+"$TOOL" ingest --socket "$SOCK_B" --graph-db db.txt --from 0 --count 12 \
+  --id-base 100 > feed_b.out 2> /dev/null &
+FEEDER=$!
+sleep 0.4
+kill -9 "$INGEST_PID" 2>/dev/null
+wait "$INGEST_PID" 2>/dev/null
+wait "$FEEDER" 2>/dev/null   # dies with an io error once the socket drops
+set -e
+INGEST_PID=""
+LANDED="$(grep -c "^ingested seq=" feed_b.out || true)"
+[[ "$LANDED" -ge 1 && "$LANDED" -lt 12 ]] \
+  || fail "kill -9 was not mid-stream ($LANDED/12 acknowledged)"
+
+# Restart with --resume: journal replay (checkpoint restore + tail
+# replay) finishes before the socket opens; the readiness line reports
+# what survived. Then blindly re-send the whole range under the same
+# idempotency keys — journaled ids answer `duplicate`, everything the
+# crash swallowed is fed.
+"$TOOL" serve --ingest --model model.txt --socket "$SOCK_B" \
+  --ingest-journal "$WAL_B" --resume --drift-threshold 2 \
+  --ingest-cadence 3 > ingest_b2.log 2>&1 &
+INGEST_PID=$!
+wait_for_line ingest_b2.log "$INGEST_PID" "ingesting route"
+grep -q "resident 0," ingest_b2.log \
+  && fail "--resume restored nothing despite $LANDED journaled feeds"
+"$TOOL" ingest --socket "$SOCK_B" --graph-db db.txt --from 0 --count 12 \
+  --id-base 100 > refeed.out
+DUP="$(grep -c "^duplicate id=" refeed.out || true)"
+[[ "$DUP" -ge "$LANDED" ]] \
+  || fail "resume forgot idempotency keys ($DUP duplicates, $LANDED landed)"
+"$TOOL" ingest --socket "$SOCK_B" --publish > pub_b.out
+FP_B="$(sed -n 's/.*fingerprint=\([0-9a-f]*\).*/\1/p' pub_b.out)"
+[[ "$FP_B" == "$FP_A" ]] \
+  || fail "resumed cut differs from uninterrupted run ($FP_B vs $FP_A)"
+echo "   crash-resume cut byte-identical to uninterrupted run ($FP_A)"
+echo "   ($LANDED fed pre-crash, $DUP deduplicated on blind re-send)"
+"$TOOL" client --socket "$SOCK_B" --type shutdown > /dev/null
+wait "$INGEST_PID" || fail "resumed server exited non-zero after shutdown"
+INGEST_PID=""
+
+fi  # ingest leg
 
 if [[ "$LEG" == "all" || "$LEG" == "fleet" ]]; then
 
