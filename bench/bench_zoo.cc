@@ -1,0 +1,241 @@
+// Explainer-zoo benchmark: the five explainer kinds (GE, SX, GX, GCF,
+// GVEX) bound to five serve routes and driven with an identical
+// closed-loop kEvaluate load — every route scores the same planted-motif
+// SYN corpus through the same server, so the output is the quality vs
+// latency frontier the zoo exists to expose:
+//
+//   prepare — train the SYN workbench model, install it on the default
+//             route, bind the five zoo routes
+//   drive   — per route: `clients` threads issuing `ops` kEvaluate
+//             requests back-to-back; RTT percentiles + the (deterministic)
+//             scorecard the route answers with
+//
+//   bench_zoo [--scale S] [--seed N] [--ops N] [--clients N] [--graphs N]
+//
+// Writes BENCH_zoo.json (gvex-bench-v1) with, per route, goodput and
+// p50/p99 latency next to fidelity+/- and motif-recovery accuracy.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "gvex/common/stopwatch.h"
+#include "gvex/serve/server.h"
+#include "gvex/serve/view_registry.h"
+#include "gvex/zoo/zoo.h"
+
+namespace gvex {
+namespace {
+
+using serve::ExplanationServer;
+using serve::Request;
+using serve::RequestType;
+using serve::Response;
+using serve::ViewRegistry;
+
+struct RouteStats {
+  size_t ok = 0;
+  size_t errors = 0;
+  double seconds = 0.0;
+  std::vector<uint64_t> ok_rtts_us;
+  zoo::Scorecard card;
+  bool has_card = false;
+
+  double goodput_rps() const { return seconds > 0.0 ? ok / seconds : 0.0; }
+};
+
+uint64_t Percentile(std::vector<uint64_t> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t index = static_cast<size_t>(q * static_cast<double>(values.size()));
+  if (index >= values.size()) index = values.size() - 1;
+  return values[index];
+}
+
+std::string LastNonEmptyLine(const std::string& text) {
+  std::istringstream in(text);
+  std::string line, last;
+  while (std::getline(in, line)) {
+    if (!line.empty()) last = line;
+  }
+  return last;
+}
+
+// Closed-loop kEvaluate load against one route: every request scores the
+// identical spec, so responses are byte-identical and the RTT spread is
+// pure serving overhead + explainer cost.
+RouteStats DriveRoute(ExplanationServer* server, const std::string& route,
+                      const std::string& spec_text, size_t clients,
+                      size_t ops) {
+  RouteStats stats;
+  std::mutex merge_mu;
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      RouteStats local;
+      for (size_t i = 0; i < ops; ++i) {
+        Request req;
+        req.type = RequestType::kEvaluate;
+        req.route = route;
+        req.text = spec_text;
+        Stopwatch rtt;
+        Response resp = server->Call(req);
+        const double us = rtt.ElapsedSeconds() * 1e6;
+        if (resp.ok()) {
+          ++local.ok;
+          local.ok_rtts_us.push_back(static_cast<uint64_t>(us));
+          if (!local.has_card) {
+            auto card = zoo::ScorecardFromJson(LastNonEmptyLine(resp.text));
+            if (card.ok()) {
+              local.card = *card;
+              local.has_card = true;
+            }
+          }
+        } else {
+          ++local.errors;
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      stats.ok += local.ok;
+      stats.errors += local.errors;
+      stats.ok_rtts_us.insert(stats.ok_rtts_us.end(),
+                              local.ok_rtts_us.begin(),
+                              local.ok_rtts_us.end());
+      if (local.has_card && !stats.has_card) {
+        stats.card = local.card;
+        stats.has_card = true;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  stats.seconds = watch.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace
+}  // namespace gvex
+
+int main(int argc, char** argv) {
+  using namespace gvex;
+  double scale = 0.15;
+  uint64_t seed = 42;
+  size_t ops = 2;
+  size_t clients = 2;
+  uint64_t graphs = 2;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      scale = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = static_cast<uint64_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--ops") == 0) {
+      ops = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--clients") == 0) {
+      clients = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--graphs") == 0) {
+      graphs = static_cast<uint64_t>(std::atoll(argv[i + 1]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_zoo [--scale S] [--seed N] [--ops N] "
+                   "[--clients N] [--graphs N]\n");
+      return 2;
+    }
+  }
+
+  bench::BenchReport report("zoo");
+  report.SetParam("scale", scale);
+  report.SetParam("seed", seed);
+  report.SetParam("ops_per_client", ops);
+  report.SetParam("clients", clients);
+  report.SetParam("eval_graphs", graphs);
+
+  bench::PrintHeader("prepare (SYN workbench + five zoo routes)");
+  Stopwatch prepare_watch;
+  bench::Workbench wb = bench::PrepareWorkbench("SYN", scale);
+  ViewRegistry registry;
+  registry.InstallModel(std::make_shared<const GcnClassifier>(wb.model));
+  zoo::ZooManager manager(&registry);
+  std::vector<zoo::ExplainerRouteConfig> routes;
+  for (auto [name, kind] :
+       {std::pair<const char*, zoo::ExplainerKind>{
+            "ge", zoo::ExplainerKind::kGnnExplainer},
+        {"sx", zoo::ExplainerKind::kSubgraphX},
+        {"gx", zoo::ExplainerKind::kGStarX},
+        {"gcf", zoo::ExplainerKind::kGcf},
+        {"gvex", zoo::ExplainerKind::kGvex}}) {
+    zoo::ExplainerRouteConfig c;
+    c.route = name;
+    c.kind = kind;
+    c.seed = seed;
+    c.max_nodes = 6;
+    routes.push_back(std::move(c));
+  }
+  if (!manager.Configure(routes).ok()) return 1;
+  ExplanationServer server(&registry);
+  server.SetEvaluateHandler(
+      [&manager](const Request& req, const CancellationToken* cancel) {
+        return manager.Handle(req, cancel);
+      });
+  if (!server.Start().ok()) return 1;
+  const double prepare_seconds = prepare_watch.ElapsedSeconds();
+  report.AddTiming("prepare", prepare_seconds);
+  std::printf("%zu training graphs, model test accuracy %.2f, %.2fs\n",
+              wb.db.size(), wb.test_accuracy, prepare_seconds);
+
+  // Evaluate against a held-out generator seed so no route scores its
+  // own training graphs.
+  zoo::EvalSpec spec;
+  spec.scale = 0.05;
+  spec.seed = seed + 1;
+  spec.graphs = graphs;
+  const std::string spec_text = zoo::EvalSpecToString(spec);
+
+  bench::PrintHeader("drive (identical closed-loop kEvaluate load per "
+                     "route)");
+  std::printf("%-6s %5s %5s %9s %9s %9s %7s %7s %7s\n", "route", "ok",
+              "err", "rps", "p50us", "p99us", "fid+", "fid-", "acc");
+  for (const auto& route : routes) {
+    Stopwatch route_watch;
+    RouteStats stats =
+        DriveRoute(&server, route.route, spec_text, clients, ops);
+    report.AddTiming("drive_" + route.route, route_watch.ElapsedSeconds());
+    report.SetParam(route.route + "_rps", stats.goodput_rps());
+    report.SetParam(route.route + "_errors", stats.errors);
+    report.SetParam(route.route + "_p50_us",
+                    Percentile(stats.ok_rtts_us, 0.50));
+    report.SetParam(route.route + "_p99_us",
+                    Percentile(stats.ok_rtts_us, 0.99));
+    if (stats.has_card) {
+      report.SetParam(route.route + "_fidelity_plus",
+                      stats.card.fidelity_plus);
+      report.SetParam(route.route + "_fidelity_minus",
+                      stats.card.fidelity_minus);
+      report.SetParam(route.route + "_sparsity", stats.card.sparsity);
+      report.SetParam(route.route + "_accuracy", stats.card.accuracy);
+    }
+    std::printf(
+        "%-6s %5zu %5zu %9.2f %9llu %9llu %7.3f %7.3f %7.3f\n",
+        route.route.c_str(), stats.ok, stats.errors, stats.goodput_rps(),
+        static_cast<unsigned long long>(Percentile(stats.ok_rtts_us, 0.50)),
+        static_cast<unsigned long long>(Percentile(stats.ok_rtts_us, 0.99)),
+        stats.has_card ? stats.card.fidelity_plus : 0.0,
+        stats.has_card ? stats.card.fidelity_minus : 0.0,
+        stats.has_card ? stats.card.accuracy : 0.0);
+    if (stats.ok == 0) {
+      std::fprintf(stderr, "route %s answered no request successfully\n",
+                   route.route.c_str());
+      server.Stop();
+      return 1;
+    }
+  }
+  server.Stop();
+  return 0;
+}

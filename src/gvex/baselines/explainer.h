@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "gvex/common/cancellation.h"
 #include "gvex/common/result.h"
 #include "gvex/common/stopwatch.h"
 #include "gvex/gnn/model.h"
@@ -23,10 +24,14 @@ class Explainer {
   virtual std::string name() const = 0;
 
   /// Select up to `max_nodes` important nodes of `g` explaining why
-  /// M(g) = label. Deterministic given the constructor seed.
-  virtual Result<std::vector<NodeId>> ExplainGraph(const Graph& g,
-                                                   ClassLabel label,
-                                                   size_t max_nodes) = 0;
+  /// M(g) = label. Deterministic given the constructor seed. A served
+  /// explain passes the request's `cancel` token: implementations check
+  /// it at their outer iteration boundary and return its cause (e.g.
+  /// kTimeout from an expired deadline) instead of running to
+  /// completion after expiry.
+  virtual Result<std::vector<NodeId>> ExplainGraph(
+      const Graph& g, ClassLabel label, size_t max_nodes,
+      const CancellationToken* cancel = nullptr) = 0;
 };
 
 }  // namespace gvex

@@ -5,9 +5,9 @@
 
 namespace gvex {
 
-Result<std::vector<NodeId>> GcfExplainer::ExplainGraph(const Graph& g,
-                                                       ClassLabel label,
-                                                       size_t max_nodes) {
+Result<std::vector<NodeId>> GcfExplainer::ExplainGraph(
+    const Graph& g, ClassLabel label, size_t max_nodes,
+    const CancellationToken* cancel) {
   if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
   if (label < 0) return Status::InvalidArgument("graph has no label");
   Rng rng(options_.seed);
@@ -17,6 +17,11 @@ Result<std::vector<NodeId>> GcfExplainer::ExplainGraph(const Graph& g,
   std::vector<NodeId> deleted;
   std::vector<bool> is_deleted(g.num_nodes(), false);
   while (deleted.size() < max_nodes && deleted.size() + 1 < g.num_nodes()) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      Status cause = cancel->cause();
+      return cause.ok() ? Status::Timeout("explain cancelled mid-deletion")
+                        : cause;
+    }
     NodeId best = kInvalidNode;
     float best_prob = 2.0f;
     // Evaluate a random sample of candidate deletions per step.

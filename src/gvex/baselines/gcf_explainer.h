@@ -28,8 +28,10 @@ class GcfExplainer : public Explainer {
 
   /// Instance-level adapter: the explanation node set is the minimal
   /// deleted set whose removal flips the prediction away from `label`.
-  Result<std::vector<NodeId>> ExplainGraph(const Graph& g, ClassLabel label,
-                                           size_t max_nodes) override;
+  /// Cancellation is observed between greedy deletion steps.
+  Result<std::vector<NodeId>> ExplainGraph(
+      const Graph& g, ClassLabel label, size_t max_nodes,
+      const CancellationToken* cancel = nullptr) override;
 
   /// Global mode: representative counterfactual graphs for the label
   /// group, greedily chosen to cover the inputs by structural proximity.

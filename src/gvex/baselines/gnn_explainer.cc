@@ -15,8 +15,8 @@ float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 
 }  // namespace
 
-Result<std::vector<float>> GnnExplainer::LearnEdgeMask(const Graph& g,
-                                                       ClassLabel label) {
+Result<std::vector<float>> GnnExplainer::LearnEdgeMask(
+    const Graph& g, ClassLabel label, const CancellationToken* cancel) {
   if (g.num_nodes() == 0) {
     return Status::InvalidArgument("empty graph");
   }
@@ -61,6 +61,11 @@ Result<std::vector<float>> GnnExplainer::LearnEdgeMask(const Graph& g,
 
   const std::vector<float> base_values = s.values();
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      Status cause = cancel->cause();
+      return cause.ok() ? Status::Timeout("explain cancelled mid-epoch")
+                        : cause;
+    }
     // Apply the mask to the propagation operator.
     CsrMatrix masked = s;
     auto& vals = masked.mutable_values();
@@ -101,10 +106,11 @@ Result<std::vector<float>> GnnExplainer::LearnEdgeMask(const Graph& g,
   return probs;
 }
 
-Result<std::vector<NodeId>> GnnExplainer::ExplainGraph(const Graph& g,
-                                                       ClassLabel label,
-                                                       size_t max_nodes) {
-  GVEX_ASSIGN_OR_RETURN(std::vector<float> mask, LearnEdgeMask(g, label));
+Result<std::vector<NodeId>> GnnExplainer::ExplainGraph(
+    const Graph& g, ClassLabel label, size_t max_nodes,
+    const CancellationToken* cancel) {
+  GVEX_ASSIGN_OR_RETURN(std::vector<float> mask,
+                        LearnEdgeMask(g, label, cancel));
   auto edges = EdgeList(g);
 
   // Node importance: max incident edge mask.

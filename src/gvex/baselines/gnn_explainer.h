@@ -24,12 +24,16 @@ class GnnExplainer : public Explainer {
 
   std::string name() const override { return "GE"; }
 
-  Result<std::vector<NodeId>> ExplainGraph(const Graph& g, ClassLabel label,
-                                           size_t max_nodes) override;
+  Result<std::vector<NodeId>> ExplainGraph(
+      const Graph& g, ClassLabel label, size_t max_nodes,
+      const CancellationToken* cancel = nullptr) override;
 
   /// The learned per-edge importance (sigmoid of the mask logits), aligned
-  /// with EdgeList(g); exposed for tests and case studies.
-  Result<std::vector<float>> LearnEdgeMask(const Graph& g, ClassLabel label);
+  /// with EdgeList(g); exposed for tests and case studies. Cancellation is
+  /// observed between gradient epochs.
+  Result<std::vector<float>> LearnEdgeMask(
+      const Graph& g, ClassLabel label,
+      const CancellationToken* cancel = nullptr);
 
  private:
   const GcnClassifier* model_;

@@ -31,12 +31,18 @@ std::vector<NodeId> SampleConnectedCoalition(const Graph& g, NodeId seed_node,
 }  // namespace
 
 Result<std::vector<float>> GStarX::NodeScores(const Graph& g,
-                                              ClassLabel label) {
+                                              ClassLabel label,
+                                              const CancellationToken* cancel) {
   if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
   if (label < 0) return Status::InvalidArgument("graph has no label");
   Rng rng(options_.seed);
   std::vector<float> scores(g.num_nodes(), 0.0f);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      Status cause = cancel->cause();
+      return cause.ok() ? Status::Timeout("explain cancelled mid-scoring")
+                        : cause;
+    }
     float total = 0.0f;
     for (size_t s = 0; s < options_.coalition_samples; ++s) {
       size_t size = 2 + rng.NextBounded(options_.max_coalition_size - 1);
@@ -59,10 +65,11 @@ Result<std::vector<float>> GStarX::NodeScores(const Graph& g,
   return scores;
 }
 
-Result<std::vector<NodeId>> GStarX::ExplainGraph(const Graph& g,
-                                                 ClassLabel label,
-                                                 size_t max_nodes) {
-  GVEX_ASSIGN_OR_RETURN(std::vector<float> scores, NodeScores(g, label));
+Result<std::vector<NodeId>> GStarX::ExplainGraph(
+    const Graph& g, ClassLabel label, size_t max_nodes,
+    const CancellationToken* cancel) {
+  GVEX_ASSIGN_OR_RETURN(std::vector<float> scores,
+                        NodeScores(g, label, cancel));
   std::vector<NodeId> order(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) order[v] = v;
   std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {

@@ -23,11 +23,15 @@ class GStarX : public Explainer {
 
   std::string name() const override { return "GX"; }
 
-  Result<std::vector<NodeId>> ExplainGraph(const Graph& g, ClassLabel label,
-                                           size_t max_nodes) override;
+  Result<std::vector<NodeId>> ExplainGraph(
+      const Graph& g, ClassLabel label, size_t max_nodes,
+      const CancellationToken* cancel = nullptr) override;
 
   /// Per-node structure-aware scores (exposed for tests/case studies).
-  Result<std::vector<float>> NodeScores(const Graph& g, ClassLabel label);
+  /// Cancellation is observed between per-node scoring rounds.
+  Result<std::vector<float>> NodeScores(
+      const Graph& g, ClassLabel label,
+      const CancellationToken* cancel = nullptr);
 
  private:
   const GcnClassifier* model_;

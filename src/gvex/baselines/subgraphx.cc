@@ -49,9 +49,9 @@ float SubgraphX::SampledShapley(const Graph& g,
   return total / static_cast<float>(options_.shapley_samples);
 }
 
-Result<std::vector<NodeId>> SubgraphX::ExplainGraph(const Graph& g,
-                                                    ClassLabel label,
-                                                    size_t max_nodes) {
+Result<std::vector<NodeId>> SubgraphX::ExplainGraph(
+    const Graph& g, ClassLabel label, size_t max_nodes,
+    const CancellationToken* cancel) {
   if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
   if (label < 0) return Status::InvalidArgument("graph has no label");
   Rng rng(options_.seed);
@@ -83,6 +83,11 @@ Result<std::vector<NodeId>> SubgraphX::ExplainGraph(const Graph& g,
   };
 
   for (size_t iter = 0; iter < options_.mcts_iterations; ++iter) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      Status cause = cancel->cause();
+      return cause.ok() ? Status::Timeout("explain cancelled mid-search")
+                        : cause;
+    }
     // Selection: descend by UCT until an unexpanded or terminal node.
     std::vector<MctsNode*> path{root.get()};
     MctsNode* cur = root.get();

@@ -23,8 +23,9 @@ class SubgraphX : public Explainer {
 
   std::string name() const override { return "SX"; }
 
-  Result<std::vector<NodeId>> ExplainGraph(const Graph& g, ClassLabel label,
-                                           size_t max_nodes) override;
+  Result<std::vector<NodeId>> ExplainGraph(
+      const Graph& g, ClassLabel label, size_t max_nodes,
+      const CancellationToken* cancel = nullptr) override;
 
   /// Sampled Shapley value of the coalition `nodes` for class `label`:
   /// E_R [ P(l | nodes ∪ R) - P(l | R) ] over random coalitions R of the

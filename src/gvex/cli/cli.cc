@@ -36,6 +36,7 @@
 #include "gvex/obs/obs.h"
 #include "gvex/obs/report.h"
 #include "gvex/serve/socket.h"
+#include "gvex/zoo/zoo.h"
 
 namespace gvex {
 namespace cli {
@@ -102,8 +103,12 @@ class Flags {
 void Usage() {
   std::fprintf(stderr,
                "usage: gvex_tool <gen|stats|train|explain|verify|fidelity|"
-               "query|serve|client|publish|ingest|shardmap|frontend> "
+               "query|serve|client|publish|ingest|evaluate|shardmap|frontend> "
                "[--flags]\n"
+               "zoo: serve --zoo routes.txt binds explainer configs to "
+               "routes; evaluate scores one against planted-motif ground "
+               "truth and gates on --min-fidelity/--min-accuracy "
+               "(docs/SERVING.md \"Explainer zoo\")\n"
                "cluster: serve --follow unix:<path>|tcp:<port> tails a "
                "primary; publish ships a view bundle to a running server "
                "(--targets a,b,c fans out with a health gate; --shard-map "
@@ -472,6 +477,16 @@ Status CmdServe(const Flags& flags) {
         std::move(iopts));
   }
 
+  // --zoo FILE: the explainer zoo (gvex::zoo). The gvexzoo-v1 artifact
+  // binds routes to explainer configs; kEvaluate requests score them
+  // against planted-motif ground truth on the shared query queue (so
+  // admission, quotas, deadlines, and cancellation apply unchanged).
+  std::unique_ptr<zoo::ZooManager> zoo_manager;
+  if (auto zoo_path = flags.Get("zoo")) {
+    zoo_manager = std::make_unique<zoo::ZooManager>(&registry);
+    GVEX_RETURN_NOT_OK(zoo_manager->ConfigureFromFile(*zoo_path));
+  }
+
   serve::ServerOptions options;
   options.num_workers = static_cast<size_t>(flags.GetInt("workers", 4));
   options.max_queue = static_cast<size_t>(flags.GetInt("queue", 256));
@@ -523,6 +538,13 @@ Status CmdServe(const Flags& flags) {
       return live->Submit(std::move(req));
     });
   }
+  if (zoo_manager != nullptr) {
+    zoo::ZooManager* z = zoo_manager.get();
+    server.SetEvaluateHandler(
+        [z](const serve::Request& req, const CancellationToken* cancel) {
+          return z->Handle(req, cancel);
+        });
+  }
   GVEX_RETURN_NOT_OK(server.Start());
 
   GVEX_ASSIGN_OR_RETURN(serve::Endpoint endpoint, EndpointFromFlags(flags));
@@ -548,6 +570,12 @@ Status CmdServe(const Flags& flags) {
       return following;
     }
     std::printf("following %s\n", follow->c_str());
+    std::fflush(stdout);
+  }
+  if (zoo_manager != nullptr) {
+    // Smoke scripts poll this line before evaluating.
+    std::printf("zoo serving %zu explainer routes\n",
+                zoo_manager->Configs().size());
     std::fflush(stdout);
   }
   if (ingester != nullptr) {
@@ -613,6 +641,8 @@ Result<serve::Request> BuildClientRequest(const Flags& flags) {
     req.type = serve::RequestType::kTopViews;
   } else if (type_name == "ingest") {
     req.type = serve::RequestType::kIngest;
+  } else if (type_name == "evaluate") {
+    req.type = serve::RequestType::kEvaluate;
   } else {
     return Status::InvalidArgument("unknown request type: " + type_name);
   }
@@ -786,6 +816,7 @@ void PrintClientResponse(const serve::Request& req,
     case serve::RequestType::kShutdown:
     case serve::RequestType::kInstall:
     case serve::RequestType::kIngest:
+    case serve::RequestType::kEvaluate:
       std::printf("%s\n", resp.text.c_str());
       return;
   }
@@ -883,7 +914,74 @@ Status CmdClient(const Flags& flags) {
   return Status::OK();
 }
 
+// `publish --zoo FILE` — fan a gvexzoo-v1 route-config artifact out to
+// running servers as kEvaluate installs (the zoo counterpart of a view
+// bundle publish). The artifact is validated locally before anything
+// ships; a mixed outcome exits with the same distinct kPartialFailure
+// code (14) as a bundle fan-out.
+Status PublishZoo(const Flags& flags, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string artifact = buf.str();
+  GVEX_ASSIGN_OR_RETURN(std::vector<zoo::ExplainerRouteConfig> configs,
+                        zoo::ParseZooArtifact(artifact));
+
+  std::vector<serve::Endpoint> targets;
+  if (auto targets_spec = flags.Get("targets")) {
+    for (const std::string& entry : SplitString(*targets_spec, ',')) {
+      if (entry.empty()) continue;
+      GVEX_ASSIGN_OR_RETURN(serve::Endpoint target, ParseFollowTarget(entry));
+      targets.push_back(std::move(target));
+    }
+    if (targets.empty()) {
+      return Status::InvalidArgument("--targets named no endpoints");
+    }
+  } else {
+    GVEX_ASSIGN_OR_RETURN(serve::Endpoint endpoint, EndpointFromFlags(flags));
+    targets.push_back(std::move(endpoint));
+  }
+
+  size_t succeeded = 0;
+  Status first_error = Status::OK();
+  for (const serve::Endpoint& target : targets) {
+    serve::Request req;
+    req.type = serve::RequestType::kEvaluate;
+    req.id = static_cast<uint64_t>(flags.GetInt("id", 1));
+    req.text = artifact;
+    serve::SocketClient client;
+    Status st = client.Connect(target);
+    if (st.ok()) {
+      auto resp = client.Call(req);
+      st = resp.ok() ? resp->ToStatus() : resp.status();
+      if (st.ok()) {
+        std::printf("target %s: %s\n", target.ToString().c_str(),
+                    resp->text.c_str());
+      }
+    }
+    if (st.ok()) {
+      ++succeeded;
+    } else {
+      std::printf("target %s: %s\n", target.ToString().c_str(),
+                  st.ToString().c_str());
+      if (first_error.ok()) first_error = st;
+    }
+  }
+  std::printf("published %zu zoo routes to %zu/%zu targets\n", configs.size(),
+              succeeded, targets.size());
+  if (succeeded == targets.size()) return Status::OK();
+  if (succeeded == 0) return first_error;
+  return Status::PartialFailure(
+      "zoo config reached " + std::to_string(succeeded) + "/" +
+      std::to_string(targets.size()) + " targets");
+}
+
 Status CmdPublish(const Flags& flags) {
+  // --zoo FILE ships explainer-route configs instead of a view bundle.
+  if (auto zoo_path = flags.Get("zoo")) {
+    return PublishZoo(flags, *zoo_path);
+  }
   GVEX_ASSIGN_OR_RETURN(std::string views_path, flags.Require("views"));
   cluster::ViewBundle bundle;
   GVEX_ASSIGN_OR_RETURN(bundle.views, LoadViewSet(views_path));
@@ -1095,6 +1193,77 @@ Status CmdIngest(const Flags& flags) {
   return Status::OK();
 }
 
+// `gvex_tool evaluate` — score a served explainer-zoo route (serve
+// --zoo) against planted-motif ground truth and gate on the result. The
+// request rides the ordinary wire as kEvaluate, so admission, quotas,
+// and deadlines treat it like any read. The response streams per-graph
+// rows followed by the canonical zoo-scorecard-v1 JSON line; the gate
+// (--min-fidelity / --min-accuracy) is applied client-side and a
+// regression exits with the distinct kEvaluationFailed code (16), so CI
+// can fail a publish pipeline on explanation quality alone.
+Status CmdEvaluate(const Flags& flags) {
+  GVEX_ASSIGN_OR_RETURN(serve::Endpoint endpoint, EndpointFromFlags(flags));
+  serve::Request req;
+  req.type = serve::RequestType::kEvaluate;
+  req.id = static_cast<uint64_t>(flags.GetInt("id", 1));
+  req.route = flags.Get("route").value_or(cluster::kDefaultRoute);
+  req.deadline_ms = static_cast<uint32_t>(flags.GetInt("deadline-ms", 0));
+  zoo::EvalSpec spec;
+  spec.dataset = flags.Get("dataset").value_or(spec.dataset);
+  spec.scale = flags.GetDouble("scale", spec.scale);
+  spec.seed = static_cast<uint64_t>(
+      flags.GetInt("seed", static_cast<long>(spec.seed)));
+  spec.graphs = static_cast<uint64_t>(
+      flags.GetInt("graphs", static_cast<long>(spec.graphs)));
+  req.text = zoo::EvalSpecToString(spec);
+  // Validate the spec locally so a usage error (exit 2) is not masked by
+  // an unrelated connect failure.
+  GVEX_RETURN_NOT_OK(zoo::ParseEvalSpec(req.text).status());
+
+  const int retries = static_cast<int>(flags.GetInt("retry", 0));
+  const uint32_t backoff_ms =
+      static_cast<uint32_t>(flags.GetInt("retry-backoff-ms", 100));
+  serve::SocketClient client;
+  GVEX_RETURN_NOT_OK(client.Connect(endpoint));
+  serve::Response resp;
+  for (int attempt = 1;; ++attempt) {
+    GVEX_ASSIGN_OR_RETURN(resp, client.Call(req));
+    if (!RetryableShed(resp.code) || attempt > retries) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        cluster::RetryBackoffMs(attempt, backoff_ms, 10000)));
+  }
+  if (!resp.ok()) return resp.ToStatus();
+  std::printf("%s", resp.text.c_str());
+
+  // The scorecard is the last non-empty line; parsing it doubles as the
+  // smoke test's "the JSON validates" assertion.
+  std::string card_line;
+  for (const std::string& line : SplitString(resp.text, '\n')) {
+    if (!line.empty()) card_line = line;
+  }
+  GVEX_ASSIGN_OR_RETURN(zoo::Scorecard card,
+                        zoo::ScorecardFromJson(card_line));
+  if (flags.Has("min-fidelity")) {
+    const double floor = flags.GetDouble("min-fidelity", 0.0);
+    if (card.fidelity_plus < floor) {
+      return Status::EvaluationFailed(
+          "route " + card.route + " fidelity+ " +
+          std::to_string(card.fidelity_plus) + " below the gate " +
+          std::to_string(floor));
+    }
+  }
+  if (flags.Has("min-accuracy")) {
+    const double floor = flags.GetDouble("min-accuracy", 0.0);
+    if (card.accuracy < floor) {
+      return Status::EvaluationFailed(
+          "route " + card.route + " motif accuracy " +
+          std::to_string(card.accuracy) + " below the gate " +
+          std::to_string(floor));
+    }
+  }
+  return Status::OK();
+}
+
 // ---- sharded fleet ------------------------------------------------------------
 
 // `gvex_tool shardmap` — create, describe, or interrogate a
@@ -1210,6 +1379,7 @@ int ExitCodeForStatus(const Status& st) {
     case StatusCode::kQuotaExceeded: return 13;
     case StatusCode::kPartialFailure: return 14;
     case StatusCode::kPartialResult: return 15;
+    case StatusCode::kEvaluationFailed: return 16;
   }
   return 7;
 }
@@ -1277,6 +1447,8 @@ int Run(const std::vector<std::string>& argv) {
     st = CmdPublish(flags);
   } else if (command == "ingest") {
     st = CmdIngest(flags);
+  } else if (command == "evaluate") {
+    st = CmdEvaluate(flags);
   } else if (command == "shardmap") {
     st = CmdShardMap(flags);
   } else if (command == "frontend") {

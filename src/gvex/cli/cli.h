@@ -17,7 +17,7 @@
 //                     (--socket /tmp/gvex.sock | --port N)
 //                     [--workers 4 --queue 256 --batch 8 --deadline-ms 0
 //                      --route NAME --route-quota "exp=8:0.25,canary=16"
-//                      --exact-fp32 "routeA,routeB"
+//                      --exact-fp32 "routeA,routeB" --zoo routes.txt
 //                      --follow (unix:PATH|tcp:PORT) --poll-ms 200]
 //                     [--ingest --model model.txt
 //                      --ingest-journal wal.bin --resume
@@ -33,7 +33,8 @@
 //                      [--model model.txt] | --shard-map map.bin)
 //                     --type ping|support|contains|hits|discriminative|
 //                            classify|stats|generations|health|fetch|
-//                            shutdown|shardinfo|coverage|topviews|ingest
+//                            shutdown|shardinfo|coverage|topviews|ingest|
+//                            evaluate
 //                     [--label L --against L2 --pattern p.txt
 //                      --graph g.txt | --graph-db db.txt --graph-index I
 //                      --semantics subgraph|induced --max-embeddings 64
@@ -46,6 +47,12 @@
 //                      --targets "unix:A,unix:B,tcp:PORT" |
 //                      --shard-map map.bin
 //                      [--retry 2 --retry-backoff-ms 50 --no-health-gate])
+//                     | --zoo routes.txt (--socket PATH | --port N |
+//                        --targets "unix:A,tcp:PORT")
+//   gvex_tool evaluate (--socket PATH | --port N) [--route NAME]
+//                     [--dataset SYN --scale 0.15 --seed 0 --graphs N]
+//                     [--min-fidelity X --min-accuracy Y]
+//                     [--deadline-ms MS --retry N --retry-backoff-ms MS]
 //   gvex_tool shardmap --shards "unix:A,unix:B" [--standbys "unix:S,-"]
 //                     [--names "left,right"] --out map.bin
 //                     | --shard-map map.bin (--describe |
@@ -71,6 +78,15 @@
 // hot-swaps it locally — and fans it out to --targets or a --shard-map
 // fleet with the same health-gated publish protocol. `ingest --publish`
 // forces a cut; `ingest --status` reports freshness counters.
+//
+// The explainer zoo (docs/SERVING.md "Explainer zoo & evaluation
+// gate"): `serve --zoo routes.txt` binds named routes to explainer
+// configs (the four baselines plus GVEX, each with seed/budget/max_nodes
+// in a gvexzoo-v1 artifact); `evaluate` scores a route's answers against
+// planted-motif ground truth over the ordinary wire (fidelity+/-,
+// sparsity, motif-recovery accuracy) and exits with the distinct
+// kEvaluationFailed code (16) when a --min-fidelity/--min-accuracy gate
+// trips. `publish --zoo` fans the artifact out to running servers.
 //
 // The sharded fleet (docs/ARCHITECTURE.md, docs/WIRE_PROTOCOL.md):
 // `shardmap` writes the gvexshardmap-v1 topology, `publish --shard-map`

@@ -34,6 +34,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "PartialFailure";
     case StatusCode::kPartialResult:
       return "PartialResult";
+    case StatusCode::kEvaluationFailed:
+      return "EvaluationFailed";
   }
   return "Unknown";
 }

@@ -26,6 +26,7 @@ enum class StatusCode : int {
   kQuotaExceeded = 12,  // a per-route admission quota shed the request
   kPartialFailure = 13,  // a fan-out operation succeeded on some targets only
   kPartialResult = 14,   // a scatter-gather answer is missing some shards
+  kEvaluationFailed = 15,  // an explainer scorecard fell below the quality gate
 };
 
 /// \brief Outcome of a fallible operation.
@@ -85,6 +86,9 @@ class Status {
   static Status PartialResult(std::string msg) {
     return Status(StatusCode::kPartialResult, std::move(msg));
   }
+  static Status EvaluationFailed(std::string msg) {
+    return Status(StatusCode::kEvaluationFailed, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -108,6 +112,9 @@ class Status {
   }
   bool IsPartialResult() const {
     return code() == StatusCode::kPartialResult;
+  }
+  bool IsEvaluationFailed() const {
+    return code() == StatusCode::kEvaluationFailed;
   }
 
   std::string ToString() const;

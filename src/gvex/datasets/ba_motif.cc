@@ -1,23 +1,34 @@
+#include <algorithm>
+
 #include "gvex/datasets/datasets.h"
 #include "gvex/datasets/generator_util.h"
 
 namespace gvex {
 namespace datasets {
 
-GraphDatabase MakeBaMotif(const BaMotifOptions& options) {
+GraphDatabase MakeBaMotif(const BaMotifOptions& options, MotifTruth* truth) {
   GraphDatabase db;
   Rng rng(options.seed);
   constexpr NodeType kBaseType = 0;
   constexpr NodeType kMotifType = 1;
+  if (truth != nullptr) truth->nodes.clear();
   for (size_t i = 0; i < options.num_graphs; ++i) {
     Rng graph_rng = rng.Fork();
     Graph g = BarabasiAlbert(options.base_nodes, options.ba_attachment,
                              kBaseType, &graph_rng);
     const bool cycle_class = (i % 2 == 1);
+    std::vector<NodeId> planted;
     for (size_t m = 0; m < options.motifs_per_graph; ++m) {
       Graph motif = cycle_class ? CycleMotif(6, kMotifType)
                                 : HouseMotif(kMotifType);
-      PlantMotif(&g, motif, 1, &graph_rng);
+      std::vector<NodeId> ids = PlantMotif(&g, motif, 1, &graph_rng);
+      planted.insert(planted.end(), ids.begin(), ids.end());
+    }
+    if (truth != nullptr) {
+      std::sort(planted.begin(), planted.end());
+      planted.erase(std::unique(planted.begin(), planted.end()),
+                    planted.end());
+      truth->nodes.push_back(std::move(planted));
     }
     AssignConstantFeatures(&g, options.feature_dim);
     db.Add(std::move(g), cycle_class ? 1 : 0,

@@ -144,9 +144,20 @@ struct BaMotifOptions {
   size_t feature_dim = 4;
 };
 
+/// Planted-motif ground truth for generators that know exactly which nodes
+/// carry the class signal: `nodes[i]` is the sorted, deduplicated set of
+/// node ids occupied by planted motifs in graph `i`. Consumed by the
+/// explainer-zoo evaluation gate (gvex::zoo) to score motif recovery.
+struct MotifTruth {
+  std::vector<std::vector<NodeId>> nodes;
+};
+
 /// Barabási–Albert base + HouseMotif (class 0) or CycleMotif (class 1),
-/// the PyG construction the paper uses for SYN.
-GraphDatabase MakeBaMotif(const BaMotifOptions& options = {});
+/// the PyG construction the paper uses for SYN. When `truth` is non-null
+/// the planted node ids are exported per graph; the generated database is
+/// byte-identical either way (truth capture consumes no extra randomness).
+GraphDatabase MakeBaMotif(const BaMotifOptions& options = {},
+                          MotifTruth* truth = nullptr);
 
 // ---- registry -----------------------------------------------------------------
 
@@ -154,6 +165,14 @@ GraphDatabase MakeBaMotif(const BaMotifOptions& options = {});
 /// PRO, SYN. `scale` in (0, 1] shrinks instance counts proportionally.
 Result<GraphDatabase> MakeByName(const std::string& code, double scale = 1.0,
                                  uint64_t seed_offset = 0);
+
+/// Like MakeByName but also exports planted-motif ground truth. Only
+/// datasets whose generators track planted node ids support this
+/// (currently SYN); other codes answer kUnimplemented. The database is
+/// byte-identical to the MakeByName output for the same arguments.
+Result<GraphDatabase> MakeByNameWithTruth(const std::string& code,
+                                          double scale, uint64_t seed_offset,
+                                          MotifTruth* truth);
 
 /// All dataset codes in Table 3 order.
 std::vector<std::string> AllDatasetCodes();

@@ -64,6 +64,25 @@ Result<GraphDatabase> MakeByName(const std::string& code, double scale,
   return Status::NotFound("unknown dataset code: " + code);
 }
 
+Result<GraphDatabase> MakeByNameWithTruth(const std::string& code,
+                                          double scale, uint64_t seed_offset,
+                                          MotifTruth* truth) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  if (truth == nullptr) {
+    return Status::InvalidArgument("truth output must be non-null");
+  }
+  if (code == "SYN") {
+    BaMotifOptions o;
+    o.num_graphs = Scaled(o.num_graphs, scale);
+    o.seed += seed_offset;
+    return MakeBaMotif(o, truth);
+  }
+  return Status::Unimplemented("dataset " + code +
+                               " does not export planted-motif ground truth");
+}
+
 std::vector<std::string> AllDatasetCodes() {
   return {"MUT", "RED", "ENZ", "MAL", "PCQ", "PRO", "SYN"};
 }

@@ -77,6 +77,7 @@ const char* RequestTypeName(RequestType type) {
     case RequestType::kCoverageStats: return "coverage";
     case RequestType::kTopViews: return "topviews";
     case RequestType::kIngest: return "ingest";
+    case RequestType::kEvaluate: return "evaluate";
   }
   return "unknown";
 }
@@ -113,7 +114,7 @@ Result<Request> DecodeRequestBody(const std::string& body) {
   Request req;
   int type = 0, semantics = 0, has_graph = 0;
   GVEX_RETURN_NOT_OK(ReadField(&in, "type", &type));
-  if (type < 0 || type > static_cast<int>(RequestType::kIngest)) {
+  if (type < 0 || type > static_cast<int>(RequestType::kEvaluate)) {
     return Status::InvalidArgument("unknown request type " +
                                    std::to_string(type));
   }
@@ -224,7 +225,7 @@ Result<Response> DecodeResponseBody(const std::string& body) {
   int code = 0;
   GVEX_RETURN_NOT_OK(ReadField(&in, "id", &resp.id));
   GVEX_RETURN_NOT_OK(ReadField(&in, "code", &code));
-  if (code < 0 || code > static_cast<int>(StatusCode::kPartialResult)) {
+  if (code < 0 || code > static_cast<int>(StatusCode::kEvaluationFailed)) {
     return Status::InvalidArgument("unknown status code " +
                                    std::to_string(code));
   }

@@ -60,6 +60,13 @@ enum class RequestType : uint8_t {
   /// "status" reports ingest state). kFailedPrecondition when the server
   /// runs without `--ingest`.
   kIngest = 15,
+  /// Explainer-zoo evaluation (gvex/zoo): score the explainer bound to
+  /// `route` against planted-motif ground truth, or install a
+  /// gvexzoo-v1 route-config artifact carried in `text`. Rides the
+  /// shared query queue like any read — admission, quotas, deadlines,
+  /// and cancellation apply unchanged. kFailedPrecondition when the
+  /// server runs without a zoo (`serve --zoo`).
+  kEvaluate = 16,
 };
 
 const char* RequestTypeName(RequestType type);

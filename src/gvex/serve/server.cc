@@ -77,9 +77,10 @@ obs::Histogram& EndpointHistogram(RequestType type) {
       &obs::Registry::Global().GetHistogram("serve.exec_coverage_us"),
       &obs::Registry::Global().GetHistogram("serve.exec_topviews_us"),
       &obs::Registry::Global().GetHistogram("serve.exec_ingest_us"),
+      &obs::Registry::Global().GetHistogram("serve.exec_evaluate_us"),
   };
   static_assert(sizeof(hists) / sizeof(hists[0]) ==
-                    static_cast<size_t>(RequestType::kIngest) + 1,
+                    static_cast<size_t>(RequestType::kEvaluate) + 1,
                 "one histogram per request type");
   return *hists[static_cast<size_t>(type)];
 }
@@ -539,6 +540,24 @@ Response ExplanationServer::Execute(const Request& req,
       return ErrorResponse(
           req, Status::FailedPrecondition(
                    "live ingest is not enabled (serve --ingest)"));
+    case RequestType::kEvaluate: {
+      // Unlike ingest, evaluations ride the shared queue so admission,
+      // quotas, deadlines, and cancellation apply unchanged; only the
+      // scoring itself is delegated to the zoo hook.
+      EvaluateHandler handler;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        handler = evaluate_handler_;
+      }
+      if (handler == nullptr) {
+        return ErrorResponse(
+            req, Status::FailedPrecondition(
+                     "explainer zoo is not enabled (serve --zoo)"));
+      }
+      resp = handler(req, cancel);
+      resp.id = req.id;
+      return resp;
+    }
     default:
       break;
   }
@@ -817,6 +836,11 @@ void ExplanationServer::SetIngestHandler(IngestHandler handler) {
   ingest_handler_ = std::move(handler);
 }
 
+void ExplanationServer::SetEvaluateHandler(EvaluateHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  evaluate_handler_ = std::move(handler);
+}
+
 std::string ExplanationServer::StatsJson() const {
   obs::JsonWriter json;
   json.BeginObject();
@@ -883,7 +907,7 @@ std::string ExplanationServer::StatsJson() const {
   json.BeginObject();
   for (const auto& c : obs::Registry::Global().Counters()) {
     if (c.name.rfind("serve.", 0) != 0 && c.name.rfind("cluster.", 0) != 0 &&
-        c.name.rfind("ingest.", 0) != 0)
+        c.name.rfind("ingest.", 0) != 0 && c.name.rfind("zoo.", 0) != 0)
       continue;
     json.Key(c.name);
     json.Uint(c.value);
@@ -892,7 +916,8 @@ std::string ExplanationServer::StatsJson() const {
   json.Key("histograms");
   json.BeginObject();
   for (const auto& h : obs::Registry::Global().Histograms()) {
-    if (h.name.rfind("serve.", 0) != 0 && h.name.rfind("ingest.", 0) != 0)
+    if (h.name.rfind("serve.", 0) != 0 && h.name.rfind("ingest.", 0) != 0 &&
+        h.name.rfind("zoo.", 0) != 0)
       continue;
     json.Key(h.name);
     json.BeginObject();

@@ -152,6 +152,17 @@ class ExplanationServer {
   using IngestHandler = std::function<std::future<Response>(Request)>;
   void SetIngestHandler(IngestHandler handler);
 
+  /// Answers kEvaluate requests with the explainer zoo (gvex::zoo).
+  /// Unlike the ingest hook, evaluations ride the shared query queue —
+  /// admission, route quotas, deadlines, and cancellation apply
+  /// unchanged; the handler runs on a worker thread and must honor the
+  /// CancellationToken between graphs. Without a handler, kEvaluate
+  /// answers kFailedPrecondition. Pass nullptr to clear. Must not call
+  /// back into the server.
+  using EvaluateHandler =
+      std::function<Response(const Request&, const CancellationToken*)>;
+  void SetEvaluateHandler(EvaluateHandler handler);
+
  private:
   struct Item {
     Request req;
@@ -213,6 +224,7 @@ class ExplanationServer {
   std::map<std::string, RouteCounters> route_load_;
   std::function<void(HealthInfo*)> health_hook_;
   IngestHandler ingest_handler_;
+  EvaluateHandler evaluate_handler_;
 
   std::vector<std::thread> workers_;
   DeadlineMonitor monitor_;

@@ -1,0 +1,73 @@
+#include "gvex/zoo/factory.h"
+
+#include <algorithm>
+
+#include "gvex/baselines/gcf_explainer.h"
+#include "gvex/baselines/gnn_explainer.h"
+#include "gvex/baselines/gstarx.h"
+#include "gvex/baselines/subgraphx.h"
+#include "gvex/explain/approx_gvex.h"
+
+namespace gvex {
+namespace zoo {
+
+Result<std::vector<NodeId>> GvexZooExplainer::ExplainGraph(
+    const Graph& g, ClassLabel label, size_t max_nodes,
+    const CancellationToken* cancel) {
+  if (cancel != nullptr && cancel->cancelled()) {
+    Status cause = cancel->cause();
+    return cause.ok() ? Status::Timeout("explain cancelled") : cause;
+  }
+  Configuration config;
+  config.theta = 0.08f;
+  config.radius = 0.25f;
+  config.gamma = 0.5f;
+  config.default_coverage = {0, max_nodes};
+  ApproxGvex solver(model_, config);
+  Result<ExplanationSubgraph> sub = solver.ExplainGraph(g, 0, label);
+  if (!sub.ok() && sub.status().code() == StatusCode::kInfeasible) {
+    // A tight node budget can leave no consistent+counterfactual witness.
+    // Relax the coverage bound once and trim — a served route must still
+    // answer with its best node set, not an error.
+    config.default_coverage = {0, std::min<size_t>(g.num_nodes(),
+                                                   2 * max_nodes + 1)};
+    ApproxGvex relaxed(model_, config);
+    sub = relaxed.ExplainGraph(g, 0, label);
+  }
+  GVEX_RETURN_NOT_OK(sub.status());
+  std::vector<NodeId> nodes = std::move(sub->nodes);
+  if (nodes.size() > max_nodes) nodes.resize(max_nodes);
+  return nodes;
+}
+
+std::unique_ptr<Explainer> MakeExplainer(const ExplainerRouteConfig& config,
+                                         const GcnClassifier* model) {
+  switch (config.kind) {
+    case ExplainerKind::kGnnExplainer: {
+      GnnExplainerOptions o;
+      if (config.seed != 0) o.seed = config.seed;
+      return std::make_unique<GnnExplainer>(model, o);
+    }
+    case ExplainerKind::kSubgraphX: {
+      SubgraphXOptions o;
+      if (config.seed != 0) o.seed = config.seed;
+      return std::make_unique<SubgraphX>(model, o);
+    }
+    case ExplainerKind::kGStarX: {
+      GStarXOptions o;
+      if (config.seed != 0) o.seed = config.seed;
+      return std::make_unique<GStarX>(model, o);
+    }
+    case ExplainerKind::kGcf: {
+      GcfOptions o;
+      if (config.seed != 0) o.seed = config.seed;
+      return std::make_unique<GcfExplainer>(model, o);
+    }
+    case ExplainerKind::kGvex:
+      return std::make_unique<GvexZooExplainer>(model);
+  }
+  return nullptr;
+}
+
+}  // namespace zoo
+}  // namespace gvex

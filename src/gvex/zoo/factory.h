@@ -1,0 +1,47 @@
+// Explainer factory (gvex::zoo): seed-deterministic construction of the
+// five zoo explainers behind the shared Explainer interface. Every
+// explainer built here derives its randomness from the route config's
+// seed alone and keeps no mutable state across ExplainGraph calls, so a
+// route's answers are byte-identical across runs and across concurrent
+// worker threads.
+#pragma once
+
+#include <memory>
+
+#include "gvex/baselines/explainer.h"
+#include "gvex/zoo/route_config.h"
+
+namespace gvex {
+namespace zoo {
+
+/// Build the explainer for `config` over `model`. A zero seed keeps each
+/// kind's published default (GE 11, SX 13, GX 17, GCF 19); any other
+/// value overrides it. The returned explainer borrows `model` — the
+/// caller keeps it alive — and is safe to call from multiple threads
+/// concurrently (each ExplainGraph seeds a fresh local RNG).
+std::unique_ptr<Explainer> MakeExplainer(const ExplainerRouteConfig& config,
+                                         const GcnClassifier* model);
+
+/// ApproxGVEX (Algorithm 1) behind the instance-level Explainer
+/// interface: one greedy explain per graph with coverage [0, max_nodes],
+/// no summarize phase. Deterministic — ApproxGVEX's greedy selection
+/// consumes no randomness — and stateless across calls (a fresh solver
+/// per ExplainGraph), so it meets the same thread-safety contract as the
+/// baselines. Cancellation is observed once per call, before the greedy
+/// walk starts.
+class GvexZooExplainer : public Explainer {
+ public:
+  explicit GvexZooExplainer(const GcnClassifier* model) : model_(model) {}
+
+  std::string name() const override { return "GVEX"; }
+
+  Result<std::vector<NodeId>> ExplainGraph(
+      const Graph& g, ClassLabel label, size_t max_nodes,
+      const CancellationToken* cancel = nullptr) override;
+
+ private:
+  const GcnClassifier* model_;
+};
+
+}  // namespace zoo
+}  // namespace gvex

@@ -1,0 +1,117 @@
+#include "gvex/zoo/route_config.h"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+
+namespace gvex {
+namespace zoo {
+
+const char* KindName(ExplainerKind kind) {
+  switch (kind) {
+    case ExplainerKind::kGnnExplainer:
+      return "GE";
+    case ExplainerKind::kSubgraphX:
+      return "SX";
+    case ExplainerKind::kGStarX:
+      return "GX";
+    case ExplainerKind::kGcf:
+      return "GCF";
+    case ExplainerKind::kGvex:
+      return "GVEX";
+  }
+  return "?";
+}
+
+Result<ExplainerKind> KindFromName(const std::string& name) {
+  if (name == "GE") return ExplainerKind::kGnnExplainer;
+  if (name == "SX") return ExplainerKind::kSubgraphX;
+  if (name == "GX") return ExplainerKind::kGStarX;
+  if (name == "GCF") return ExplainerKind::kGcf;
+  if (name == "GVEX") return ExplainerKind::kGvex;
+  return Status::InvalidArgument("unknown explainer kind: " + name);
+}
+
+Status ValidateRouteConfig(const ExplainerRouteConfig& config) {
+  if (config.route.empty()) {
+    return Status::InvalidArgument("zoo route name must not be empty");
+  }
+  for (char c : config.route) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument("zoo route name must not contain "
+                                     "whitespace: '" +
+                                     config.route + "'");
+    }
+  }
+  if (config.max_nodes == 0) {
+    return Status::InvalidArgument("zoo route " + config.route +
+                                   ": max_nodes must be >= 1");
+  }
+  return Status::OK();
+}
+
+std::string EncodeZooArtifact(
+    const std::vector<ExplainerRouteConfig>& configs) {
+  std::ostringstream out;
+  out << kZooArtifactMagic << "\n";
+  for (const auto& c : configs) {
+    out << "route " << c.route << " kind " << KindName(c.kind) << " seed "
+        << c.seed << " budget_ms " << c.budget_ms << " max_nodes "
+        << c.max_nodes << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Result<std::vector<ExplainerRouteConfig>> ParseZooArtifact(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kZooArtifactMagic) {
+    return Status::InvalidArgument("zoo artifact: missing gvexzoo-v1 magic");
+  }
+  std::vector<ExplainerRouteConfig> configs;
+  std::set<std::string> seen;
+  bool terminated = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line == "end") {
+      terminated = true;
+      break;
+    }
+    std::istringstream row(line);
+    std::string key_route, key_kind, key_seed, key_budget, key_max, kind;
+    ExplainerRouteConfig c;
+    if (!(row >> key_route >> c.route >> key_kind >> kind >> key_seed >>
+          c.seed >> key_budget >> c.budget_ms >> key_max >> c.max_nodes) ||
+        key_route != "route" || key_kind != "kind" || key_seed != "seed" ||
+        key_budget != "budget_ms" || key_max != "max_nodes") {
+      return Status::InvalidArgument("zoo artifact: malformed route line: " +
+                                     line);
+    }
+    std::string trailing;
+    if (row >> trailing) {
+      return Status::InvalidArgument("zoo artifact: trailing tokens on: " +
+                                     line);
+    }
+    GVEX_ASSIGN_OR_RETURN(c.kind, KindFromName(kind));
+    GVEX_RETURN_NOT_OK(ValidateRouteConfig(c));
+    if (!seen.insert(c.route).second) {
+      return Status::InvalidArgument("zoo artifact: duplicate route: " +
+                                     c.route);
+    }
+    configs.push_back(std::move(c));
+  }
+  if (!terminated) {
+    return Status::InvalidArgument("zoo artifact: missing end terminator");
+  }
+  return configs;
+}
+
+bool IsZooArtifact(const std::string& text) {
+  const std::string magic = kZooArtifactMagic;
+  return text.size() >= magic.size() && text.compare(0, magic.size(), magic) == 0;
+}
+
+}  // namespace zoo
+}  // namespace gvex

@@ -1,0 +1,75 @@
+// Explainer-zoo route configs (gvex::zoo): the binding from one named
+// serve route to one explainer configuration. The five kinds are the four
+// paper baselines (GE, SX, GX, GCF) plus GVEX itself; each binding pins
+// the seed, per-evaluation time budget, and explanation size so a route's
+// answers are reproducible byte-for-byte.
+//
+// Bindings travel as a `gvexzoo-v1` text artifact — the same
+// line-oriented, strict-ordered style as the other v1 formats — so they
+// can sit in a file next to a bundle, ride the wire inside a kEvaluate
+// request, and fan out across a fleet with `publish --zoo`:
+//
+//   gvexzoo-v1
+//   route <name> kind <GE|SX|GX|GCF|GVEX> seed <u64> budget_ms <u64> max_nodes <u64>
+//   ...
+//   end
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gvex/common/result.h"
+
+namespace gvex {
+namespace zoo {
+
+/// The artifact magic / first line.
+inline constexpr char kZooArtifactMagic[] = "gvexzoo-v1";
+
+/// Which explainer a route serves.
+enum class ExplainerKind : uint8_t {
+  kGnnExplainer = 0,  ///< "GE"  — learned edge masks
+  kSubgraphX = 1,     ///< "SX"  — MCTS + sampled Shapley
+  kGStarX = 2,        ///< "GX"  — structure-aware game values
+  kGcf = 3,           ///< "GCF" — greedy counterfactual deletion
+  kGvex = 4,          ///< "GVEX" — ApproxGVEX (Algorithm 1)
+};
+
+/// Short code used in artifacts and scorecards ("GE", ..., "GVEX").
+const char* KindName(ExplainerKind kind);
+
+/// Inverse of KindName; kInvalidArgument for unknown codes.
+Result<ExplainerKind> KindFromName(const std::string& name);
+
+/// One route binding.
+struct ExplainerRouteConfig {
+  std::string route;
+  ExplainerKind kind = ExplainerKind::kGnnExplainer;
+  uint64_t seed = 0;        ///< explainer RNG seed (0 = the kind's default)
+  uint64_t budget_ms = 0;   ///< per-evaluation wall budget (0 = unbounded)
+  uint64_t max_nodes = 6;   ///< explanation size cap per graph
+
+  bool operator==(const ExplainerRouteConfig&) const = default;
+};
+
+/// Reject unusable bindings: empty route names, names with whitespace
+/// (they must survive space-delimited text formats), zero max_nodes.
+Status ValidateRouteConfig(const ExplainerRouteConfig& config);
+
+/// Encode bindings as a gvexzoo-v1 artifact (canonical: one line per
+/// route, input order preserved, trailing newline after "end").
+std::string EncodeZooArtifact(const std::vector<ExplainerRouteConfig>& configs);
+
+/// Parse and validate a gvexzoo-v1 artifact. Strict: unknown keys,
+/// missing fields, duplicate route names, and a missing "end" terminator
+/// all fail with kInvalidArgument.
+Result<std::vector<ExplainerRouteConfig>> ParseZooArtifact(
+    const std::string& text);
+
+/// True when `text` begins with the artifact magic — how the kEvaluate
+/// handler tells an install apart from an evaluation spec.
+bool IsZooArtifact(const std::string& text);
+
+}  // namespace zoo
+}  // namespace gvex

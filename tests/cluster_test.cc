@@ -201,13 +201,13 @@ TEST(ClusterProtocolTest, GenerationsResponseRoundTrips) {
 }
 
 TEST(ClusterProtocolTest, UnknownTypeStillRejected) {
-  // One past the last valid request type (kIngest = 15) must not decode.
+  // One past the last valid request type (kEvaluate = 16) must not decode.
   Request req;
   req.type = RequestType::kFetch;
   std::string body = serve::EncodeRequestBody(req);
   const size_t pos = body.find("type 10");
   ASSERT_NE(pos, std::string::npos);
-  body.replace(pos, 7, "type 16");
+  body.replace(pos, 7, "type 17");
   EXPECT_FALSE(serve::DecodeRequestBody(body).ok());
 }
 

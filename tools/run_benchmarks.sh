@@ -84,6 +84,7 @@ run_bench micro_kernels --benchmark_min_time=0.05
 run_bench serve --scale 0.15 --seed 42 --ops 40 --delay-ms 10
 run_bench cluster --scale 0.15 --seed 42 --ops 40
 run_bench ingest --scale 0.15 --seed 42 --ops 40
+run_bench zoo --scale 0.15 --seed 42 --ops 2
 
 echo
 echo "reports collected in $RESULTS/:"

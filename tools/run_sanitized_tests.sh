@@ -28,12 +28,12 @@ ctest --test-dir build-asan --output-on-failure -j "$(nproc)" "$@"
 ctest --test-dir build-asan --output-on-failure -L chaos-smoke
 
 # The serving smoke (also registered as the `serve-smoke`,
-# `cluster-smoke`, `ingest-smoke`, and `fleet-smoke` ctest labels)
-# exercises the socket server, worker pool, deadline monitor, route
-# quotas, fan-out publish, the primary->standby replication loop, and
+# `cluster-smoke`, `ingest-smoke`, `fleet-smoke`, and `zoo-smoke` ctest
+# labels) exercises the socket server, worker pool, deadline monitor,
+# route quotas, fan-out publish, the primary->standby replication loop,
 # the live-ingest write path (journaled crash-exact resume under a real
-# kill -9); under ASan/UBSan it doubles as a thread-lifecycle and
-# use-after-free gate.
+# kill -9), and the explainer-zoo evaluation gate; under ASan/UBSan it
+# doubles as a thread-lifecycle and use-after-free gate.
 tools/run_server_smoke.sh build-asan/tools/gvex_tool all
 
 # The compact-data-plane suites — run explicitly for the same reason as

@@ -43,17 +43,28 @@
 # silently wrong aggregate — and kills the shard that has a standby to
 # prove a point query fails over and still answers byte-identically.
 #
+# A zoo leg (docs/SERVING.md "Explainer zoo & evaluation gate") trains a
+# SYN model, serves it with two `--zoo` explainer routes (a healthy one
+# and one deliberately crippled to max_nodes 1), and proves the served
+# evaluation gate end to end: `gvex_tool evaluate` streams per-graph rows
+# plus a scorecard line that must parse as canonical zoo-scorecard-v1
+# JSON, two runs of the same evaluation diff byte-for-byte, the
+# `--min-accuracy` gate trips on the crippled route with the distinct
+# kEvaluationFailed exit (16), `publish --zoo` hot-swaps the route table
+# over the wire, and the server's stats report live zoo.* counters.
+#
 # Usage: tools/run_server_smoke.sh [path-to-gvex_tool] [leg]
 #   default tool: ./build/tools/gvex_tool
-#   leg: all (default) | serve | cluster | ingest | fleet
+#   leg: all (default) | serve | cluster | ingest | fleet | zoo
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 TOOL="${1:-./build/tools/gvex_tool}"
 LEG="${2:-all}"
-case "$LEG" in all|serve|cluster|ingest|fleet) ;; *)
-  echo "unknown leg '$LEG' (want all, serve, cluster, ingest, or fleet)" >&2
+case "$LEG" in all|serve|cluster|ingest|fleet|zoo) ;; *)
+  echo "unknown leg '$LEG' (want all, serve, cluster, ingest, fleet," \
+       "or zoo)" >&2
   exit 2 ;;
 esac
 if [[ ! -x "$TOOL" ]]; then
@@ -668,5 +679,90 @@ wait "$STANDBY_PID" || fail "left standby exited non-zero after shutdown"
 STANDBY_PID=""
 
 fi  # fleet leg
+
+if [[ "$LEG" == "all" || "$LEG" == "zoo" ]]; then
+
+echo "== zoo: SYN pipeline + two explainer routes behind one server"
+"$TOOL" gen --dataset SYN --scale 0.15 --seed 7 --out syn_db.txt
+"$TOOL" train --db syn_db.txt --out syn_model.txt --epochs 120
+cat > zoo_routes.txt <<'EOF'
+gvexzoo-v1
+route crippled kind GE seed 0 budget_ms 0 max_nodes 1
+route ge kind GE seed 0 budget_ms 0 max_nodes 6
+end
+EOF
+SOCK_Z="$WORK/zoo.sock"
+"$TOOL" serve --views views.txt --model syn_model.txt --socket "$SOCK_Z" \
+  --zoo zoo_routes.txt > zoo.log 2>&1 &
+SERVER_PID=$!
+wait_for_line zoo.log "$SERVER_PID" "zoo serving 2 explainer routes"
+
+echo "== zoo: served evaluation streams rows + canonical scorecard"
+EVAL_ARGS=(--socket "$SOCK_Z" --scale 0.05 --seed 9 --graphs 2)
+"$TOOL" evaluate "${EVAL_ARGS[@]}" --route ge > eval_ge.out \
+  || fail "evaluate on the healthy route exited non-zero"
+grep -q '^graph 0 label ' eval_ge.out \
+  || fail "evaluation streamed no per-graph rows: $(cat eval_ge.out)"
+# The gate's own strict parser already validated the scorecard line (a
+# malformed one exits non-zero above); pin the canonical shape too.
+grep -q '^{"scorecard":"zoo-scorecard-v1","route":"ge","kind":"GE"' \
+  eval_ge.out || fail "no canonical scorecard line: $(cat eval_ge.out)"
+# Served evaluation is deterministic: a second run diffs byte-for-byte.
+"$TOOL" evaluate "${EVAL_ARGS[@]}" --route ge > eval_ge2.out
+diff -u eval_ge.out eval_ge2.out > /dev/null \
+  || fail "two runs of the same served evaluation differ"
+echo "   scorecard: $(grep '^{"scorecard"' eval_ge.out)"
+
+echo "== zoo: gate trips on the crippled route with exit 16"
+"$TOOL" evaluate "${EVAL_ARGS[@]}" --route crippled > eval_cr.out \
+  || fail "ungated evaluate of the crippled route exited non-zero"
+set +e
+"$TOOL" evaluate "${EVAL_ARGS[@]}" --route crippled --min-accuracy 0.5 \
+  > gate.out 2> gate.err
+rc=$?
+set -e
+[[ "$rc" -eq 16 ]] || fail "expected exit 16 (kEvaluationFailed), got $rc"
+grep -q "below the gate" gate.err \
+  || fail "gate stderr does not explain the regression: $(cat gate.err)"
+# The healthy route clears the same floor the crippled one cannot reach:
+# a 1-node explanation recovers at most 1/10 of the planted motifs.
+"$TOOL" evaluate "${EVAL_ARGS[@]}" --route crippled --min-accuracy 0.11 \
+  > /dev/null 2>&1 && fail "crippled route passed an unreachable floor"
+echo "   crippled route gated out (exit 16); payload still printed"
+
+echo "== zoo: publish --zoo hot-swaps the route table over the wire"
+cat > zoo_routes2.txt <<'EOF'
+gvexzoo-v1
+route fresh kind GCF seed 5 budget_ms 0 max_nodes 4
+end
+EOF
+"$TOOL" publish --zoo zoo_routes2.txt --socket "$SOCK_Z" > zoopub.out
+grep -q "published 1 zoo routes to 1/1 targets" zoopub.out \
+  || fail "publish --zoo did not confirm install: $(cat zoopub.out)"
+"$TOOL" client --socket "$SOCK_Z" --type evaluate --text status \
+  > zstatus.out
+grep -q "route fresh kind GCF" zstatus.out \
+  || fail "installed route missing from status: $(cat zstatus.out)"
+"$TOOL" evaluate "${EVAL_ARGS[@]}" --route fresh > /dev/null \
+  || fail "evaluate on the hot-swapped route failed"
+set +e
+"$TOOL" evaluate "${EVAL_ARGS[@]}" --route ge > /dev/null 2>&1
+rc=$?
+set -e
+[[ "$rc" -ne 0 ]] || fail "replaced route 'ge' still answered"
+echo "   route table replaced live (fresh in, ge out)"
+
+echo "== zoo: stats expose zoo.* observability counters"
+"$TOOL" client --socket "$SOCK_Z" --type stats > zstats.out
+grep -q '"zoo.evaluations":[1-9]' zstats.out \
+  || fail "stats missing zoo.evaluations: $(cat zstats.out)"
+grep -q '"zoo.installs":[1-9]' zstats.out \
+  || fail "stats missing zoo.installs: $(cat zstats.out)"
+
+"$TOOL" client --socket "$SOCK_Z" --type shutdown > /dev/null
+wait "$SERVER_PID" || fail "zoo server exited non-zero after shutdown"
+SERVER_PID=""
+
+fi  # zoo leg
 
 echo "server smoke PASSED"
